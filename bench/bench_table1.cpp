@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces Table 1: single-thread CPU Plonky2 proof-generation time
+ * breakdown by kernel class for the six applications.
+ *
+ * Paper reference values (percent of proving time):
+ *   Merkle tree ~57-69%, NTT ~16-22%, polynomial ~11-25%,
+ *   other hash ~0-0.3%, layout transform ~2-4.6%.
+ */
+
+#include "bench_util.h"
+#include "unizk/pipeline.h"
+
+using namespace unizk;
+using namespace unizk::bench;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessOptions(argc, argv);
+    const FriConfig cfg = opt.plonky2Config();
+    const HardwareConfig hw = HardwareConfig::paperDefault();
+
+    std::printf("=== Table 1: Plonky2 CPU proof-generation time "
+                "breakdown (single thread) ===\n");
+    std::printf("paper: Merkle ~57-69%%, NTT ~16-22%%, poly ~11-25%%, "
+                "other hash <0.5%%, layout ~2-4.6%%\n\n");
+    printRow({"Application", "Time (s)", "Polynomial", "NTT",
+              "MerkleTree", "OtherHash", "Layout"});
+
+    for (const AppId app : evaluationApps()) {
+        const WorkloadParams p = defaultParams(app, opt.scale);
+        const size_t reps =
+            opt.repsOverride ? opt.repsOverride : p.repetitions;
+        const AppRunResult r = runPlonky2App(app, p.rows, reps, cfg, hw,
+                                             /*verify_proof=*/false);
+        const auto &b = r.cpuBreakdown;
+        printRow({r.app, fmt(b.total(), 2),
+                  fmtPct(b.fraction(KernelClass::Polynomial)),
+                  fmtPct(b.fraction(KernelClass::Ntt)),
+                  fmtPct(b.fraction(KernelClass::MerkleTree)),
+                  fmtPct(b.fraction(KernelClass::OtherHash)),
+                  fmtPct(b.fraction(KernelClass::LayoutTransform))});
+    }
+    return 0;
+}

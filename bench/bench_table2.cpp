@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reproduces Table 2: area and power breakdown of the UniZK chip at
+ * the default configuration (32 VSAs, 8 MB scratchpad, 2 HBM PHYs).
+ */
+
+#include "bench_util.h"
+#include "model/area_power.h"
+
+using namespace unizk;
+using namespace unizk::bench;
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions cli(argc, argv);
+    HardwareConfig cfg = HardwareConfig::paperDefault();
+    cfg.numVsas = static_cast<uint32_t>(cli.getUint("vsas", cfg.numVsas));
+    cfg.scratchpadBytes =
+        cli.getUint("scratchpad-mb", cfg.scratchpadBytes >> 20) << 20;
+
+    std::printf("=== Table 2: area and power breakdown ===\n");
+    std::printf("paper (default config): total 57.8 mm^2, 96.4 W\n\n");
+    printRow({"Component", "Area (mm^2)", "Power (W)"}, 28);
+
+    const ChipCost cost = estimateChipCost(cfg, 2);
+    for (const auto &c : cost.components)
+        printRow({c.name, fmt(c.areaMm2, 1), fmt(c.powerW, 1)}, 28);
+    printRow({"Total", fmt(cost.totalAreaMm2(), 1),
+              fmt(cost.totalPowerW(), 1)},
+             28);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Table 3: end-to-end Plonky2 proving time on the CPU
+ * baseline, the (modeled) GPU baseline, and simulated UniZK, with
+ * speedups over the CPU.
+ *
+ * The CPU column is measured single-threaded and divided by the
+ * paper's observed 10x multithreading gain (Table 1 vs Table 3 in the
+ * paper; see EXPERIMENTS.md). Paper reference: GPU 1.2-4.6x, UniZK
+ * 61-147x (97x average).
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "model/gpu_model.h"
+#include "unizk/pipeline.h"
+
+using namespace unizk;
+using namespace unizk::bench;
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions opt = parseHarnessOptions(argc, argv);
+    const FriConfig cfg = opt.plonky2Config();
+    const HardwareConfig hw = HardwareConfig::paperDefault();
+
+    std::printf("=== Table 3: Plonky2 proving time, CPU vs GPU vs UniZK "
+                "===\n");
+    std::printf("paper: GPU speedup 1.2-4.6x; UniZK speedup 61-147x "
+                "(avg 97x)\n");
+    std::printf("(CPU column: measured 1-thread / %.0fx parallel "
+                "scaling)\n\n",
+                cpuParallelSpeedup);
+    printRow({"Application", "CPU (s)", "GPU (s)", "GPU spdup",
+              "UniZK (s)", "UniZK spdup"});
+
+    double gpu_geo = 1.0, uni_geo = 1.0;
+    size_t count = 0;
+    for (const AppId app : evaluationApps()) {
+        const WorkloadParams p = defaultParams(app, opt.scale);
+        const size_t reps =
+            opt.repsOverride ? opt.repsOverride : p.repetitions;
+        const AppRunResult r = runPlonky2App(app, p.rows, reps, cfg, hw,
+                                             /*verify_proof=*/false);
+        const double cpu = r.cpuSeconds / cpuParallelSpeedup;
+        // The GPU model's per-class speedups are relative to the
+        // parallel CPU; PCIe transfer time stays absolute.
+        const GpuEstimate gpu = estimateGpuTime(
+            r.cpuBreakdown.scaledBy(1.0 / cpuParallelSpeedup), r.trace,
+            {});
+        const double gpu_s = gpu.totalSeconds;
+        const double uni_s = r.sim.seconds();
+        const double gpu_spd = cpu / gpu_s;
+        const double uni_spd = cpu / uni_s;
+        printRow({r.app, fmt(cpu), fmt(gpu_s), fmtX(gpu_spd),
+                  fmt(uni_s, 4), fmtX(uni_spd, 0)});
+        gpu_geo *= gpu_spd;
+        uni_geo *= uni_spd;
+        ++count;
+    }
+    std::printf("\naverage (geomean) speedups: GPU %.1fx, UniZK %.0fx\n",
+                std::pow(gpu_geo, 1.0 / count),
+                std::pow(uni_geo, 1.0 / count));
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for the table/figure harnesses: fixed-width table
+ * printing and common CLI handling. Each harness regenerates one table
+ * or figure of the paper and prints the paper's reported values next
+ * to the reproduced ones where applicable.
+ */
+
+#ifndef UNIZK_BENCH_BENCH_UTIL_H
+#define UNIZK_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "fri/fri_config.h"
+#include "sim/hw_config.h"
+
+namespace unizk {
+namespace bench {
+
+/** Print one row of fixed-width cells. */
+inline void
+printRow(const std::vector<std::string> &cells, int width = 14)
+{
+    for (const auto &c : cells)
+        std::printf("%-*s", width, c.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+fmt(double v, int precision = 3)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+inline std::string
+fmtX(double v, int precision = 1)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+    return buf;
+}
+
+inline std::string
+fmtPct(double v, int precision = 1)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * v);
+    return buf;
+}
+
+/** Standard harness options: workload scale and FRI configuration. */
+struct HarnessOptions
+{
+    uint32_t scale = 0;       ///< shifts every app's rows up by 2^scale
+    uint32_t repsOverride = 0; ///< 0 = per-app default
+    bool fast = false;         ///< reduced security params for quick runs
+
+    FriConfig
+    plonky2Config() const
+    {
+        FriConfig cfg = FriConfig::plonky2();
+        if (fast) {
+            cfg.powBits = 8;
+            cfg.numQueries = 8;
+        }
+        return cfg;
+    }
+
+    FriConfig
+    starkyConfig() const
+    {
+        FriConfig cfg = FriConfig::starky();
+        if (fast) {
+            cfg.powBits = 8;
+            cfg.numQueries = 16;
+        }
+        return cfg;
+    }
+};
+
+inline HarnessOptions
+parseHarnessOptions(int argc, char **argv)
+{
+    const CliOptions cli(argc, argv);
+    HarnessOptions opt;
+    opt.scale = static_cast<uint32_t>(cli.getUint("scale", 0));
+    opt.repsOverride = static_cast<uint32_t>(cli.getUint("reps", 0));
+    opt.fast = cli.has("fast");
+    return opt;
+}
+
+} // namespace bench
+} // namespace unizk
+
+#endif // UNIZK_BENCH_BENCH_UTIL_H

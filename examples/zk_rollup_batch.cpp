@@ -1,0 +1,73 @@
+/**
+ * @file
+ * ZK-rollup style batch proving: the blockchain use case from the
+ * paper's introduction. Many transaction blocks are proven cheaply
+ * with Starky (blowup 2, large proofs), then a Plonky2 proof of a
+ * verifier-shaped circuit compresses them into one small aggregate --
+ * the Starky + Plonky2 combination of Section 2.2 and Table 5.
+ *
+ * Run:  ./examples/zk_rollup_batch [--blocks 4] [--rows 512]
+ */
+
+#include <cstdio>
+
+#include "common/cli.h"
+#include "unizk/pipeline.h"
+
+using namespace unizk;
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions cli(argc, argv);
+    const size_t blocks = cli.getUint("blocks", 4);
+    const size_t rows = cli.getUint("rows", 512);
+
+    FriConfig starky_cfg = FriConfig::starky();
+    starky_cfg.powBits = 8; // keep the demo snappy
+    FriConfig plonky_cfg = FriConfig::plonky2();
+    plonky_cfg.powBits = 8;
+    const HardwareConfig hw = HardwareConfig::paperDefault();
+
+    std::printf("proving %zu blocks with Starky (blowup %u) ...\n",
+                blocks, starky_cfg.blowup());
+    double base_cpu = 0.0, base_uni = 0.0;
+    size_t base_bytes = 0;
+    for (size_t b = 0; b < blocks; ++b) {
+        const AppRunResult r =
+            runStarkyApp(AppId::Sha256, rows, starky_cfg, hw);
+        if (!r.verified) {
+            std::printf("block %zu: verification FAILED\n", b);
+            return 1;
+        }
+        base_cpu += r.cpuSeconds;
+        base_uni += r.sim.seconds();
+        base_bytes += r.proofBytes;
+    }
+    std::printf("  base proofs: CPU %.3f s, UniZK %.3f ms, total size "
+                "%.1f kB\n",
+                base_cpu, base_uni * 1e3, base_bytes / 1024.0);
+
+    std::printf("aggregating with a Plonky2 recursion-shaped proof "
+                "...\n");
+    const WorkloadParams rp = defaultParams(AppId::Recursion);
+    const AppRunResult rec = runPlonky2App(
+        AppId::Recursion, rp.rows, rp.repetitions, plonky_cfg, hw);
+    if (!rec.verified) {
+        std::printf("aggregation proof FAILED\n");
+        return 1;
+    }
+    std::printf("  aggregate: CPU %.3f s, UniZK %.3f ms, size %.1f kB\n",
+                rec.cpuSeconds, rec.sim.seconds() * 1e3,
+                rec.proofBytes / 1024.0);
+
+    std::printf("\nrollup summary (%zu blocks):\n", blocks);
+    std::printf("  CPU total:   %.3f s\n", base_cpu + rec.cpuSeconds);
+    std::printf("  UniZK total: %.3f ms  (%.0fx faster)\n",
+                (base_uni + rec.sim.seconds()) * 1e3,
+                (base_cpu + rec.cpuSeconds) /
+                    (base_uni + rec.sim.seconds()));
+    std::printf("  published proof: %.1f kB (vs %.1f kB unaggregated)\n",
+                rec.proofBytes / 1024.0, base_bytes / 1024.0);
+    return 0;
+}

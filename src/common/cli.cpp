@@ -1,0 +1,61 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace unizk {
+
+CliOptions::CliOptions(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg(argv[i]);
+        if (arg.rfind("--", 0) != 0) {
+            warn("ignoring positional argument '", arg, "'");
+            continue;
+        }
+        std::string key(arg.substr(2));
+        if (i + 1 < argc &&
+            std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+            values[key] = argv[++i];
+        } else {
+            values[key] = "";
+        }
+    }
+}
+
+uint64_t
+CliOptions::getUint(const std::string &key, uint64_t def) const
+{
+    auto it = values.find(key);
+    if (it == values.end() || it->second.empty())
+        return def;
+    return std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double
+CliOptions::getDouble(const std::string &key, double def) const
+{
+    auto it = values.find(key);
+    if (it == values.end() || it->second.empty())
+        return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string
+CliOptions::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values.find(key);
+    if (it == values.end() || it->second.empty())
+        return def;
+    return it->second;
+}
+
+bool
+CliOptions::has(const std::string &key) const
+{
+    return values.count(key) > 0;
+}
+
+} // namespace unizk

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal command-line option parsing for the bench harnesses and
+ * examples (e.g. `--rows 4096 --vsas 32`).
+ */
+
+#ifndef UNIZK_COMMON_CLI_H
+#define UNIZK_COMMON_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace unizk {
+
+/**
+ * Parses `--key value` pairs and bare `--flag` switches. Unknown keys are
+ * accepted; callers query with defaults.
+ */
+class CliOptions
+{
+  public:
+    CliOptions(int argc, char **argv);
+
+    /** Integer option with default. */
+    uint64_t getUint(const std::string &key, uint64_t def) const;
+
+    /** Floating-point option with default. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** String option with default. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+
+    /** True if `--key` was given (with or without a value). */
+    bool has(const std::string &key) const;
+
+  private:
+    std::map<std::string, std::string> values;
+};
+
+} // namespace unizk
+
+#endif // UNIZK_COMMON_CLI_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in this repository that needs randomness (test vectors,
+ * witness data, Poseidon round-constant generation) goes through this
+ * splitmix64-based generator so runs are reproducible across platforms.
+ * It is NOT a cryptographic RNG; protocol randomness comes from the
+ * Fiat-Shamir challenger instead.
+ */
+
+#ifndef UNIZK_COMMON_RNG_H
+#define UNIZK_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace unizk {
+
+/** splitmix64: tiny, fast, excellent-distribution deterministic PRNG. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        const uint64_t limit = bound * (~0ULL / bound);
+        uint64_t v;
+        do {
+            v = next();
+        } while (v >= limit);
+        return v % bound;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace unizk
+
+#endif // UNIZK_COMMON_RNG_H

@@ -1,0 +1,63 @@
+#include "common/stats.h"
+
+#include "common/logging.h"
+
+namespace unizk {
+
+const char *
+kernelClassName(KernelClass c)
+{
+    switch (c) {
+      case KernelClass::Polynomial:
+        return "Polynomial";
+      case KernelClass::Ntt:
+        return "NTT";
+      case KernelClass::MerkleTree:
+        return "MerkleTree";
+      case KernelClass::OtherHash:
+        return "OtherHash";
+      case KernelClass::LayoutTransform:
+        return "LayoutTransform";
+      default:
+        unizk_panic("unknown kernel class");
+    }
+}
+
+double
+KernelTimeBreakdown::total() const
+{
+    double t = 0.0;
+    for (const auto &s : seconds_)
+        t += s;
+    return t;
+}
+
+double
+KernelTimeBreakdown::fraction(KernelClass c) const
+{
+    const double t = total();
+    return t > 0.0 ? seconds(c) / t : 0.0;
+}
+
+KernelTimeBreakdown &
+KernelTimeBreakdown::operator+=(const KernelTimeBreakdown &other)
+{
+    for (size_t i = 0; i < static_cast<size_t>(KernelClass::NumClasses);
+         ++i) {
+        seconds_[i] += other.seconds_[i];
+    }
+    return *this;
+}
+
+KernelTimeBreakdown
+KernelTimeBreakdown::scaledBy(double factor) const
+{
+    KernelTimeBreakdown out;
+    for (size_t i = 0; i < static_cast<size_t>(KernelClass::NumClasses);
+         ++i) {
+        out.seconds_[i] = seconds_[i] * factor;
+    }
+    return out;
+}
+
+} // namespace unizk

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Lightweight named-counter / timer registry used for the CPU-baseline
+ * kernel-time breakdown (Table 1) and for simulator statistics.
+ */
+
+#ifndef UNIZK_COMMON_STATS_H
+#define UNIZK_COMMON_STATS_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace unizk {
+
+/**
+ * Categories of work in hash-based ZKP proof generation, matching the
+ * columns of Table 1 in the paper.
+ */
+enum class KernelClass
+{
+    Polynomial,      ///< element-wise / misc polynomial computations
+    Ntt,             ///< all (i)NTT and LDE work
+    MerkleTree,      ///< Merkle tree hashing
+    OtherHash,       ///< Fiat-Shamir / proof-of-work hashing
+    LayoutTransform, ///< transposes and other data reshuffling
+    NumClasses,
+};
+
+/** Printable name of a kernel class. */
+const char *kernelClassName(KernelClass c);
+
+/**
+ * Accumulates wall-clock time per kernel class. The CPU prover brackets
+ * each kernel with ScopedKernelTimer; the resulting breakdown reproduces
+ * Table 1.
+ */
+class KernelTimeBreakdown
+{
+  public:
+    void
+    add(KernelClass c, double seconds)
+    {
+        seconds_[static_cast<size_t>(c)] += seconds;
+    }
+
+    double
+    seconds(KernelClass c) const
+    {
+        return seconds_[static_cast<size_t>(c)];
+    }
+
+    /** Total across all classes. */
+    double total() const;
+
+    /** Fraction of total time in class @p c (0 if total is 0). */
+    double fraction(KernelClass c) const;
+
+    void
+    reset()
+    {
+        for (auto &s : seconds_)
+            s = 0.0;
+    }
+
+    KernelTimeBreakdown &operator+=(const KernelTimeBreakdown &other);
+
+    /** Copy with every class scaled by @p factor (e.g. 1/threads). */
+    KernelTimeBreakdown scaledBy(double factor) const;
+
+  private:
+    double seconds_[static_cast<size_t>(KernelClass::NumClasses)] = {};
+};
+
+/** RAII timer attributing the enclosed scope to a kernel class. */
+class ScopedKernelTimer
+{
+  public:
+    ScopedKernelTimer(KernelTimeBreakdown *breakdown, KernelClass c)
+        : breakdown(breakdown), cls(c),
+          start(std::chrono::steady_clock::now())
+    {}
+
+    ~ScopedKernelTimer()
+    {
+        if (breakdown) {
+            const auto end = std::chrono::steady_clock::now();
+            breakdown->add(cls,
+                           std::chrono::duration<double>(end - start)
+                               .count());
+        }
+    }
+
+    ScopedKernelTimer(const ScopedKernelTimer &) = delete;
+    ScopedKernelTimer &operator=(const ScopedKernelTimer &) = delete;
+
+  private:
+    KernelTimeBreakdown *breakdown;
+    KernelClass cls;
+    std::chrono::steady_clock::time_point start;
+};
+
+/** Simple wall-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start(std::chrono::steady_clock::now()) {}
+
+    double
+    elapsedSeconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace unizk
+
+#endif // UNIZK_COMMON_STATS_H

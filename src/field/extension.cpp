@@ -1,0 +1,65 @@
+#include "field/extension.h"
+
+#include <ostream>
+
+#include "common/rng.h"
+
+namespace unizk {
+
+Fp2
+Fp2::pow(uint64_t e) const
+{
+    Fp2 base = *this;
+    Fp2 acc = Fp2::one();
+    while (e != 0) {
+        if (e & 1)
+            acc *= base;
+        base = base.squared();
+        e >>= 1;
+    }
+    return acc;
+}
+
+Fp2
+Fp2::inverse() const
+{
+    unizk_assert(!isZero(), "inverse of zero extension element");
+    // (a0 + a1 X)^-1 = (a0 - a1 X) / (a0^2 - W a1^2)
+    const Fp norm = c[0].squared() - Fp(w) * c[1].squared();
+    const Fp ninv = norm.inverse();
+    return Fp2(c[0] * ninv, c[1].neg() * ninv);
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Fp2 &f)
+{
+    return os << "(" << f.limb(0) << " + " << f.limb(1) << "*X)";
+}
+
+Fp2
+randomFp2(SplitMix64 &rng)
+{
+    return Fp2(randomFp(rng), randomFp(rng));
+}
+
+void
+batchInverseExt(std::vector<Fp2> &xs)
+{
+    if (xs.empty())
+        return;
+    std::vector<Fp2> prefix(xs.size());
+    Fp2 acc = Fp2::one();
+    for (size_t i = 0; i < xs.size(); ++i) {
+        unizk_assert(!xs[i].isZero(), "batchInverseExt: zero element");
+        prefix[i] = acc;
+        acc *= xs[i];
+    }
+    Fp2 inv = acc.inverse();
+    for (size_t i = xs.size(); i-- > 0;) {
+        const Fp2 next = inv * xs[i];
+        xs[i] = inv * prefix[i];
+        inv = next;
+    }
+}
+
+} // namespace unizk

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The quadratic extension field F_{p^2} = F_p[X] / (X^2 - 7).
+ *
+ * Plonky2 samples PIOP challenges and runs FRI folding in this extension
+ * for soundness (Section 4 of the paper: "each extension field element
+ * consists of D elements from the base Goldilocks field ... usually a
+ * quadratic extension with D = 2 is employed"). 7 is a quadratic
+ * non-residue mod p, so X^2 - 7 is irreducible.
+ *
+ * On the UniZK hardware these elements are processed as two 64-bit limbs
+ * on the base-field units; the simulator's cost model accounts for the
+ * extra operations.
+ */
+
+#ifndef UNIZK_FIELD_EXTENSION_H
+#define UNIZK_FIELD_EXTENSION_H
+
+#include <iosfwd>
+
+#include "field/goldilocks.h"
+
+namespace unizk {
+
+/** Element a0 + a1*X of F_{p^2} with X^2 = 7. */
+class Fp2
+{
+  public:
+    /** The non-residue W with X^2 = W. */
+    static constexpr uint64_t w = 7;
+
+    /** Number of base-field limbs per element. */
+    static constexpr uint32_t degree = 2;
+
+    constexpr Fp2() = default;
+    constexpr Fp2(Fp a0, Fp a1) : c{a0, a1} {}
+
+    /** Embed a base-field element. */
+    constexpr explicit Fp2(Fp a0) : c{a0, Fp()} {}
+
+    static constexpr Fp2 zero() { return Fp2(); }
+    static constexpr Fp2 one() { return Fp2(Fp::one(), Fp()); }
+
+    constexpr Fp limb(uint32_t i) const { return c[i]; }
+
+    bool isZero() const { return c[0].isZero() && c[1].isZero(); }
+
+    friend bool
+    operator==(const Fp2 &a, const Fp2 &b)
+    {
+        return a.c[0] == b.c[0] && a.c[1] == b.c[1];
+    }
+
+    friend bool
+    operator!=(const Fp2 &a, const Fp2 &b)
+    {
+        return !(a == b);
+    }
+
+    friend Fp2
+    operator+(const Fp2 &a, const Fp2 &b)
+    {
+        return Fp2(a.c[0] + b.c[0], a.c[1] + b.c[1]);
+    }
+
+    friend Fp2
+    operator-(const Fp2 &a, const Fp2 &b)
+    {
+        return Fp2(a.c[0] - b.c[0], a.c[1] - b.c[1]);
+    }
+
+    friend Fp2
+    operator*(const Fp2 &a, const Fp2 &b)
+    {
+        // (a0 + a1 X)(b0 + b1 X) = a0 b0 + W a1 b1 + (a0 b1 + a1 b0) X
+        const Fp t = a.c[1] * b.c[1];
+        return Fp2(a.c[0] * b.c[0] + Fp(w) * t,
+                   a.c[0] * b.c[1] + a.c[1] * b.c[0]);
+    }
+
+    /** Mixed base-field scaling. */
+    friend Fp2
+    operator*(const Fp2 &a, const Fp &s)
+    {
+        return Fp2(a.c[0] * s, a.c[1] * s);
+    }
+
+    Fp2 &
+    operator+=(const Fp2 &o)
+    {
+        *this = *this + o;
+        return *this;
+    }
+
+    Fp2 &
+    operator-=(const Fp2 &o)
+    {
+        *this = *this - o;
+        return *this;
+    }
+
+    Fp2 &
+    operator*=(const Fp2 &o)
+    {
+        *this = *this * o;
+        return *this;
+    }
+
+    Fp2 neg() const { return Fp2(c[0].neg(), c[1].neg()); }
+
+    friend Fp2 operator-(const Fp2 &a) { return a.neg(); }
+
+    Fp2 squared() const { return *this * *this; }
+
+    /** a^e by square-and-multiply. */
+    Fp2 pow(uint64_t e) const;
+
+    /** Multiplicative inverse via the norm map; panics on zero. */
+    Fp2 inverse() const;
+
+  private:
+    Fp c[2];
+};
+
+std::ostream &operator<<(std::ostream &os, const Fp2 &f);
+
+class SplitMix64;
+Fp2 randomFp2(SplitMix64 &rng);
+
+/** Batch inversion over the extension field (Montgomery's trick). */
+void batchInverseExt(std::vector<Fp2> &xs);
+
+} // namespace unizk
+
+#endif // UNIZK_FIELD_EXTENSION_H

@@ -1,0 +1,75 @@
+#include "field/goldilocks.h"
+
+#include <ostream>
+
+#include "common/rng.h"
+
+namespace unizk {
+
+Fp
+Fp::pow(uint64_t e) const
+{
+    Fp base = *this;
+    Fp acc = Fp::one();
+    while (e != 0) {
+        if (e & 1)
+            acc *= base;
+        base = base.squared();
+        e >>= 1;
+    }
+    return acc;
+}
+
+Fp
+Fp::inverse() const
+{
+    unizk_assert(!isZero(), "inverse of zero");
+    // Fermat: a^(p-2) = a^-1.
+    return pow(modulus - 2);
+}
+
+Fp
+Fp::primitiveRootOfUnity(uint32_t log_n)
+{
+    unizk_assert(log_n <= twoAdicity, "requested root order exceeds 2^32");
+    // g^( (p-1) / 2^32 ) generates the order-2^32 subgroup; squaring
+    // log-many times reaches the requested order.
+    Fp root = Fp(multiplicativeGenerator).pow((modulus - 1) >> twoAdicity);
+    for (uint32_t i = twoAdicity; i > log_n; --i)
+        root = root.squared();
+    return root;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Fp &f)
+{
+    return os << f.value();
+}
+
+void
+batchInverse(std::vector<Fp> &xs)
+{
+    if (xs.empty())
+        return;
+    std::vector<Fp> prefix(xs.size());
+    Fp acc = Fp::one();
+    for (size_t i = 0; i < xs.size(); ++i) {
+        unizk_assert(!xs[i].isZero(), "batchInverse: zero element");
+        prefix[i] = acc;
+        acc *= xs[i];
+    }
+    Fp inv = acc.inverse();
+    for (size_t i = xs.size(); i-- > 0;) {
+        const Fp next = inv * xs[i];
+        xs[i] = inv * prefix[i];
+        inv = next;
+    }
+}
+
+Fp
+randomFp(SplitMix64 &rng)
+{
+    return Fp(rng.nextBelow(Fp::modulus));
+}
+
+} // namespace unizk

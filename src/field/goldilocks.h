@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Arithmetic in the Goldilocks prime field F_p with p = 2^64 - 2^32 + 1.
+ *
+ * This is the base field used by Plonky2 and Starky. Its structure makes
+ * modular reduction on 64-bit machines cheap:
+ *
+ *   2^64 === 2^32 - 1   (mod p)
+ *   2^96 === -1         (mod p)
+ *
+ * so a 128-bit product reduces with a handful of adds/subtracts. The same
+ * identities are what make the hardware modular multiplier in each UniZK
+ * PE small (Section 4 of the paper).
+ *
+ * The multiplicative group has order p - 1 = 2^32 * 3 * 5 * 17 * 257 * 65537,
+ * giving a 2-adicity of 32: subgroups of every power-of-two order up to 2^32
+ * exist, which is what enables radix-2 NTTs on power-of-two domains.
+ */
+
+#ifndef UNIZK_FIELD_GOLDILOCKS_H
+#define UNIZK_FIELD_GOLDILOCKS_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace unizk {
+
+/**
+ * An element of the Goldilocks field. Values are kept in canonical form
+ * (less than the modulus) at all times.
+ */
+class Fp
+{
+  public:
+    /** The Goldilocks prime, 2^64 - 2^32 + 1. */
+    static constexpr uint64_t modulus = 0xFFFFFFFF00000001ULL;
+
+    /** Generator of the full multiplicative group (order p - 1). */
+    static constexpr uint64_t multiplicativeGenerator = 7;
+
+    /** Largest k such that 2^k divides p - 1. */
+    static constexpr uint32_t twoAdicity = 32;
+
+    constexpr Fp() : val(0) {}
+
+    /** Construct from an arbitrary 64-bit integer, reducing mod p. */
+    constexpr explicit Fp(uint64_t v)
+        : val(v >= modulus ? v - modulus : v)
+    {}
+
+    /** Canonical representative in [0, p). */
+    constexpr uint64_t value() const { return val; }
+
+    constexpr bool isZero() const { return val == 0; }
+    constexpr bool isOne() const { return val == 1; }
+
+    static constexpr Fp zero() { return Fp(); }
+    static constexpr Fp one() { return Fp(1); }
+
+    friend constexpr bool
+    operator==(const Fp &a, const Fp &b)
+    {
+        return a.val == b.val;
+    }
+
+    friend constexpr bool
+    operator!=(const Fp &a, const Fp &b)
+    {
+        return a.val != b.val;
+    }
+
+    friend Fp
+    operator+(const Fp &a, const Fp &b)
+    {
+        uint64_t s = a.val + b.val;
+        // On wraparound, 2^64 === 2^32 - 1 (mod p).
+        if (s < a.val)
+            s += 0xFFFFFFFFULL;
+        if (s >= modulus)
+            s -= modulus;
+        return fromCanonical(s);
+    }
+
+    friend Fp
+    operator-(const Fp &a, const Fp &b)
+    {
+        uint64_t d = a.val - b.val;
+        if (a.val < b.val)
+            d += modulus; // wraps: net effect is a - b + p
+        return fromCanonical(d);
+    }
+
+    friend Fp
+    operator*(const Fp &a, const Fp &b)
+    {
+        return fromCanonical(reduce128(
+            static_cast<unsigned __int128>(a.val) * b.val));
+    }
+
+    Fp &
+    operator+=(const Fp &o)
+    {
+        *this = *this + o;
+        return *this;
+    }
+
+    Fp &
+    operator-=(const Fp &o)
+    {
+        *this = *this - o;
+        return *this;
+    }
+
+    Fp &
+    operator*=(const Fp &o)
+    {
+        *this = *this * o;
+        return *this;
+    }
+
+    /** Additive inverse. */
+    Fp
+    neg() const
+    {
+        return val == 0 ? Fp() : fromCanonical(modulus - val);
+    }
+
+    friend Fp operator-(const Fp &a) { return a.neg(); }
+
+    /** a^e by square-and-multiply. */
+    Fp pow(uint64_t e) const;
+
+    /** Multiplicative inverse; panics on zero. */
+    Fp inverse() const;
+
+    /** Doubling (slightly cheaper than generic add). */
+    Fp doubled() const { return *this + *this; }
+
+    /** Square. */
+    Fp squared() const { return *this * *this; }
+
+    /**
+     * Primitive 2^k-th root of unity (k <= 32), i.e. a generator of the
+     * multiplicative subgroup of order 2^k.
+     */
+    static Fp primitiveRootOfUnity(uint32_t log_n);
+
+    /** Reduce a 128-bit value modulo p. */
+    static uint64_t
+    reduce128(unsigned __int128 x)
+    {
+        uint64_t lo = static_cast<uint64_t>(x);
+        const uint64_t hi = static_cast<uint64_t>(x >> 64);
+        const uint64_t mid = hi & 0xFFFFFFFFULL; // coefficient of 2^64
+        const uint64_t top = hi >> 32;           // coefficient of 2^96
+
+        // x = lo + mid*2^64 + top*2^96 === lo + mid*(2^32-1) - top (mod p)
+        uint64_t t0 = lo - top;
+        if (lo < top)
+            t0 -= 0xFFFFFFFFULL; // borrow wrapped by 2^64 === 2^32-1
+        const uint64_t t1 = mid * 0xFFFFFFFFULL;
+        uint64_t res = t0 + t1;
+        if (res < t1)
+            res += 0xFFFFFFFFULL;
+        if (res >= modulus)
+            res -= modulus;
+        return res;
+    }
+
+  private:
+    /** Wrap a value already known to be canonical. */
+    static constexpr Fp
+    fromCanonical(uint64_t v)
+    {
+        Fp f;
+        f.val = v;
+        return f;
+    }
+
+    uint64_t val;
+};
+
+std::ostream &operator<<(std::ostream &os, const Fp &f);
+
+/**
+ * Dot product with lazy reduction: accumulates the 128-bit products and
+ * performs a single modular reduction at the end, counting 2^128
+ * wraparounds (2^128 === p - 2^32 mod p). Substantially faster than
+ * reducing every term; used by the Poseidon linear layers.
+ */
+inline Fp
+fpDot(const Fp *a, const Fp *b, size_t n)
+{
+    // Two accumulators break the add-with-carry dependency chain.
+    unsigned __int128 acc0 = 0, acc1 = 0;
+    uint64_t wraps = 0;
+    size_t i = 0;
+    for (; i + 1 < n; i += 2) {
+        const unsigned __int128 p0 =
+            static_cast<unsigned __int128>(a[i].value()) * b[i].value();
+        acc0 += p0;
+        wraps += acc0 < p0; // 128-bit overflow
+        const unsigned __int128 p1 =
+            static_cast<unsigned __int128>(a[i + 1].value()) *
+            b[i + 1].value();
+        acc1 += p1;
+        wraps += acc1 < p1;
+    }
+    if (i < n) {
+        const unsigned __int128 p0 =
+            static_cast<unsigned __int128>(a[i].value()) * b[i].value();
+        acc0 += p0;
+        wraps += acc0 < p0;
+    }
+    const unsigned __int128 acc = acc0 + acc1;
+    wraps += acc < acc0;
+    Fp result = Fp(Fp::reduce128(acc));
+    if (wraps) {
+        // Each wrap contributes 2^128 === p - 2^32 (mod p).
+        result += Fp(wraps) * Fp(Fp::modulus - (uint64_t{1} << 32));
+    }
+    return result;
+}
+
+/**
+ * Batch inversion (Montgomery's trick): inverts every element of @p xs
+ * with a single field inversion plus 3(n-1) multiplications. Zero elements
+ * are not allowed.
+ */
+void batchInverse(std::vector<Fp> &xs);
+
+/** Uniform random field element from a deterministic RNG. */
+class SplitMix64;
+Fp randomFp(SplitMix64 &rng);
+
+} // namespace unizk
+
+#endif // UNIZK_FIELD_GOLDILOCKS_H

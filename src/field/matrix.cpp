@@ -1,0 +1,230 @@
+#include "field/matrix.h"
+
+#include <algorithm>
+
+namespace unizk {
+
+FpMatrix
+FpMatrix::identity(size_t n)
+{
+    FpMatrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m.at(i, i) = Fp::one();
+    return m;
+}
+
+FpMatrix
+FpMatrix::mul(const FpMatrix &other) const
+{
+    unizk_assert(cols_ == other.rows_, "matrix dimension mismatch");
+    FpMatrix out(rows_, other.cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t k = 0; k < cols_; ++k) {
+            const Fp a = at(i, k);
+            if (a.isZero())
+                continue;
+            for (size_t j = 0; j < other.cols_; ++j)
+                out.at(i, j) += a * other.at(k, j);
+        }
+    }
+    return out;
+}
+
+std::vector<Fp>
+FpMatrix::mulVector(const std::vector<Fp> &v) const
+{
+    unizk_assert(v.size() == cols_, "matrix-vector dimension mismatch");
+    std::vector<Fp> out(rows_);
+    for (size_t i = 0; i < rows_; ++i) {
+        Fp acc;
+        for (size_t j = 0; j < cols_; ++j)
+            acc += at(i, j) * v[j];
+        out[i] = acc;
+    }
+    return out;
+}
+
+std::vector<Fp>
+FpMatrix::vecMul(const std::vector<Fp> &v) const
+{
+    unizk_assert(v.size() == rows_, "vector-matrix dimension mismatch");
+    std::vector<Fp> out(cols_);
+    for (size_t j = 0; j < cols_; ++j) {
+        Fp acc;
+        for (size_t i = 0; i < rows_; ++i)
+            acc += v[i] * at(i, j);
+        out[j] = acc;
+    }
+    return out;
+}
+
+FpMatrix
+FpMatrix::transposed() const
+{
+    FpMatrix out(cols_, rows_);
+    for (size_t i = 0; i < rows_; ++i)
+        for (size_t j = 0; j < cols_; ++j)
+            out.at(j, i) = at(i, j);
+    return out;
+}
+
+std::optional<FpMatrix>
+FpMatrix::inverse() const
+{
+    unizk_assert(rows_ == cols_, "inverse of non-square matrix");
+    const size_t n = rows_;
+    FpMatrix a = *this;
+    FpMatrix inv = identity(n);
+
+    for (size_t col = 0; col < n; ++col) {
+        // Find a pivot.
+        size_t pivot = col;
+        while (pivot < n && a.at(pivot, col).isZero())
+            ++pivot;
+        if (pivot == n)
+            return std::nullopt; // singular
+        if (pivot != col) {
+            for (size_t j = 0; j < n; ++j) {
+                std::swap(a.at(pivot, j), a.at(col, j));
+                std::swap(inv.at(pivot, j), inv.at(col, j));
+            }
+        }
+        const Fp scale = a.at(col, col).inverse();
+        for (size_t j = 0; j < n; ++j) {
+            a.at(col, j) *= scale;
+            inv.at(col, j) *= scale;
+        }
+        for (size_t i = 0; i < n; ++i) {
+            if (i == col)
+                continue;
+            const Fp f = a.at(i, col);
+            if (f.isZero())
+                continue;
+            for (size_t j = 0; j < n; ++j) {
+                a.at(i, j) -= f * a.at(col, j);
+                inv.at(i, j) -= f * inv.at(col, j);
+            }
+        }
+    }
+    return inv;
+}
+
+Fp
+FpMatrix::determinant() const
+{
+    unizk_assert(rows_ == cols_, "determinant of non-square matrix");
+    const size_t n = rows_;
+    FpMatrix a = *this;
+    Fp det = Fp::one();
+    for (size_t col = 0; col < n; ++col) {
+        size_t pivot = col;
+        while (pivot < n && a.at(pivot, col).isZero())
+            ++pivot;
+        if (pivot == n)
+            return Fp::zero();
+        if (pivot != col) {
+            for (size_t j = 0; j < n; ++j)
+                std::swap(a.at(pivot, j), a.at(col, j));
+            det = det.neg();
+        }
+        det *= a.at(col, col);
+        const Fp scale = a.at(col, col).inverse();
+        for (size_t i = col + 1; i < n; ++i) {
+            const Fp f = a.at(i, col) * scale;
+            if (f.isZero())
+                continue;
+            for (size_t j = col; j < n; ++j)
+                a.at(i, j) -= f * a.at(col, j);
+        }
+    }
+    return det;
+}
+
+FpMatrix
+FpMatrix::minorMatrix(size_t r, size_t c) const
+{
+    unizk_assert(rows_ > 1 && cols_ > 1, "minor of degenerate matrix");
+    FpMatrix out(rows_ - 1, cols_ - 1);
+    for (size_t i = 0, oi = 0; i < rows_; ++i) {
+        if (i == r)
+            continue;
+        for (size_t j = 0, oj = 0; j < cols_; ++j) {
+            if (j == c)
+                continue;
+            out.at(oi, oj) = at(i, j);
+            ++oj;
+        }
+        ++oi;
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Check all k x k minors of @p m for nonzero determinant, for the given
+ * row/column index combinations. Recursive combination enumeration.
+ */
+bool
+allMinorsNonsingular(const FpMatrix &m, size_t k)
+{
+    const size_t n = m.rows();
+    std::vector<size_t> rows_sel(k), cols_sel(k);
+
+    // Enumerate combinations of rows and columns.
+    std::vector<size_t> ridx(k);
+    for (size_t i = 0; i < k; ++i)
+        ridx[i] = i;
+    while (true) {
+        std::vector<size_t> cidx(k);
+        for (size_t i = 0; i < k; ++i)
+            cidx[i] = i;
+        while (true) {
+            FpMatrix sub(k, k);
+            for (size_t i = 0; i < k; ++i)
+                for (size_t j = 0; j < k; ++j)
+                    sub.at(i, j) = m.at(ridx[i], cidx[j]);
+            if (sub.determinant().isZero())
+                return false;
+            // Next column combination.
+            size_t pos = k;
+            while (pos > 0 && cidx[pos - 1] == n - (k - (pos - 1)))
+                --pos;
+            if (pos == 0)
+                break;
+            ++cidx[pos - 1];
+            for (size_t i = pos; i < k; ++i)
+                cidx[i] = cidx[i - 1] + 1;
+        }
+        // Next row combination.
+        size_t pos = k;
+        while (pos > 0 && ridx[pos - 1] == n - (k - (pos - 1)))
+            --pos;
+        if (pos == 0)
+            break;
+        ++ridx[pos - 1];
+        for (size_t i = pos; i < k; ++i)
+            ridx[i] = ridx[i - 1] + 1;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+FpMatrix::isMds() const
+{
+    unizk_assert(rows_ == cols_, "MDS check on non-square matrix");
+    const size_t n = rows_;
+    const size_t max_exhaustive = 6;
+    const size_t limit = n <= max_exhaustive ? n : 2;
+    for (size_t k = 1; k <= limit; ++k) {
+        if (!allMinorsNonsingular(*this, k))
+            return false;
+    }
+    if (n > max_exhaustive && determinant().isZero())
+        return false;
+    return true;
+}
+
+} // namespace unizk

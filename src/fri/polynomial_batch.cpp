@@ -1,0 +1,114 @@
+#include "fri/polynomial_batch.h"
+
+#include <memory>
+
+#include "ntt/ntt.h"
+
+namespace unizk {
+
+PolynomialBatch
+PolynomialBatch::fromValues(std::vector<std::vector<Fp>> values,
+                            const FriConfig &cfg, const ProverContext &ctx,
+                            const std::string &label)
+{
+    unizk_assert(!values.empty(), "empty polynomial batch");
+    const size_t n = values[0].size();
+    {
+        ScopedKernelTimer timer(ctx.breakdown, KernelClass::Ntt);
+        for (auto &v : values) {
+            unizk_assert(v.size() == n, "batch polynomials differ in size");
+            inttNN(v);
+        }
+    }
+    ctx.record(NttKernel{log2Exact(n), values.size(), /*inverse=*/true,
+                         /*coset=*/false, /*bitrevOutput=*/false,
+                         PolyLayout::PolyMajor},
+               label + ": iNTT^NN");
+    return PolynomialBatch(std::move(values), cfg, ctx, label);
+}
+
+PolynomialBatch
+PolynomialBatch::fromCoefficients(std::vector<std::vector<Fp>> coeffs,
+                                  const FriConfig &cfg,
+                                  const ProverContext &ctx,
+                                  const std::string &label)
+{
+    return PolynomialBatch(std::move(coeffs), cfg, ctx, label);
+}
+
+PolynomialBatch::PolynomialBatch(std::vector<std::vector<Fp>> coeffs,
+                                 const FriConfig &cfg,
+                                 const ProverContext &ctx,
+                                 const std::string &label)
+    : coeffs_(std::move(coeffs)), n_(coeffs_.at(0).size()), cfg_(cfg)
+{
+    unizk_assert(isPowerOfTwo(n_), "degree bound must be a power of two");
+    const size_t lde_size = ldeSize();
+    const size_t num_polys = coeffs_.size();
+
+    // Coset LDE per polynomial (NTT^NR), building the index-major
+    // leaves on the fly: leaf i = values of all polynomials at LDE
+    // point i (bit-reversed order).
+    std::vector<std::vector<Fp>> leaves(lde_size);
+    for (auto &leaf : leaves)
+        leaf.resize(num_polys);
+    {
+        std::vector<std::vector<Fp>> ldes(num_polys);
+        {
+            ScopedKernelTimer timer(ctx.breakdown, KernelClass::Ntt);
+            for (size_t p = 0; p < num_polys; ++p) {
+                unizk_assert(coeffs_[p].size() == n_,
+                             "batch polynomials differ in size");
+                ldes[p] = lowDegreeExtension(coeffs_[p], cfg_.blowup(),
+                                             cfg_.shift());
+            }
+        }
+        // Poly-major -> index-major transpose while forming leaves; on
+        // the CPU this is real work (Table 1's Layout Transform), on
+        // UniZK the transpose buffer hides it.
+        ScopedKernelTimer timer(ctx.breakdown,
+                                KernelClass::LayoutTransform);
+        for (size_t p = 0; p < num_polys; ++p)
+            for (size_t i = 0; i < lde_size; ++i)
+                leaves[i][p] = ldes[p][i];
+    }
+    ctx.record(NttKernel{log2Exact(lde_size), num_polys, /*inverse=*/false,
+                         /*coset=*/true, /*bitrevOutput=*/true,
+                         PolyLayout::PolyMajor},
+               label + ": LDE coset-NTT^NR");
+    // Forming index-major leaves from poly-major LDE output is the
+    // layout transform the global transpose buffer hides on UniZK.
+    ctx.record(TransposeKernel{num_polys, lde_size},
+               label + ": leaf transpose");
+
+    const uint32_t cap_height =
+        std::min<uint32_t>(cfg_.capHeight, log2Exact(lde_size));
+    {
+        ScopedKernelTimer timer(ctx.breakdown, KernelClass::MerkleTree);
+        tree_ = std::make_unique<MerkleTree>(std::move(leaves), cap_height);
+    }
+    ctx.record(MerkleKernel{lde_size, static_cast<uint32_t>(num_polys),
+                            cap_height},
+               label + ": Merkle tree");
+}
+
+Fp2
+PolynomialBatch::evalExt(size_t i, Fp2 z) const
+{
+    const auto &c = coeffs_.at(i);
+    Fp2 acc;
+    for (size_t k = c.size(); k-- > 0;)
+        acc = acc * z + Fp2(c[k]);
+    return acc;
+}
+
+std::vector<Fp2>
+PolynomialBatch::evalAllExt(Fp2 z) const
+{
+    std::vector<Fp2> out(coeffs_.size());
+    for (size_t i = 0; i < coeffs_.size(); ++i)
+        out[i] = evalExt(i, z);
+    return out;
+}
+
+} // namespace unizk

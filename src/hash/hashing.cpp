@@ -1,0 +1,69 @@
+#include "hash/hashing.h"
+
+#include "common/bits.h"
+
+namespace unizk {
+
+HashOut
+hashNoPad(const std::vector<Fp> &inputs)
+{
+    const Poseidon &poseidon = Poseidon::instance();
+    PoseidonState state{};
+    size_t pos = 0;
+    while (pos < inputs.size()) {
+        const size_t chunk =
+            std::min<size_t>(PoseidonConfig::rate, inputs.size() - pos);
+        // Overwrite-mode absorption, as in Plonky2.
+        for (size_t i = 0; i < chunk; ++i)
+            state[i] = inputs[pos + i];
+        poseidon.permute(state);
+        pos += chunk;
+    }
+    if (inputs.empty())
+        poseidon.permute(state);
+
+    HashOut out;
+    for (size_t i = 0; i < 4; ++i)
+        out.elems[i] = state[i];
+    return out;
+}
+
+HashOut
+hashTwoToOne(const HashOut &left, const HashOut &right)
+{
+    const Poseidon &poseidon = Poseidon::instance();
+    PoseidonState state{};
+    for (size_t i = 0; i < 4; ++i) {
+        state[i] = left.elems[i];
+        state[4 + i] = right.elems[i];
+    }
+    // Lanes 8..11 stay zero: the 4-element zero padding from the paper.
+    poseidon.permute(state);
+
+    HashOut out;
+    for (size_t i = 0; i < 4; ++i)
+        out.elems[i] = state[i];
+    return out;
+}
+
+HashOut
+hashOrNoop(const std::vector<Fp> &inputs)
+{
+    if (inputs.size() <= 4) {
+        HashOut out;
+        for (size_t i = 0; i < inputs.size(); ++i)
+            out.elems[i] = inputs[i];
+        return out;
+    }
+    return hashNoPad(inputs);
+}
+
+size_t
+permutationCountForLength(size_t len)
+{
+    if (len == 0)
+        return 1;
+    return ceilDiv(len, PoseidonConfig::rate);
+}
+
+} // namespace unizk

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Digest type and sponge-mode hashing on top of the Poseidon
+ * permutation, mirroring Plonky2's usage:
+ *  - 4-element (256-bit) digests,
+ *  - rate-8 overwrite-mode absorption for variable-length inputs
+ *    (the "absorb method" the paper describes for long Merkle leaves),
+ *  - a dedicated two-to-one compression for interior Merkle nodes:
+ *    4 elements from each child plus 4 zero padding elements.
+ */
+
+#ifndef UNIZK_HASH_HASHING_H
+#define UNIZK_HASH_HASHING_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hash/poseidon.h"
+
+namespace unizk {
+
+/** A 4-element Poseidon digest. */
+struct HashOut
+{
+    std::array<Fp, 4> elems{};
+
+    friend bool
+    operator==(const HashOut &a, const HashOut &b)
+    {
+        return a.elems == b.elems;
+    }
+
+    friend bool
+    operator!=(const HashOut &a, const HashOut &b)
+    {
+        return !(a == b);
+    }
+
+    /** Size of the digest in bytes (for proof-size accounting). */
+    static constexpr size_t byteSize() { return 4 * sizeof(uint64_t); }
+};
+
+/**
+ * Hash a sequence of field elements with rate-8 overwrite absorption and
+ * no padding (lengths are fixed by the protocol context, as in Plonky2's
+ * hash_no_pad).
+ */
+HashOut hashNoPad(const std::vector<Fp> &inputs);
+
+/** Compress two digests into one (interior Merkle node). */
+HashOut hashTwoToOne(const HashOut &left, const HashOut &right);
+
+/**
+ * Hash if the input is longer than a digest, otherwise pack directly
+ * (Plonky2's hash_or_noop used for short Merkle leaves).
+ */
+HashOut hashOrNoop(const std::vector<Fp> &inputs);
+
+/**
+ * Number of Poseidon permutations hashNoPad performs on an input of
+ * @p len elements. Exposed so the trace layer and cost models count
+ * hashes identically to the implementation.
+ */
+size_t permutationCountForLength(size_t len);
+
+} // namespace unizk
+
+#endif // UNIZK_HASH_HASHING_H

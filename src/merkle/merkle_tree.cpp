@@ -1,0 +1,76 @@
+#include "merkle/merkle_tree.h"
+
+#include "common/bits.h"
+
+namespace unizk {
+
+MerkleTree::MerkleTree(std::vector<std::vector<Fp>> leaves,
+                       uint32_t cap_height)
+    : leaves_(std::move(leaves)), cap_height_(cap_height)
+{
+    unizk_assert(isPowerOfTwo(leaves_.size()),
+                 "leaf count must be a power of two");
+    const uint32_t height = log2Exact(leaves_.size());
+    unizk_assert(cap_height_ <= height, "cap higher than the tree");
+
+    levels_.emplace_back();
+    levels_[0].reserve(leaves_.size());
+    for (const auto &leaf : leaves_)
+        levels_[0].push_back(hashOrNoop(leaf));
+
+    while (levels_.back().size() > (size_t{1} << cap_height_)) {
+        const auto &prev = levels_.back();
+        std::vector<HashOut> next(prev.size() / 2);
+        for (size_t i = 0; i < next.size(); ++i)
+            next[i] = hashTwoToOne(prev[2 * i], prev[2 * i + 1]);
+        levels_.push_back(std::move(next));
+    }
+    cap_ = levels_.back();
+}
+
+const std::vector<Fp> &
+MerkleTree::leaf(size_t index) const
+{
+    unizk_assert(index < leaves_.size(), "leaf index out of range");
+    return leaves_[index];
+}
+
+MerkleProof
+MerkleTree::prove(size_t leaf_index) const
+{
+    unizk_assert(leaf_index < leaves_.size(), "leaf index out of range");
+    MerkleProof proof;
+    size_t idx = leaf_index;
+    // Walk up until the cap level.
+    for (size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+        proof.siblings.push_back(levels_[lvl][idx ^ 1]);
+        idx >>= 1;
+    }
+    return proof;
+}
+
+bool
+MerkleTree::verify(const std::vector<Fp> &leaf_data, size_t leaf_index,
+                   const MerkleProof &proof, const MerkleCap &cap)
+{
+    HashOut node = hashOrNoop(leaf_data);
+    size_t idx = leaf_index;
+    for (const HashOut &sibling : proof.siblings) {
+        node = (idx & 1) ? hashTwoToOne(sibling, node)
+                         : hashTwoToOne(node, sibling);
+        idx >>= 1;
+    }
+    return idx < cap.size() && cap[idx] == node;
+}
+
+size_t
+MerkleTree::permutationCount(size_t leaf_count, size_t leaf_len,
+                             uint32_t cap_height)
+{
+    const size_t leaf_perms =
+        leaf_len <= 4 ? 0 : permutationCountForLength(leaf_len);
+    const size_t interior = leaf_count - (size_t{1} << cap_height);
+    return leaf_perms * leaf_count + interior;
+}
+
+} // namespace unizk

@@ -1,0 +1,73 @@
+#include "model/area_power.h"
+
+namespace unizk {
+
+namespace {
+
+// Per-unit costs calibrated so the paper's default configuration
+// reproduces Table 2: 32 VSAs = 21.3 mm^2 / 58.0 W, 8 MB scratchpad =
+// 5.0 mm^2 / 1.0 W, twiddle generator 0.8 / 2.6, transpose buffer
+// 0.9 / 3.1, two HBM PHYs 29.8 / 31.7.
+constexpr double vsa_area = 21.3 / 32.0;
+constexpr double vsa_power = 58.0 / 32.0;
+constexpr double sram_area_per_mb = 5.0 / 8.0;
+constexpr double sram_power_per_mb = 1.0 / 8.0;
+constexpr double twiddle_area = 0.8;
+constexpr double twiddle_power = 2.6;
+constexpr double transpose_area = 0.9;  // at 16x16
+constexpr double transpose_power = 3.1;
+constexpr double hbm_phy_area = 29.8 / 2.0;
+constexpr double hbm_phy_power = 31.7 / 2.0;
+
+} // namespace
+
+double
+ChipCost::totalAreaMm2() const
+{
+    double total = 0.0;
+    for (const auto &c : components)
+        total += c.areaMm2;
+    return total;
+}
+
+double
+ChipCost::totalPowerW() const
+{
+    double total = 0.0;
+    for (const auto &c : components)
+        total += c.powerW;
+    return total;
+}
+
+ChipCost
+estimateChipCost(const HardwareConfig &cfg, uint32_t num_hbm_phys)
+{
+    ChipCost cost;
+    const double mb =
+        static_cast<double>(cfg.scratchpadBytes) / (1 << 20);
+    // VSA cost scales with PE count relative to the default 12x12.
+    const double pe_scale =
+        static_cast<double>(cfg.vsaDim) * cfg.vsaDim / (12.0 * 12.0);
+    // Transpose buffer is a b x b element crossbar-backed SRAM: area
+    // grows with b^2 relative to the default 16.
+    const double tr_scale = static_cast<double>(cfg.transposeDim) *
+                            cfg.transposeDim / (16.0 * 16.0);
+
+    cost.components.push_back({std::to_string(cfg.numVsas) + " VSAs",
+                               cfg.numVsas * vsa_area * pe_scale,
+                               cfg.numVsas * vsa_power * pe_scale});
+    cost.components.push_back(
+        {std::to_string(cfg.scratchpadBytes >> 20) + " MB scratchpad",
+         mb * sram_area_per_mb, mb * sram_power_per_mb});
+    cost.components.push_back(
+        {"Twiddle factor generator", twiddle_area, twiddle_power});
+    cost.components.push_back({"Transpose buffer",
+                               transpose_area * tr_scale,
+                               transpose_power * tr_scale});
+    cost.components.push_back(
+        {std::to_string(num_hbm_phys) + " HBM PHYs",
+         num_hbm_phys * hbm_phy_area, num_hbm_phys * hbm_phy_power});
+    return cost;
+}
+
+} // namespace unizk

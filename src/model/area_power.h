@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Area and power model of the UniZK chip (paper Table 2).
+ *
+ * The paper's numbers come from ASAP-7nm synthesis of the RTL plus
+ * FN-CACTI for the SRAM structures; here each component carries a
+ * per-unit cost calibrated to the published breakdown, so the default
+ * configuration (32 VSAs, 8 MB scratchpad, 2 HBM PHYs) reproduces
+ * Table 2 exactly and other configurations scale sensibly for the
+ * design-space exploration.
+ */
+
+#ifndef UNIZK_MODEL_AREA_POWER_H
+#define UNIZK_MODEL_AREA_POWER_H
+
+#include <string>
+#include <vector>
+
+#include "sim/hw_config.h"
+
+namespace unizk {
+
+struct ComponentCost
+{
+    std::string name;
+    double areaMm2 = 0.0;
+    double powerW = 0.0;
+};
+
+struct ChipCost
+{
+    std::vector<ComponentCost> components;
+
+    double totalAreaMm2() const;
+    double totalPowerW() const;
+};
+
+/**
+ * Compute per-component area/power for a hardware configuration.
+ * @param num_hbm_phys number of HBM2e PHYs (2 in the default chip).
+ */
+ChipCost estimateChipCost(const HardwareConfig &cfg,
+                          uint32_t num_hbm_phys = 2);
+
+} // namespace unizk
+
+#endif // UNIZK_MODEL_AREA_POWER_H

@@ -1,0 +1,97 @@
+#include "model/gpu_model.h"
+
+namespace unizk {
+
+namespace {
+
+/** Bytes a kernel moves between host and device when offloaded. */
+struct TransferVisitor
+{
+    uint64_t operator()(const NttKernel &k) const
+    {
+        return (uint64_t{1} << k.logSize) * k.batch * 8 * 2;
+    }
+    uint64_t operator()(const MerkleKernel &k) const
+    {
+        // Leaves down, digests back.
+        return k.leafCount * (uint64_t{8} * k.leafLength + 32);
+    }
+    uint64_t operator()(const HashKernel &) const { return 0; }
+    uint64_t operator()(const VecOpKernel &k) const
+    {
+        return k.length * 8 *
+               (uint64_t{k.inputVectors} + k.outputVectors);
+    }
+    uint64_t operator()(const PartialProductKernel &k) const
+    {
+        return k.length * 8;
+    }
+    uint64_t operator()(const TransposeKernel &k) const
+    {
+        return k.rows * k.cols * 8;
+    }
+    uint64_t operator()(const SumCheckKernel &k) const
+    {
+        return (uint64_t{1} << k.logSize) * 8;
+    }
+};
+
+bool
+runsOnGpu(const KernelPayload &p)
+{
+    // The CUDA port accelerates NTT, Merkle hashing, and element-wise
+    // polynomial work; partial products, Fiat-Shamir hashing, and
+    // layout transforms stay on the host.
+    return std::holds_alternative<NttKernel>(p) ||
+           std::holds_alternative<MerkleKernel>(p) ||
+           std::holds_alternative<VecOpKernel>(p);
+}
+
+} // namespace
+
+GpuEstimate
+estimateGpuTime(const KernelTimeBreakdown &cpu, const KernelTrace &trace,
+                const GpuModelParams &params)
+{
+    GpuEstimate est;
+
+    est.gpuKernelSeconds =
+        cpu.seconds(KernelClass::Ntt) / params.nttSpeedup +
+        cpu.seconds(KernelClass::MerkleTree) / params.hashSpeedup +
+        cpu.seconds(KernelClass::Polynomial) / params.polySpeedup;
+
+    // Host-resident work: Fiat-Shamir / PoW hashing and the layout
+    // transforms tied to host-side data staging.
+    est.hostSeconds = cpu.seconds(KernelClass::OtherHash) +
+                      cpu.seconds(KernelClass::LayoutTransform);
+
+    // Data crossing PCIe every time execution bounces between host and
+    // device, plus launch overhead per offloaded kernel.
+    uint64_t transfer_bytes = 0;
+    size_t offloaded = 0;
+    bool prev_on_gpu = false;
+    for (const KernelOp &op : trace.ops) {
+        const bool on_gpu = runsOnGpu(op.payload);
+        if (on_gpu) {
+            ++offloaded;
+            // Crossing host->device (or first use) pays the input
+            // transfer; results consumed by host kernels pay on the
+            // way back.
+            if (!prev_on_gpu)
+                transfer_bytes += std::visit(TransferVisitor{},
+                                             op.payload);
+        } else if (prev_on_gpu) {
+            transfer_bytes += std::visit(TransferVisitor{}, op.payload);
+        }
+        prev_on_gpu = on_gpu;
+    }
+    est.transferSeconds =
+        static_cast<double>(transfer_bytes) / params.pcieBytesPerSecond +
+        static_cast<double>(offloaded) * params.launchSeconds;
+
+    est.totalSeconds =
+        est.gpuKernelSeconds + est.hostSeconds + est.transferSeconds;
+    return est;
+}
+
+} // namespace unizk

@@ -1,0 +1,44 @@
+#include "model/pipezk_model.h"
+
+namespace unizk {
+
+Groth16Circuit
+Groth16Circuit::sha256OneBlock()
+{
+    // ~30k R1CS constraints for one SHA-256 compression (standard
+    // gadget libraries land between 25k and 30k).
+    return {"SHA-256", 30000};
+}
+
+Groth16Circuit
+Groth16Circuit::aes128OneBlock()
+{
+    // AES-128 block encryption: ~22k constraints.
+    return {"AES-128", 22000};
+}
+
+double
+Groth16CostModel::cpuSeconds(const Groth16Circuit &c) const
+{
+    return cpuSecondsPerConstraint * static_cast<double>(c.constraints);
+}
+
+double
+Groth16CostModel::pipezkSeconds(const Groth16Circuit &c) const
+{
+    return asicSecondsPerConstraint * static_cast<double>(c.constraints);
+}
+
+double
+Groth16CostModel::pipezkAsicOnlySeconds(const Groth16Circuit &c) const
+{
+    return pipezkSeconds(c) * asicFraction;
+}
+
+double
+Groth16CostModel::pipezkBlocksPerSecond(const Groth16Circuit &c) const
+{
+    return 1.0 / pipezkSeconds(c);
+}
+
+} // namespace unizk

@@ -1,0 +1,329 @@
+#include "ntt/ntt.h"
+
+#include "common/bits.h"
+
+namespace unizk {
+
+namespace {
+
+/**
+ * Decimation-in-frequency butterfly network (Gentleman-Sande): natural
+ * input order, bit-reversed output order.
+ * @param root a primitive n-th root of unity (or its inverse for iNTT).
+ */
+void
+difCore(std::vector<Fp> &a, Fp root)
+{
+    const size_t n = a.size();
+    unizk_assert(isPowerOfTwo(n), "NTT size must be a power of two");
+    Fp w_len = root;
+    for (size_t len = n; len >= 2; len >>= 1) {
+        const size_t half = len / 2;
+        for (size_t start = 0; start < n; start += len) {
+            Fp w = Fp::one();
+            for (size_t j = 0; j < half; ++j) {
+                const Fp u = a[start + j];
+                const Fp v = a[start + j + half];
+                a[start + j] = u + v;
+                a[start + j + half] = (u - v) * w;
+                w *= w_len;
+            }
+        }
+        w_len = w_len.squared();
+    }
+}
+
+/**
+ * Decimation-in-time butterfly network (Cooley-Tukey): bit-reversed input
+ * order, natural output order.
+ */
+void
+ditCore(std::vector<Fp> &a, Fp root)
+{
+    const size_t n = a.size();
+    unizk_assert(isPowerOfTwo(n), "NTT size must be a power of two");
+    const uint32_t log_n = log2Exact(n);
+    // Twiddle for stage with block length `len` is root^(n/len); build
+    // them from the smallest upwards by repeated squaring of `root`.
+    std::vector<Fp> stage_root(log_n);
+    Fp r = root;
+    for (uint32_t s = log_n; s-- > 0;) {
+        stage_root[s] = r; // stage s handles len = 2^(log_n - s)... see below
+        r = r.squared();
+    }
+    // stage_root[0] = root^(n/2) (for len=2) up to
+    // stage_root[log_n-1] = root (for len=n).
+    uint32_t s = 0;
+    for (size_t len = 2; len <= n; len <<= 1, ++s) {
+        const size_t half = len / 2;
+        const Fp w_len = stage_root[s];
+        for (size_t start = 0; start < n; start += len) {
+            Fp w = Fp::one();
+            for (size_t j = 0; j < half; ++j) {
+                const Fp u = a[start + j];
+                const Fp v = a[start + j + half] * w;
+                a[start + j] = u + v;
+                a[start + j + half] = u - v;
+                w *= w_len;
+            }
+        }
+    }
+}
+
+/** Multiply every element by the same constant. */
+void
+scaleAll(std::vector<Fp> &a, Fp c)
+{
+    for (auto &x : a)
+        x *= c;
+}
+
+/** Multiply element i by shift^i. */
+void
+scaleByCosetPowers(std::vector<Fp> &a, Fp shift)
+{
+    Fp p = Fp::one();
+    for (auto &x : a) {
+        x *= p;
+        p *= shift;
+    }
+}
+
+Fp
+forwardRoot(size_t n)
+{
+    return Fp::primitiveRootOfUnity(log2Exact(n));
+}
+
+Fp
+inverseRoot(size_t n)
+{
+    return forwardRoot(n).inverse();
+}
+
+Fp
+sizeInverse(size_t n)
+{
+    return Fp(static_cast<uint64_t>(n)).inverse();
+}
+
+} // namespace
+
+void
+nttNR(std::vector<Fp> &a)
+{
+    difCore(a, forwardRoot(a.size()));
+}
+
+void
+nttRN(std::vector<Fp> &a)
+{
+    ditCore(a, forwardRoot(a.size()));
+}
+
+void
+nttNN(std::vector<Fp> &a)
+{
+    difCore(a, forwardRoot(a.size()));
+    bitReversePermute(a);
+}
+
+void
+inttNN(std::vector<Fp> &a)
+{
+    difCore(a, inverseRoot(a.size()));
+    bitReversePermute(a);
+    scaleAll(a, sizeInverse(a.size()));
+}
+
+void
+inttRN(std::vector<Fp> &a)
+{
+    ditCore(a, inverseRoot(a.size()));
+    scaleAll(a, sizeInverse(a.size()));
+}
+
+void
+inttNR(std::vector<Fp> &a)
+{
+    difCore(a, inverseRoot(a.size()));
+    scaleAll(a, sizeInverse(a.size()));
+}
+
+void
+cosetNttNN(std::vector<Fp> &a, Fp shift)
+{
+    scaleByCosetPowers(a, shift);
+    nttNN(a);
+}
+
+void
+cosetNttNR(std::vector<Fp> &a, Fp shift)
+{
+    scaleByCosetPowers(a, shift);
+    nttNR(a);
+}
+
+void
+cosetInttNN(std::vector<Fp> &a, Fp shift)
+{
+    inttNN(a);
+    scaleByCosetPowers(a, shift.inverse());
+}
+
+void
+cosetInttRN(std::vector<Fp> &a, Fp shift)
+{
+    inttRN(a);
+    scaleByCosetPowers(a, shift.inverse());
+}
+
+std::vector<Fp>
+lowDegreeExtension(const std::vector<Fp> &coeffs, uint32_t blowup, Fp shift)
+{
+    unizk_assert(isPowerOfTwo(blowup), "blowup must be a power of two");
+    std::vector<Fp> ext(coeffs);
+    ext.resize(coeffs.size() * blowup, Fp::zero());
+    cosetNttNR(ext, shift);
+    return ext;
+}
+
+std::vector<Fp>
+naiveDft(const std::vector<Fp> &a, Fp shift)
+{
+    const size_t n = a.size();
+    const Fp w = forwardRoot(n);
+    std::vector<Fp> out(n);
+    Fp wi = Fp::one();
+    for (size_t i = 0; i < n; ++i) {
+        const Fp point = shift * wi;
+        Fp acc;
+        Fp xp = Fp::one();
+        for (size_t j = 0; j < n; ++j) {
+            acc += a[j] * xp;
+            xp *= point;
+        }
+        out[i] = acc;
+        wi *= w;
+    }
+    return out;
+}
+
+std::vector<Fp>
+naiveIdft(const std::vector<Fp> &a, Fp shift)
+{
+    const size_t n = a.size();
+    const Fp w_inv = inverseRoot(n);
+    const Fp n_inv = sizeInverse(n);
+    const Fp s_inv = shift.inverse();
+    std::vector<Fp> out(n);
+    for (size_t j = 0; j < n; ++j) {
+        Fp acc;
+        for (size_t i = 0; i < n; ++i)
+            acc += a[i] * w_inv.pow(static_cast<uint64_t>(i) * j % n);
+        out[j] = acc * n_inv * s_inv.pow(j);
+    }
+    return out;
+}
+
+void
+inttNNExt(std::vector<Fp2> &a)
+{
+    const size_t n = a.size();
+    unizk_assert(isPowerOfTwo(n), "NTT size must be a power of two");
+    // DIF core over Fp2 values with Fp twiddles, then bit-reverse and
+    // scale, mirroring inttNN.
+    Fp w_len = inverseRoot(n);
+    for (size_t len = n; len >= 2; len >>= 1) {
+        const size_t half = len / 2;
+        for (size_t start = 0; start < n; start += len) {
+            Fp w = Fp::one();
+            for (size_t j = 0; j < half; ++j) {
+                const Fp2 u = a[start + j];
+                const Fp2 v = a[start + j + half];
+                a[start + j] = u + v;
+                a[start + j + half] = (u - v) * w;
+                w *= w_len;
+            }
+        }
+        w_len = w_len.squared();
+    }
+    bitReversePermute(a);
+    const Fp n_inv = sizeInverse(n);
+    for (auto &x : a)
+        x = x * n_inv;
+}
+
+void
+cosetInttNNExt(std::vector<Fp2> &a, Fp shift)
+{
+    inttNNExt(a);
+    const Fp s_inv = shift.inverse();
+    Fp p = Fp::one();
+    for (auto &x : a) {
+        x = x * p;
+        p *= s_inv;
+    }
+}
+
+std::vector<uint32_t>
+decomposeNttDims(uint32_t log_size, uint32_t log_n_max)
+{
+    unizk_assert(log_n_max >= 1, "dimension size must be at least 2");
+    std::vector<uint32_t> dims;
+    uint32_t remaining = log_size;
+    while (remaining > 0) {
+        const uint32_t d = std::min(remaining, log_n_max);
+        dims.push_back(d);
+        remaining -= d;
+    }
+    return dims;
+}
+
+void
+multidimNttNN(std::vector<Fp> &a, uint32_t log_n_max)
+{
+    const size_t n = a.size();
+    const uint32_t log_n = log2Exact(n);
+    if (log_n <= log_n_max) {
+        nttNN(a);
+        return;
+    }
+
+    // Split N = n1 * n2 with n1 the (innermost) hardware-sized factor.
+    const size_t n1 = size_t{1} << log_n_max;
+    const size_t n2 = n / n1;
+    const Fp w = forwardRoot(n);
+
+    // Inner DFTs along j2 for each fixed j1 (stride-n1 subsequences),
+    // then inter-dimension twiddles w^(j1*k2) -- the element-wise
+    // multiplications the hardware performs between decomposed dims.
+    std::vector<Fp> col(n2);
+    Fp w_j1 = Fp::one(); // w^j1
+    for (size_t j1 = 0; j1 < n1; ++j1) {
+        for (size_t j2 = 0; j2 < n2; ++j2)
+            col[j2] = a[n1 * j2 + j1];
+        multidimNttNN(col, log_n_max);
+        Fp tw = Fp::one(); // w^(j1*k2)
+        for (size_t k2 = 0; k2 < n2; ++k2) {
+            a[n1 * k2 + j1] = col[k2] * tw;
+            tw *= w_j1;
+        }
+        w_j1 *= w;
+    }
+
+    // Outer size-n1 NTTs along j1 for each k2; outputs scatter to
+    // X[n2*k1 + k2].
+    std::vector<Fp> out(n);
+    std::vector<Fp> row(n1);
+    for (size_t k2 = 0; k2 < n2; ++k2) {
+        for (size_t j1 = 0; j1 < n1; ++j1)
+            row[j1] = a[n1 * k2 + j1];
+        nttNN(row);
+        for (size_t k1 = 0; k1 < n1; ++k1)
+            out[n2 * k1 + k2] = row[k1];
+    }
+    a = std::move(out);
+}
+
+} // namespace unizk

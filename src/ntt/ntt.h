@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Number-theoretic transforms over the Goldilocks field.
+ *
+ * Terminology follows the paper (Section 5.1):
+ *  - NTT^NN: natural-order input, natural-order output.
+ *  - NTT^NR: natural-order input, bit-reversed output (DIF dataflow).
+ *  - NTT^RN: bit-reversed input, natural-order output (DIT dataflow).
+ *  - coset variants evaluate over a multiplicative coset g*H instead of
+ *    the subgroup H, implemented by pre-scaling coefficients with g^i
+ *    (forward) or post-scaling with g^-i (inverse).
+ *
+ * The protocol layer uses iNTT^NN to move polynomials from value to
+ * coefficient form, and coset-NTT^NR for the low-degree extension (LDE)
+ * inside FRI, exactly the two variants highlighted in Figure 1 of the
+ * paper.
+ */
+
+#ifndef UNIZK_NTT_NTT_H
+#define UNIZK_NTT_NTT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "field/extension.h"
+#include "field/goldilocks.h"
+
+namespace unizk {
+
+/** Default coset shift: the multiplicative-group generator, as in Plonky2. */
+inline Fp
+defaultCosetShift()
+{
+    return Fp(Fp::multiplicativeGenerator);
+}
+
+/**
+ * In-place forward NTT, natural input -> bit-reversed output
+ * (decimation-in-frequency). Size must be a power of two.
+ */
+void nttNR(std::vector<Fp> &a);
+
+/** In-place forward NTT, bit-reversed input -> natural output (DIT). */
+void nttRN(std::vector<Fp> &a);
+
+/** In-place forward NTT, natural input -> natural output. */
+void nttNN(std::vector<Fp> &a);
+
+/** In-place inverse NTT, natural -> natural. */
+void inttNN(std::vector<Fp> &a);
+
+/** In-place inverse NTT, bit-reversed input -> natural output. */
+void inttRN(std::vector<Fp> &a);
+
+/** In-place inverse NTT, natural input -> bit-reversed output. */
+void inttNR(std::vector<Fp> &a);
+
+/**
+ * Coset forward NTT, natural -> natural: evaluates the polynomial with
+ * coefficients @p a over the coset shift*H.
+ */
+void cosetNttNN(std::vector<Fp> &a, Fp shift);
+
+/** Coset forward NTT, natural -> bit-reversed (the LDE workhorse). */
+void cosetNttNR(std::vector<Fp> &a, Fp shift);
+
+/** Coset inverse NTT, natural -> natural. */
+void cosetInttNN(std::vector<Fp> &a, Fp shift);
+
+/** Coset inverse NTT, bit-reversed input -> natural coefficients. */
+void cosetInttRN(std::vector<Fp> &a, Fp shift);
+
+/**
+ * Low-degree extension: given N coefficients, zero-pad to N*blowup and
+ * evaluate over the coset shift*H' (|H'| = N*blowup). Output is in
+ * bit-reversed order, matching the NTT^NR step in FRI (paper Fig. 1,
+ * step 2).
+ */
+std::vector<Fp> lowDegreeExtension(const std::vector<Fp> &coeffs,
+                                   uint32_t blowup, Fp shift);
+
+/**
+ * Reference quadratic-time DFT used by the test suite as ground truth.
+ * Output is in natural order: out[i] = sum_j a[j] * (shift*w^i)^j.
+ */
+std::vector<Fp> naiveDft(const std::vector<Fp> &a, Fp shift);
+
+/** Reference inverse of naiveDft. */
+std::vector<Fp> naiveIdft(const std::vector<Fp> &a, Fp shift);
+
+/**
+ * Multi-dimensional NTT decomposition (the SAM scheme the UniZK NTT
+ * mapper uses, Section 5.1): computes an NTT^NN of size N by decomposing
+ * into dims of size at most 2^log_n_max, performing small NTTs along each
+ * dimension with inter-dimension twiddle multiplications in between.
+ *
+ * Functionally identical to nttNN; exists to validate the hardware
+ * mapping's dataflow and to let tests pin down the inter-dimension
+ * twiddle math used by the simulator.
+ */
+void multidimNttNN(std::vector<Fp> &a, uint32_t log_n_max);
+
+/**
+ * Plan of a multi-dimensional decomposition: the log-sizes of each
+ * dimension, innermost first. Shared between multidimNttNN and the
+ * simulator's NTT mapper.
+ */
+std::vector<uint32_t> decomposeNttDims(uint32_t log_size,
+                                       uint32_t log_n_max);
+
+/**
+ * Extension-field inverse NTTs. The evaluation domain still lives in the
+ * base field (roots of unity are base-field elements), so twiddles are
+ * Fp while values are Fp2. Used for the FRI final polynomial.
+ * @{
+ */
+void inttNNExt(std::vector<Fp2> &a);
+void cosetInttNNExt(std::vector<Fp2> &a, Fp shift);
+/** @} */
+
+} // namespace unizk
+
+#endif // UNIZK_NTT_NTT_H

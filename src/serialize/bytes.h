@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Byte-stream serialization primitives. Proofs must cross the wire
+ * between prover and verifier; these little-endian writer/reader
+ * classes keep the encoding explicit and the deserializer total
+ * (malformed input yields failure, never undefined behaviour).
+ */
+
+#ifndef UNIZK_SERIALIZE_BYTES_H
+#define UNIZK_SERIALIZE_BYTES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "field/extension.h"
+#include "field/goldilocks.h"
+#include "hash/hashing.h"
+
+namespace unizk {
+
+class ByteWriter
+{
+  public:
+    void
+    putU64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void putFp(Fp v) { putU64(v.value()); }
+
+    void
+    putFp2(const Fp2 &v)
+    {
+        putFp(v.limb(0));
+        putFp(v.limb(1));
+    }
+
+    void
+    putHash(const HashOut &h)
+    {
+        for (const Fp &e : h.elems)
+            putFp(e);
+    }
+
+    void
+    putFpVector(const std::vector<Fp> &v)
+    {
+        putU64(v.size());
+        for (const Fp &x : v)
+            putFp(x);
+    }
+
+    const std::vector<uint8_t> &bytes() const { return buf; }
+    std::vector<uint8_t> take() { return std::move(buf); }
+
+  private:
+    std::vector<uint8_t> buf;
+};
+
+/**
+ * Bounds-checked reader. Every getter reports failure through ok();
+ * once a read fails the reader stays failed and getters return zero
+ * values, so callers may batch reads and check ok() once.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<uint8_t> &data)
+        : data(data)
+    {}
+
+    bool ok() const { return !failed; }
+
+    /** True when every byte has been consumed (and no read failed). */
+    bool exhausted() const { return ok() && pos == data.size(); }
+
+    uint64_t
+    getU64()
+    {
+        if (failed || pos + 8 > data.size()) {
+            failed = true;
+            return 0;
+        }
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(data[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    Fp
+    getFp()
+    {
+        const uint64_t v = getU64();
+        if (v >= Fp::modulus)
+            failed = true; // non-canonical encoding
+        return Fp(v);
+    }
+
+    Fp2
+    getFp2()
+    {
+        const Fp a = getFp();
+        const Fp b = getFp();
+        return Fp2(a, b);
+    }
+
+    HashOut
+    getHash()
+    {
+        HashOut h;
+        for (Fp &e : h.elems)
+            e = getFp();
+        return h;
+    }
+
+    std::vector<Fp>
+    getFpVector(uint64_t max_len)
+    {
+        const uint64_t len = getU64();
+        if (len > max_len) {
+            failed = true;
+            return {};
+        }
+        std::vector<Fp> v(len);
+        for (auto &x : v)
+            x = getFp();
+        return v;
+    }
+
+  private:
+    const std::vector<uint8_t> &data;
+    size_t pos = 0;
+    bool failed = false;
+};
+
+} // namespace unizk
+
+#endif // UNIZK_SERIALIZE_BYTES_H

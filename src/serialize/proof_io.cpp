@@ -1,0 +1,321 @@
+#include "serialize/proof_io.h"
+
+#include "serialize/bytes.h"
+
+namespace unizk {
+
+namespace {
+
+// Generous structural bounds: anything beyond these is malformed.
+constexpr uint64_t max_vec = uint64_t{1} << 28;
+
+void
+writeMerkleProof(ByteWriter &w, const MerkleProof &p)
+{
+    w.putU64(p.siblings.size());
+    for (const HashOut &h : p.siblings)
+        w.putHash(h);
+}
+
+std::optional<MerkleProof>
+readMerkleProof(ByteReader &r)
+{
+    MerkleProof p;
+    const uint64_t n = r.getU64();
+    if (n > 64)
+        return std::nullopt; // deeper than any 2^64-leaf tree
+    p.siblings.resize(n);
+    for (auto &h : p.siblings)
+        h = r.getHash();
+    if (!r.ok())
+        return std::nullopt;
+    return p;
+}
+
+void
+writeCap(ByteWriter &w, const MerkleCap &cap)
+{
+    w.putU64(cap.size());
+    for (const HashOut &h : cap)
+        w.putHash(h);
+}
+
+std::optional<MerkleCap>
+readCap(ByteReader &r)
+{
+    MerkleCap cap;
+    const uint64_t n = r.getU64();
+    if (n > (uint64_t{1} << 16))
+        return std::nullopt;
+    cap.resize(n);
+    for (auto &h : cap)
+        h = r.getHash();
+    if (!r.ok())
+        return std::nullopt;
+    return cap;
+}
+
+void
+writeFri(ByteWriter &w, const FriProof &proof)
+{
+    w.putU64(proof.layerCaps.size());
+    for (const auto &cap : proof.layerCaps)
+        writeCap(w, cap);
+    w.putU64(proof.finalPoly.size());
+    for (const Fp2 &c : proof.finalPoly)
+        w.putFp2(c);
+    w.putU64(proof.powNonce);
+    w.putU64(proof.queries.size());
+    for (const auto &q : proof.queries) {
+        w.putU64(q.initial.size());
+        for (const auto &init : q.initial) {
+            w.putFpVector(init.values);
+            writeMerkleProof(w, init.proof);
+        }
+        w.putU64(q.layers.size());
+        for (const auto &layer : q.layers) {
+            w.putFp2(layer.pair[0]);
+            w.putFp2(layer.pair[1]);
+            writeMerkleProof(w, layer.proof);
+        }
+    }
+}
+
+std::optional<FriProof>
+readFri(ByteReader &r)
+{
+    FriProof proof;
+    const uint64_t num_caps = r.getU64();
+    if (num_caps > 64)
+        return std::nullopt;
+    for (uint64_t i = 0; i < num_caps; ++i) {
+        auto cap = readCap(r);
+        if (!cap)
+            return std::nullopt;
+        proof.layerCaps.push_back(std::move(*cap));
+    }
+    const uint64_t final_len = r.getU64();
+    if (final_len > max_vec)
+        return std::nullopt;
+    proof.finalPoly.resize(final_len);
+    for (auto &c : proof.finalPoly)
+        c = r.getFp2();
+    proof.powNonce = r.getU64();
+    const uint64_t num_queries = r.getU64();
+    if (num_queries > (uint64_t{1} << 12))
+        return std::nullopt;
+    for (uint64_t q = 0; q < num_queries; ++q) {
+        FriQueryRound round;
+        const uint64_t num_init = r.getU64();
+        if (num_init > 256)
+            return std::nullopt;
+        for (uint64_t i = 0; i < num_init; ++i) {
+            FriInitialOpening open;
+            open.values = r.getFpVector(max_vec);
+            auto mp = readMerkleProof(r);
+            if (!mp)
+                return std::nullopt;
+            open.proof = std::move(*mp);
+            round.initial.push_back(std::move(open));
+        }
+        const uint64_t num_layers = r.getU64();
+        if (num_layers > 64)
+            return std::nullopt;
+        for (uint64_t l = 0; l < num_layers; ++l) {
+            FriLayerOpening open;
+            open.pair[0] = r.getFp2();
+            open.pair[1] = r.getFp2();
+            auto mp = readMerkleProof(r);
+            if (!mp)
+                return std::nullopt;
+            open.proof = std::move(*mp);
+            round.layers.push_back(std::move(open));
+        }
+        proof.queries.push_back(std::move(round));
+    }
+    if (!r.ok())
+        return std::nullopt;
+    return proof;
+}
+
+void
+writeOpenings(ByteWriter &w, const std::vector<std::vector<Fp2>> &openings)
+{
+    w.putU64(openings.size());
+    for (const auto &row : openings) {
+        w.putU64(row.size());
+        for (const Fp2 &v : row)
+            w.putFp2(v);
+    }
+}
+
+std::optional<std::vector<std::vector<Fp2>>>
+readOpenings(ByteReader &r)
+{
+    std::vector<std::vector<Fp2>> openings;
+    const uint64_t rows = r.getU64();
+    if (rows > 16)
+        return std::nullopt;
+    openings.resize(rows);
+    for (auto &row : openings) {
+        const uint64_t cols = r.getU64();
+        if (cols > max_vec)
+            return std::nullopt;
+        row.resize(cols);
+        for (auto &v : row)
+            v = r.getFp2();
+    }
+    if (!r.ok())
+        return std::nullopt;
+    return openings;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+serializeFriProof(const FriProof &proof)
+{
+    ByteWriter w;
+    writeFri(w, proof);
+    return w.take();
+}
+
+std::optional<FriProof>
+deserializeFriProof(const std::vector<uint8_t> &bytes)
+{
+    ByteReader r(bytes);
+    auto proof = readFri(r);
+    if (!proof || !r.exhausted())
+        return std::nullopt;
+    return proof;
+}
+
+std::vector<uint8_t>
+serializePlonkProof(const PlonkProof &proof)
+{
+    ByteWriter w;
+    w.putU64(proof.rows);
+    w.putU64(proof.repetitions);
+    w.putU64(proof.publicInputs.size());
+    for (const auto &row : proof.publicInputs)
+        w.putFpVector(row);
+    writeCap(w, proof.wiresCap);
+    writeCap(w, proof.zCap);
+    writeCap(w, proof.quotientCap);
+    writeOpenings(w, proof.openings);
+    writeFri(w, proof.fri);
+    return w.take();
+}
+
+std::optional<PlonkProof>
+deserializePlonkProof(const std::vector<uint8_t> &bytes)
+{
+    ByteReader r(bytes);
+    PlonkProof proof;
+    proof.rows = r.getU64();
+    proof.repetitions = r.getU64();
+    if (proof.rows > max_vec || proof.repetitions > 4096)
+        return std::nullopt;
+    const uint64_t pub_rows = r.getU64();
+    if (pub_rows > 4096)
+        return std::nullopt;
+    proof.publicInputs.resize(pub_rows);
+    for (auto &row : proof.publicInputs)
+        row = r.getFpVector(1u << 16);
+    auto wires = readCap(r);
+    auto z = readCap(r);
+    auto quotient = readCap(r);
+    if (!wires || !z || !quotient)
+        return std::nullopt;
+    proof.wiresCap = std::move(*wires);
+    proof.zCap = std::move(*z);
+    proof.quotientCap = std::move(*quotient);
+    auto openings = readOpenings(r);
+    if (!openings)
+        return std::nullopt;
+    proof.openings = std::move(*openings);
+    auto fri = readFri(r);
+    if (!fri || !r.exhausted())
+        return std::nullopt;
+    proof.fri = std::move(*fri);
+    return proof;
+}
+
+std::vector<uint8_t>
+serializeStarkProof(const StarkProof &proof)
+{
+    ByteWriter w;
+    w.putU64(proof.rows);
+    w.putU64(proof.columns);
+    w.putU64(proof.quotientChunks);
+    writeCap(w, proof.traceCap);
+    writeCap(w, proof.quotientCap);
+    writeOpenings(w, proof.openings);
+    writeFri(w, proof.fri);
+    return w.take();
+}
+
+std::optional<StarkProof>
+deserializeStarkProof(const std::vector<uint8_t> &bytes)
+{
+    ByteReader r(bytes);
+    StarkProof proof;
+    proof.rows = r.getU64();
+    proof.columns = r.getU64();
+    proof.quotientChunks = r.getU64();
+    if (proof.rows > max_vec || proof.columns > 4096 ||
+        proof.quotientChunks > 64) {
+        return std::nullopt;
+    }
+    auto trace = readCap(r);
+    auto quotient = readCap(r);
+    if (!trace || !quotient)
+        return std::nullopt;
+    proof.traceCap = std::move(*trace);
+    proof.quotientCap = std::move(*quotient);
+    auto openings = readOpenings(r);
+    if (!openings)
+        return std::nullopt;
+    proof.openings = std::move(*openings);
+    auto fri = readFri(r);
+    if (!fri || !r.exhausted())
+        return std::nullopt;
+    proof.fri = std::move(*fri);
+    return proof;
+}
+
+std::vector<uint8_t>
+serializeSumcheckProof(const SumcheckProof &proof)
+{
+    ByteWriter w;
+    w.putFp(proof.claimedSum);
+    w.putU64(proof.rounds.size());
+    for (const auto &round : proof.rounds) {
+        w.putFp(round.at0);
+        w.putFp(round.at1);
+    }
+    w.putFp(proof.finalEval);
+    return w.take();
+}
+
+std::optional<SumcheckProof>
+deserializeSumcheckProof(const std::vector<uint8_t> &bytes)
+{
+    ByteReader r(bytes);
+    SumcheckProof proof;
+    proof.claimedSum = r.getFp();
+    const uint64_t rounds = r.getU64();
+    if (rounds > 64)
+        return std::nullopt;
+    proof.rounds.resize(rounds);
+    for (auto &round : proof.rounds) {
+        round.at0 = r.getFp();
+        round.at1 = r.getFp();
+    }
+    proof.finalEval = r.getFp();
+    if (!r.ok() || !r.exhausted())
+        return std::nullopt;
+    return proof;
+}
+
+} // namespace unizk

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Wire encodings for every proof type: FRI, Plonk, STARK, and
+ * sum-check. Deserialization is total -- malformed or truncated input
+ * returns std::nullopt -- and round-tripped proofs verify identically.
+ */
+
+#ifndef UNIZK_SERIALIZE_PROOF_IO_H
+#define UNIZK_SERIALIZE_PROOF_IO_H
+
+#include <optional>
+
+#include "plonk/plonk.h"
+#include "stark/stark.h"
+#include "sumcheck/sumcheck.h"
+
+namespace unizk {
+
+std::vector<uint8_t> serializeFriProof(const FriProof &proof);
+std::optional<FriProof>
+deserializeFriProof(const std::vector<uint8_t> &bytes);
+
+std::vector<uint8_t> serializePlonkProof(const PlonkProof &proof);
+std::optional<PlonkProof>
+deserializePlonkProof(const std::vector<uint8_t> &bytes);
+
+std::vector<uint8_t> serializeStarkProof(const StarkProof &proof);
+std::optional<StarkProof>
+deserializeStarkProof(const std::vector<uint8_t> &bytes);
+
+std::vector<uint8_t> serializeSumcheckProof(const SumcheckProof &proof);
+std::optional<SumcheckProof>
+deserializeSumcheckProof(const std::vector<uint8_t> &bytes);
+
+} // namespace unizk
+
+#endif // UNIZK_SERIALIZE_PROOF_IO_H

@@ -1,0 +1,82 @@
+#include "sim/dram.h"
+
+#include <vector>
+
+#include "common/bits.h"
+
+namespace unizk {
+
+DramResult
+DramModel::access(const MemStream &stream) const
+{
+    DramResult res;
+    if (stream.bytes == 0)
+        return res;
+
+    const uint32_t req = cfg.memRequestBytes;
+    const uint64_t run =
+        stream.runBytes == 0 ? stream.bytes : stream.runBytes;
+
+    // Each contiguous run is rounded up to whole requests; runs shorter
+    // than a request still occupy a full one (wasted bandwidth).
+    const uint64_t num_runs = ceilDiv(stream.bytes, run);
+    const uint64_t run_len = std::min<uint64_t>(run, stream.bytes);
+    const uint64_t requests_per_run = ceilDiv(run_len, req);
+    const uint64_t requests = num_runs * requests_per_run;
+    const uint64_t bus_bytes = requests * req;
+
+    // Bandwidth-limited transfer time at the sustained (derated) rate.
+    const double peak = cfg.effectivePeakBytesPerCycle() *
+                        cfg.dramStreamEfficiency * stream.efficiency;
+    uint64_t cycles =
+        static_cast<uint64_t>(static_cast<double>(bus_bytes) / peak) + 1;
+
+    // Row-activate overhead: each run touching a new row pays tRC,
+    // amortized over the banks that can activate in parallel.
+    const uint64_t rows_touched =
+        num_runs * ceilDiv(run_len, cfg.memRowBytes);
+    const uint64_t activate_cycles =
+        rows_touched * cfg.memRowMissPenalty / cfg.memBanks;
+    cycles = std::max(cycles, activate_cycles);
+
+    res.cycles = cycles;
+    res.usefulBytes = stream.bytes;
+    if (stream.write) {
+        res.writeRequests = requests;
+        res.writeBytes = bus_bytes;
+    } else {
+        res.readRequests = requests;
+        res.readBytes = bus_bytes;
+    }
+    return res;
+}
+
+DramResult
+DramModel::accessAll(const std::vector<MemStream> &streams) const
+{
+    // Concurrent streams share the bus: total time is the sum of their
+    // individual bus occupancies (the ceiling is per-chip), while the
+    // request counters accumulate.
+    DramResult total;
+    bool has_read = false, has_write = false;
+    for (const auto &s : streams) {
+        const DramResult r = access(s);
+        total.cycles += r.cycles;
+        total.readRequests += r.readRequests;
+        total.writeRequests += r.writeRequests;
+        total.readBytes += r.readBytes;
+        total.writeBytes += r.writeBytes;
+        total.usefulBytes += r.usefulBytes;
+        has_read |= !s.write;
+        has_write |= s.write;
+    }
+    // Interleaved reads and writes pay bus-turnaround overhead.
+    if (has_read && has_write) {
+        total.cycles = static_cast<uint64_t>(
+            static_cast<double>(total.cycles) /
+            cfg.mixedStreamEfficiency);
+    }
+    return total;
+}
+
+} // namespace unizk

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * DRAM timing model -- our substitute for the Ramulator2-based "RamSim"
+ * used in the paper's artifact (see DESIGN.md). Models the effects that
+ * matter for UniZK's kernel behaviour:
+ *
+ *  - a hard bandwidth ceiling set by the two HBM2e PHYs,
+ *  - fixed 64-byte access granularity, so accesses smaller than a
+ *    request waste bandwidth (the gate-evaluation effect of Sec. 7.1),
+ *  - row-buffer locality: long sequential runs amortize row activates,
+ *    scattered accesses pay tRC penalties spread across banks.
+ *
+ * The model also maintains the total read/write request counters the
+ * original artifact logs (total_num_read_requests etc.).
+ */
+
+#ifndef UNIZK_SIM_DRAM_H
+#define UNIZK_SIM_DRAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/hw_config.h"
+
+namespace unizk {
+
+/** One logical memory stream issued by a kernel mapping. */
+struct MemStream
+{
+    uint64_t bytes = 0;       ///< useful payload bytes
+    /**
+     * Contiguity of the access pattern in bytes: length of each
+     * consecutive run. 0 means fully sequential (one run).
+     */
+    uint32_t runBytes = 0;
+    bool write = false;
+    /**
+     * Kernel-specific bandwidth efficiency (e.g. chained element-wise
+     * ops leave dependency gaps); multiplies the sustained peak.
+     */
+    double efficiency = 1.0;
+};
+
+/** Outcome of timing a set of streams. */
+struct DramResult
+{
+    uint64_t cycles = 0;
+    uint64_t readRequests = 0;
+    uint64_t writeRequests = 0;
+    uint64_t readBytes = 0;  ///< bus bytes moved (>= useful bytes)
+    uint64_t writeBytes = 0;
+    uint64_t usefulBytes = 0; ///< payload bytes (utilization numerator)
+};
+
+class DramModel
+{
+  public:
+    explicit DramModel(const HardwareConfig &cfg) : cfg(cfg) {}
+
+    /**
+     * Cycles to transfer one stream, assuming the kernel keeps the
+     * memory system saturated (streams from concurrent tiles overlap,
+     * so per-stream results add linearly up to the ceiling).
+     */
+    DramResult access(const MemStream &stream) const;
+
+    /** Time a group of streams that proceed concurrently. */
+    DramResult accessAll(const std::vector<MemStream> &streams) const;
+
+  private:
+    HardwareConfig cfg; // by value: callers often pass temporaries
+};
+
+} // namespace unizk
+
+#endif // UNIZK_SIM_DRAM_H

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Hardware configuration of the simulated UniZK accelerator
+ * (paper Section 4 and Table 2 defaults).
+ *
+ * Defaults: 32 vector-systolic arrays of 12x12 PEs at 1 GHz, an 8 MB
+ * double-buffered scratchpad, a 16x16 global transpose buffer, an
+ * on-chip twiddle-factor generator, and two HBM2e PHYs providing about
+ * 1 TB/s of peak DRAM bandwidth (= 1000 bytes per 1 GHz cycle).
+ *
+ * The design-space exploration of Figure 10 scales numVsas,
+ * scratchpadBytes, and memBandwidthScale.
+ */
+
+#ifndef UNIZK_SIM_HW_CONFIG_H
+#define UNIZK_SIM_HW_CONFIG_H
+
+#include <cstdint>
+
+namespace unizk {
+
+struct HardwareConfig
+{
+    /** Number of vector-systolic arrays. */
+    uint32_t numVsas = 32;
+
+    /** PEs per VSA edge (12 matches the Poseidon state width). */
+    uint32_t vsaDim = 12;
+
+    /** Clock frequency in GHz. */
+    double clockGhz = 1.0;
+
+    /** Global scratchpad capacity in bytes (double-buffered). */
+    uint64_t scratchpadBytes = 8ull << 20;
+
+    /** Transpose buffer dimension b (b x b elements). */
+    uint32_t transposeDim = 16;
+
+    /** DRAM request size in bytes (HBM2e access granularity). */
+    uint32_t memRequestBytes = 64;
+
+    /**
+     * Peak DRAM bandwidth in bytes per cycle. Two HBM2e PHYs at
+     * ~1 TB/s aggregate and 1 GHz core clock give 1000 B/cycle.
+     */
+    double peakMemBytesPerCycle = 1000.0;
+
+    /** Bandwidth multiplier for the Figure-10 sweep. */
+    double memBandwidthScale = 1.0;
+
+    /** DRAM banks reachable in parallel (channels x banks/channel). */
+    uint32_t memBanks = 128;
+
+    /** Row activate-to-activate penalty in cycles (tRC). */
+    uint32_t memRowMissPenalty = 48;
+
+    /** Row buffer size in bytes. */
+    uint32_t memRowBytes = 1024;
+
+    /** Fixed scheduling overhead per kernel launch, in cycles. */
+    uint32_t kernelLaunchOverhead = 200;
+
+    /**
+     * DRAM efficiency knobs (calibration constants, see DESIGN.md):
+     * sustained fraction of peak for a pure stream (refresh, scheduling
+     * slack), the extra penalty when read and write streams interleave
+     * (bus turnaround), and the efficiency of chained element-wise
+     * vector kernels whose short dependent operations leave gaps.
+     */
+    double dramStreamEfficiency = 0.88;
+    double mixedStreamEfficiency = 0.65;
+    double vecOpStreamEfficiency = 0.55;
+
+    /**
+     * Ablation switches for the paper's architectural design choices
+     * (all true in the real design):
+     *  - reverse links (Sec. 4): enable the 12x3 partial-round mapping
+     *    of Fig. 5b; without them every partial round needs its own
+     *    full-array pass.
+     *  - transpose buffer (Sec. 4): hide layout transforms behind
+     *    adjacent kernels; without it transposes become explicit
+     *    element-granular DRAM traffic.
+     *  - split NTT pipelines (Sec. 5.1): two 6-PE pipelines per row
+     *    (n = 2^5) chained through the transpose buffer; without the
+     *    split one 12-PE pipeline (n = 2^11) overflows the PE register
+     *    files and halves throughput while covering only one dimension
+     *    per trip.
+     *  - grouped partial products (Fig. 6b): the 3-step local/
+     *    propagate/finalize schedule; without it Eq. 2's dependency
+     *    chain serializes.
+     */
+    bool enableReverseLinks = true;
+    bool enableTransposeBuffer = true;
+    bool splitNttPipelines = true;
+    bool groupedPartialProducts = true;
+
+    /** Total PEs on the chip. */
+    uint64_t
+    totalPes() const
+    {
+        return static_cast<uint64_t>(numVsas) * vsaDim * vsaDim;
+    }
+
+    /** Effective peak bandwidth after the Figure-10 scale knob. */
+    double
+    effectivePeakBytesPerCycle() const
+    {
+        return peakMemBytesPerCycle * memBandwidthScale;
+    }
+
+    /** Half the scratchpad: usable tile capacity when double-buffered. */
+    uint64_t
+    tileCapacityBytes() const
+    {
+        return scratchpadBytes / 2;
+    }
+
+    /** Convert cycles to seconds at the configured clock. */
+    double
+    cyclesToSeconds(uint64_t cycles) const
+    {
+        return static_cast<double>(cycles) / (clockGhz * 1e9);
+    }
+
+    /** The paper's default configuration. */
+    static HardwareConfig
+    paperDefault()
+    {
+        return HardwareConfig{};
+    }
+};
+
+} // namespace unizk
+
+#endif // UNIZK_SIM_HW_CONFIG_H

@@ -1,0 +1,99 @@
+#include "sim/simulator.h"
+
+#include <sstream>
+
+namespace unizk {
+
+double
+SimReport::cycleFraction(KernelClass c) const
+{
+    if (totalCycles == 0)
+        return 0.0;
+    return static_cast<double>(classStats(c).cycles) /
+           static_cast<double>(totalCycles);
+}
+
+double
+SimReport::memUtilization(KernelClass c) const
+{
+    const ClassStats &s = classStats(c);
+    if (s.cycles == 0)
+        return 0.0;
+    const double capacity = config.effectivePeakBytesPerCycle() *
+                            static_cast<double>(s.cycles);
+    return static_cast<double>(s.usefulBytes) / capacity;
+}
+
+double
+SimReport::vsaUtilization(KernelClass c) const
+{
+    const ClassStats &s = classStats(c);
+    if (s.cycles == 0)
+        return 0.0;
+    return std::min(1.0, static_cast<double>(s.computeCycles) /
+                             static_cast<double>(s.cycles));
+}
+
+uint64_t
+SimReport::totalReadRequests() const
+{
+    uint64_t total = 0;
+    for (const auto &s : perClass)
+        total += s.readRequests;
+    return total;
+}
+
+uint64_t
+SimReport::totalWriteRequests() const
+{
+    uint64_t total = 0;
+    for (const auto &s : perClass)
+        total += s.writeRequests;
+    return total;
+}
+
+SimReport
+simulateTrace(const KernelTrace &trace, const HardwareConfig &cfg)
+{
+    SimReport report;
+    report.config = cfg;
+    for (const KernelOp &op : trace.ops) {
+        const KernelSim sim = mapKernel(op.payload, cfg);
+        report.totalCycles += sim.cycles;
+        ClassStats &s = report.perClass[static_cast<size_t>(sim.cls)];
+        s.cycles += sim.cycles;
+        s.computeCycles += sim.computeCycles;
+        s.memCycles += sim.mem.cycles;
+        s.busBytes += sim.mem.readBytes + sim.mem.writeBytes;
+        s.usefulBytes += sim.mem.usefulBytes;
+        s.readRequests += sim.mem.readRequests;
+        s.writeRequests += sim.mem.writeRequests;
+        s.kernels += 1;
+    }
+    return report;
+}
+
+std::string
+formatReport(const SimReport &report)
+{
+    std::ostringstream oss;
+    oss << "total cycles: " << report.totalCycles << " ("
+        << report.seconds() * 1e3 << " ms)\n";
+    oss << "read requests: " << report.totalReadRequests()
+        << ", write requests: " << report.totalWriteRequests() << "\n";
+    for (size_t i = 0; i < static_cast<size_t>(KernelClass::NumClasses);
+         ++i) {
+        const auto c = static_cast<KernelClass>(i);
+        const ClassStats &s = report.classStats(c);
+        if (s.kernels == 0)
+            continue;
+        oss << "  " << kernelClassName(c) << ": "
+            << report.cycleFraction(c) * 100.0 << "% of cycles, mem util "
+            << report.memUtilization(c) * 100.0 << "%, VSA util "
+            << report.vsaUtilization(c) * 100.0 << "% (" << s.kernels
+            << " kernels)\n";
+    }
+    return oss.str();
+}
+
+} // namespace unizk

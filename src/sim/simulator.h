@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The simulation engine: runs a recorded KernelTrace through the
+ * mappers and aggregates cycles, memory requests, and utilization per
+ * kernel class -- producing the quantities behind Tables 3 and 4 and
+ * Figures 8-10 of the paper.
+ */
+
+#ifndef UNIZK_SIM_SIMULATOR_H
+#define UNIZK_SIM_SIMULATOR_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/mappers.h"
+
+namespace unizk {
+
+/** Aggregated statistics for one kernel class. */
+struct ClassStats
+{
+    uint64_t cycles = 0;
+    uint64_t computeCycles = 0;
+    uint64_t memCycles = 0;
+    uint64_t busBytes = 0;
+    uint64_t usefulBytes = 0;
+    uint64_t readRequests = 0;
+    uint64_t writeRequests = 0;
+    uint64_t kernels = 0;
+};
+
+/** Result of simulating one proof-generation trace. */
+struct SimReport
+{
+    uint64_t totalCycles = 0;
+    std::array<ClassStats,
+               static_cast<size_t>(KernelClass::NumClasses)>
+        perClass{};
+    HardwareConfig config;
+
+    const ClassStats &
+    classStats(KernelClass c) const
+    {
+        return perClass[static_cast<size_t>(c)];
+    }
+
+    /** Simulated wall-clock time. */
+    double seconds() const { return config.cyclesToSeconds(totalCycles); }
+
+    /** Fraction of total cycles spent in class @p c. */
+    double cycleFraction(KernelClass c) const;
+
+    /**
+     * Memory-bandwidth utilization while kernels of class @p c run
+     * (bus bytes moved / peak capacity over those cycles) -- Table 4.
+     */
+    double memUtilization(KernelClass c) const;
+
+    /**
+     * VSA utilization while kernels of class @p c run (compute demand /
+     * available VSA cycles) -- Table 4.
+     */
+    double vsaUtilization(KernelClass c) const;
+
+    uint64_t totalReadRequests() const;
+    uint64_t totalWriteRequests() const;
+};
+
+/** Simulate an entire kernel trace on the given hardware. */
+SimReport simulateTrace(const KernelTrace &trace,
+                        const HardwareConfig &cfg);
+
+/** One-line per-class summary (for log output). */
+std::string formatReport(const SimReport &report);
+
+} // namespace unizk
+
+#endif // UNIZK_SIM_SIMULATOR_H

@@ -1,0 +1,38 @@
+#include "trace/kernel_trace.h"
+
+namespace unizk {
+
+namespace {
+
+struct NameVisitor
+{
+    const char *operator()(const NttKernel &) const { return "ntt"; }
+    const char *operator()(const MerkleKernel &) const { return "merkle"; }
+    const char *operator()(const HashKernel &) const { return "hash"; }
+    const char *operator()(const VecOpKernel &) const { return "vecop"; }
+    const char *
+    operator()(const PartialProductKernel &) const
+    {
+        return "partial_product";
+    }
+    const char *
+    operator()(const TransposeKernel &) const
+    {
+        return "transpose";
+    }
+    const char *
+    operator()(const SumCheckKernel &) const
+    {
+        return "sumcheck";
+    }
+};
+
+} // namespace
+
+const char *
+kernelPayloadName(const KernelPayload &payload)
+{
+    return std::visit(NameVisitor{}, payload);
+}
+
+} // namespace unizk

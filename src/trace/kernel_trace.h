@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The kernel-level intermediate representation connecting the protocol
+ * implementations to the UniZK simulator.
+ *
+ * Section 5.5 of the paper describes a compiler whose frontend converts
+ * functions of the ZKP library into computation graphs of kernels, and
+ * whose backend maps each kernel onto the hardware. Here the "frontend"
+ * is a TraceRecorder the protocol code (Plonk/Stark/FRI provers) calls
+ * at every kernel invocation; the recorded KernelTrace is the input to
+ * the simulator backend in src/sim.
+ */
+
+#ifndef UNIZK_TRACE_KERNEL_TRACE_H
+#define UNIZK_TRACE_KERNEL_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace unizk {
+
+/** Memory layout of a batch of polynomials (Section 5.1). */
+enum class PolyLayout
+{
+    PolyMajor,  ///< each polynomial stored contiguously
+    IndexMajor, ///< same-position elements of all polynomials contiguous
+};
+
+/** A batch of same-size NTTs. */
+struct NttKernel
+{
+    uint32_t logSize = 0;   ///< log2 of each NTT's length
+    uint64_t batch = 1;     ///< number of independent NTTs
+    bool inverse = false;
+    bool coset = false;
+    bool bitrevOutput = false; ///< NR variant (vs NN)
+    PolyLayout layout = PolyLayout::PolyMajor;
+};
+
+/** Merkle-tree construction over hashed leaves. */
+struct MerkleKernel
+{
+    uint64_t leafCount = 0;
+    uint32_t leafLength = 0; ///< field elements per leaf
+    uint32_t capHeight = 0;
+};
+
+/** Standalone hashing (Fiat-Shamir, proof-of-work). */
+struct HashKernel
+{
+    uint64_t permutations = 0;
+};
+
+/**
+ * Element-wise polynomial computation over vectors of a given length:
+ * reads `inputVectors` operand vectors, performs `opsPerElement`
+ * modular operations per element, writes `outputVectors` results.
+ * `randomAccessBytes` models irregular (gate-evaluation style) accesses
+ * whose small granularity underutilizes DRAM bandwidth (Section 7.1).
+ */
+struct VecOpKernel
+{
+    uint64_t length = 0;
+    uint32_t inputVectors = 1;
+    uint32_t outputVectors = 1;
+    uint32_t opsPerElement = 1;
+    uint32_t randomAccessGranularity = 0; ///< bytes; 0 = sequential
+};
+
+/** Quotient-chunk partial products (paper Eq. 1-2, Fig. 6). */
+struct PartialProductKernel
+{
+    uint64_t length = 0;    ///< number of q values
+    uint32_t chunkSize = 8;
+};
+
+/** Explicit data-layout transformation (transpose). */
+struct TransposeKernel
+{
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+};
+
+/**
+ * Sum-check dynamic-programming rounds over a 2^logSize table
+ * (paper Sec. 8.1, Algorithm 2): per round a vector sum (mapped onto
+ * the inter-PE reduction links) and a halving vector update (vector
+ * mode).
+ */
+struct SumCheckKernel
+{
+    uint32_t logSize = 0;
+};
+
+using KernelPayload =
+    std::variant<NttKernel, MerkleKernel, HashKernel, VecOpKernel,
+                 PartialProductKernel, TransposeKernel, SumCheckKernel>;
+
+/** One node of the computation graph. */
+struct KernelOp
+{
+    KernelPayload payload;
+    std::string label; ///< human-readable provenance, e.g. "wires commit"
+};
+
+/** The recorded computation graph (kernels in issue order). */
+struct KernelTrace
+{
+    std::vector<KernelOp> ops;
+
+    size_t size() const { return ops.size(); }
+};
+
+/** Records kernels as the protocol executes. */
+class TraceRecorder
+{
+  public:
+    void
+    record(KernelPayload payload, std::string label)
+    {
+        trace_.ops.push_back({std::move(payload), std::move(label)});
+    }
+
+    const KernelTrace &trace() const { return trace_; }
+
+    KernelTrace takeTrace() { return std::move(trace_); }
+
+  private:
+    KernelTrace trace_;
+};
+
+/** Printable kernel-type name for reports. */
+const char *kernelPayloadName(const KernelPayload &payload);
+
+} // namespace unizk
+
+#endif // UNIZK_TRACE_KERNEL_TRACE_H

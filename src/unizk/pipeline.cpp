@@ -1,0 +1,70 @@
+#include "unizk/pipeline.h"
+
+namespace unizk {
+
+AppRunResult
+runPlonky2App(AppId app, size_t rows, size_t repetitions,
+              const FriConfig &cfg, const HardwareConfig &hw,
+              bool verify_proof)
+{
+    AppRunResult result;
+    result.app = appName(app);
+    result.repetitions = repetitions;
+
+    PlonkApp instance = buildPlonkApp(app, rows, repetitions);
+    result.rows = instance.circuit.rows();
+
+    // Setup (preprocessing) is offline in Plonky2 and excluded from the
+    // measured proving time, like the paper excludes Arithmetization.
+    ProverContext setup_ctx;
+    const PlonkProvingKey key =
+        plonkSetup(instance.circuit, cfg, setup_ctx);
+
+    TraceRecorder recorder;
+    ProverContext ctx;
+    ctx.breakdown = &result.cpuBreakdown;
+    ctx.recorder = &recorder;
+
+    const Stopwatch watch;
+    const PlonkProof proof =
+        plonkProve(instance.circuit, key, instance.witnesses, cfg, ctx);
+    result.cpuSeconds = watch.elapsedSeconds();
+
+    result.trace = recorder.takeTrace();
+    result.sim = simulateTrace(result.trace, hw);
+    result.proofBytes = proof.byteSize();
+    result.verified =
+        !verify_proof ||
+        plonkVerify(key.constants->cap(), proof, cfg);
+    return result;
+}
+
+AppRunResult
+runStarkyApp(AppId app, size_t rows, const FriConfig &cfg,
+             const HardwareConfig &hw, bool verify_proof)
+{
+    AppRunResult result;
+    result.app = appName(app);
+
+    StarkApp instance = buildStarkApp(app, rows);
+    result.rows = rows;
+
+    TraceRecorder recorder;
+    ProverContext ctx;
+    ctx.breakdown = &result.cpuBreakdown;
+    ctx.recorder = &recorder;
+
+    const Stopwatch watch;
+    const StarkProof proof =
+        starkProve(*instance.air, instance.trace, cfg, ctx);
+    result.cpuSeconds = watch.elapsedSeconds();
+
+    result.trace = recorder.takeTrace();
+    result.sim = simulateTrace(result.trace, hw);
+    result.proofBytes = proof.byteSize();
+    result.verified =
+        !verify_proof || starkVerify(*instance.air, proof, cfg);
+    return result;
+}
+
+} // namespace unizk

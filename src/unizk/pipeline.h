@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Top-level experiment pipeline: build a workload, run the CPU prover
+ * with kernel-time instrumentation (Table 1), record the kernel trace,
+ * simulate UniZK on it (Tables 3-4, Figures 8-10), and verify the
+ * produced proof. This is the public API the examples and all bench
+ * harnesses drive.
+ */
+
+#ifndef UNIZK_UNIZK_PIPELINE_H
+#define UNIZK_UNIZK_PIPELINE_H
+
+#include <string>
+
+#include "fri/fri_config.h"
+#include "plonk/plonk.h"
+#include "sim/simulator.h"
+#include "stark/stark.h"
+#include "workloads/apps.h"
+
+namespace unizk {
+
+/** Outcome of one end-to-end run (CPU proof + UniZK simulation). */
+struct AppRunResult
+{
+    std::string app;
+    size_t rows = 0;
+    size_t repetitions = 0; ///< Plonk only
+
+    /** Measured single-thread CPU proving time (seconds). */
+    double cpuSeconds = 0.0;
+
+    /** CPU time split by kernel class (Table 1). */
+    KernelTimeBreakdown cpuBreakdown;
+
+    /** Recorded kernel trace (the compiler frontend's output). */
+    KernelTrace trace;
+
+    /** UniZK simulation of the same proof generation. */
+    SimReport sim;
+
+    size_t proofBytes = 0;
+    bool verified = false;
+
+    /** UniZK speedup over the measured single-thread CPU. */
+    double
+    speedupVsCpu() const
+    {
+        return sim.seconds() > 0 ? cpuSeconds / sim.seconds() : 0.0;
+    }
+};
+
+/**
+ * The paper's multithreaded CPU baseline scales ~10x over one thread
+ * (Table 1 vs Table 3: e.g. Factorial 580 s single-thread vs 57.6 s on
+ * 80 threads). We report speedups against this modeled parallel CPU so
+ * magnitudes are comparable with the paper's Table 3.
+ */
+constexpr double cpuParallelSpeedup = 10.0;
+
+/** Prove @p app under Plonky2 configuration and simulate UniZK. */
+AppRunResult runPlonky2App(AppId app, size_t rows, size_t repetitions,
+                           const FriConfig &cfg,
+                           const HardwareConfig &hw,
+                           bool verify_proof = true);
+
+/** Prove @p app under Starky configuration and simulate UniZK. */
+AppRunResult runStarkyApp(AppId app, size_t rows, const FriConfig &cfg,
+                          const HardwareConfig &hw,
+                          bool verify_proof = true);
+
+} // namespace unizk
+
+#endif // UNIZK_UNIZK_PIPELINE_H

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit tricks, RNG determinism, and
+ * the kernel-time breakdown accounting used for Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace unizk {
+namespace {
+
+TEST(Bits, PowerOfTwoPredicates)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(uint64_t{1} << 63));
+    EXPECT_FALSE(isPowerOfTwo((uint64_t{1} << 63) + 1));
+}
+
+TEST(Bits, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(1024), 10u);
+    EXPECT_EQ(log2Exact(uint64_t{1} << 40), 40u);
+}
+
+TEST(Bits, NextPowerOfTwo)
+{
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(3), 4u);
+    EXPECT_EQ(nextPowerOfTwo(4), 4u);
+    EXPECT_EQ(nextPowerOfTwo(1000), 1024u);
+}
+
+TEST(Bits, ReverseBits)
+{
+    EXPECT_EQ(reverseBits(0b001, 3), 0b100u);
+    EXPECT_EQ(reverseBits(0b110, 3), 0b011u);
+    EXPECT_EQ(reverseBits(1, 10), uint64_t{1} << 9);
+    // Involution.
+    for (uint64_t x = 0; x < 64; ++x)
+        EXPECT_EQ(reverseBits(reverseBits(x, 6), 6), x);
+}
+
+TEST(Bits, BitReversePermuteIsInvolution)
+{
+    std::vector<int> v(16);
+    for (int i = 0; i < 16; ++i)
+        v[i] = i;
+    auto orig = v;
+    bitReversePermute(v);
+    EXPECT_NE(v, orig);
+    bitReversePermute(v);
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Bits, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2u);
+    EXPECT_EQ(ceilDiv(11, 5), 3u);
+    EXPECT_EQ(ceilDiv(1, 5), 1u);
+}
+
+TEST(Rng, Deterministic)
+{
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    SplitMix64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Stats, BreakdownFractionsSumToOne)
+{
+    KernelTimeBreakdown b;
+    b.add(KernelClass::Ntt, 2.0);
+    b.add(KernelClass::MerkleTree, 6.0);
+    b.add(KernelClass::Polynomial, 1.5);
+    b.add(KernelClass::LayoutTransform, 0.5);
+    EXPECT_DOUBLE_EQ(b.total(), 10.0);
+    EXPECT_DOUBLE_EQ(b.fraction(KernelClass::MerkleTree), 0.6);
+    double sum = 0;
+    for (size_t i = 0; i < static_cast<size_t>(KernelClass::NumClasses);
+         ++i) {
+        sum += b.fraction(static_cast<KernelClass>(i));
+    }
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(Stats, Accumulate)
+{
+    KernelTimeBreakdown a, b;
+    a.add(KernelClass::Ntt, 1.0);
+    b.add(KernelClass::Ntt, 2.0);
+    b.add(KernelClass::OtherHash, 3.0);
+    a += b;
+    EXPECT_DOUBLE_EQ(a.seconds(KernelClass::Ntt), 3.0);
+    EXPECT_DOUBLE_EQ(a.seconds(KernelClass::OtherHash), 3.0);
+}
+
+TEST(Stats, EmptyBreakdownFractionIsZero)
+{
+    KernelTimeBreakdown b;
+    EXPECT_DOUBLE_EQ(b.fraction(KernelClass::Ntt), 0.0);
+}
+
+TEST(Cli, ParsesKeyValuePairs)
+{
+    const char *argv[] = {"prog", "--rows", "4096", "--name", "mvm"};
+    CliOptions cli(5, const_cast<char **>(argv));
+    EXPECT_EQ(cli.getUint("rows", 0), 4096u);
+    EXPECT_EQ(cli.getString("name", ""), "mvm");
+}
+
+TEST(Cli, DefaultsWhenMissing)
+{
+    const char *argv[] = {"prog"};
+    CliOptions cli(1, const_cast<char **>(argv));
+    EXPECT_EQ(cli.getUint("rows", 77), 77u);
+    EXPECT_DOUBLE_EQ(cli.getDouble("scale", 1.5), 1.5);
+    EXPECT_EQ(cli.getString("name", "def"), "def");
+    EXPECT_FALSE(cli.has("rows"));
+}
+
+TEST(Cli, BareFlags)
+{
+    const char *argv[] = {"prog", "--fast", "--rows", "8"};
+    CliOptions cli(4, const_cast<char **>(argv));
+    EXPECT_TRUE(cli.has("fast"));
+    EXPECT_EQ(cli.getUint("rows", 0), 8u);
+    // A bare flag queried as an integer falls back to the default.
+    EXPECT_EQ(cli.getUint("fast", 3), 3u);
+}
+
+TEST(Cli, HexAndDoubleValues)
+{
+    const char *argv[] = {"prog", "--addr", "0x40", "--f", "2.25"};
+    CliOptions cli(5, const_cast<char **>(argv));
+    EXPECT_EQ(cli.getUint("addr", 0), 64u);
+    EXPECT_DOUBLE_EQ(cli.getDouble("f", 0), 2.25);
+}
+
+TEST(Cli, LastOccurrenceWins)
+{
+    const char *argv[] = {"prog", "--rows", "1", "--rows", "2"};
+    CliOptions cli(5, const_cast<char **>(argv));
+    EXPECT_EQ(cli.getUint("rows", 0), 2u);
+}
+
+TEST(Stats, ScaledBy)
+{
+    KernelTimeBreakdown b;
+    b.add(KernelClass::Ntt, 4.0);
+    b.add(KernelClass::MerkleTree, 6.0);
+    const KernelTimeBreakdown s = b.scaledBy(0.5);
+    EXPECT_DOUBLE_EQ(s.seconds(KernelClass::Ntt), 2.0);
+    EXPECT_DOUBLE_EQ(s.total(), 5.0);
+    // Fractions are scale-invariant.
+    EXPECT_DOUBLE_EQ(s.fraction(KernelClass::MerkleTree),
+                     b.fraction(KernelClass::MerkleTree));
+}
+
+} // namespace
+} // namespace unizk

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the dense field-matrix algebra used by the Poseidon linear
+ * layer factorization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "field/matrix.h"
+
+namespace unizk {
+namespace {
+
+FpMatrix
+randomMatrix(size_t n, uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    FpMatrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            m.at(i, j) = randomFp(rng);
+    return m;
+}
+
+TEST(Matrix, IdentityMultiplication)
+{
+    const auto m = randomMatrix(5, 1);
+    const auto id = FpMatrix::identity(5);
+    EXPECT_EQ(m.mul(id), m);
+    EXPECT_EQ(id.mul(m), m);
+}
+
+TEST(Matrix, AssociativeMultiplication)
+{
+    const auto a = randomMatrix(4, 2);
+    const auto b = randomMatrix(4, 3);
+    const auto c = randomMatrix(4, 4);
+    EXPECT_EQ(a.mul(b).mul(c), a.mul(b.mul(c)));
+}
+
+TEST(Matrix, InverseRoundTrip)
+{
+    const auto m = randomMatrix(8, 5);
+    const auto inv = m.inverse();
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ(m.mul(*inv), FpMatrix::identity(8));
+    EXPECT_EQ(inv->mul(m), FpMatrix::identity(8));
+}
+
+TEST(Matrix, SingularHasNoInverse)
+{
+    FpMatrix m(3, 3);
+    // Rank-1 matrix.
+    for (size_t i = 0; i < 3; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            m.at(i, j) = Fp((i + 1) * (j + 1));
+    EXPECT_FALSE(m.inverse().has_value());
+    EXPECT_TRUE(m.determinant().isZero());
+}
+
+TEST(Matrix, DeterminantMultiplicative)
+{
+    const auto a = randomMatrix(5, 7);
+    const auto b = randomMatrix(5, 8);
+    EXPECT_EQ(a.mul(b).determinant(), a.determinant() * b.determinant());
+}
+
+TEST(Matrix, DeterminantOfIdentity)
+{
+    EXPECT_EQ(FpMatrix::identity(6).determinant(), Fp::one());
+}
+
+TEST(Matrix, MulVectorMatchesManual)
+{
+    FpMatrix m(2, 3);
+    m.at(0, 0) = Fp(1);
+    m.at(0, 1) = Fp(2);
+    m.at(0, 2) = Fp(3);
+    m.at(1, 0) = Fp(4);
+    m.at(1, 1) = Fp(5);
+    m.at(1, 2) = Fp(6);
+    const std::vector<Fp> v{Fp(7), Fp(8), Fp(9)};
+    const auto out = m.mulVector(v);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], Fp(1 * 7 + 2 * 8 + 3 * 9));
+    EXPECT_EQ(out[1], Fp(4 * 7 + 5 * 8 + 6 * 9));
+}
+
+TEST(Matrix, VecMulIsTransposeOfMulVector)
+{
+    const auto m = randomMatrix(6, 11);
+    SplitMix64 rng(12);
+    std::vector<Fp> v(6);
+    for (auto &x : v)
+        x = randomFp(rng);
+    EXPECT_EQ(m.vecMul(v), m.transposed().mulVector(v));
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    const auto m = randomMatrix(7, 13);
+    EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(Matrix, MinorRemovesRowCol)
+{
+    const auto m = randomMatrix(4, 17);
+    const auto sub = m.minorMatrix(1, 2);
+    EXPECT_EQ(sub.rows(), 3u);
+    EXPECT_EQ(sub.cols(), 3u);
+    EXPECT_EQ(sub.at(0, 0), m.at(0, 0));
+    EXPECT_EQ(sub.at(1, 0), m.at(2, 0));
+    EXPECT_EQ(sub.at(1, 2), m.at(2, 3));
+}
+
+TEST(Matrix, CauchyMatrixIsMds)
+{
+    // Cauchy matrix 1/(x_i + y_j) with distinct x, y is MDS.
+    const size_t n = 4;
+    FpMatrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            m.at(i, j) = Fp(i + n + j + 1).inverse();
+    EXPECT_TRUE(m.isMds());
+}
+
+TEST(Matrix, MatrixWithZeroEntryIsNotMds)
+{
+    auto m = randomMatrix(4, 19);
+    m.at(2, 2) = Fp::zero(); // 1x1 minor vanishes
+    EXPECT_FALSE(m.isMds());
+}
+
+} // namespace
+} // namespace unizk

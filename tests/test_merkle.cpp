@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the Merkle tree: construction, proofs against caps of
+ * various heights, tamper detection, and permutation-count accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "merkle/merkle_tree.h"
+
+namespace unizk {
+namespace {
+
+std::vector<std::vector<Fp>>
+randomLeaves(size_t count, size_t len, uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    std::vector<std::vector<Fp>> leaves(count);
+    for (auto &leaf : leaves) {
+        leaf.resize(len);
+        for (auto &x : leaf)
+            x = randomFp(rng);
+    }
+    return leaves;
+}
+
+class MerkleShapes
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint32_t>>
+{};
+
+TEST_P(MerkleShapes, AllLeavesVerify)
+{
+    const auto [count, len, cap_h] = GetParam();
+    const auto leaves = randomLeaves(count, len, count + len);
+    MerkleTree tree(leaves, cap_h);
+    EXPECT_EQ(tree.cap().size(), size_t{1} << cap_h);
+    for (size_t i = 0; i < count; ++i) {
+        const auto proof = tree.prove(i);
+        EXPECT_TRUE(
+            MerkleTree::verify(leaves[i], i, proof, tree.cap()))
+            << "leaf " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MerkleShapes,
+    ::testing::Values(std::make_tuple(8, 5, 0),
+                      std::make_tuple(16, 1, 0),
+                      std::make_tuple(16, 135, 2), // paper leaf width
+                      std::make_tuple(64, 12, 4),
+                      std::make_tuple(4, 20, 2),   // cap == leaf level
+                      std::make_tuple(2, 3, 0)));
+
+TEST(Merkle, TamperedLeafFails)
+{
+    const auto leaves = randomLeaves(16, 7, 1);
+    MerkleTree tree(leaves, 1);
+    const auto proof = tree.prove(5);
+    auto bad = leaves[5];
+    bad[3] += Fp::one();
+    EXPECT_FALSE(MerkleTree::verify(bad, 5, proof, tree.cap()));
+}
+
+TEST(Merkle, WrongIndexFails)
+{
+    const auto leaves = randomLeaves(16, 7, 2);
+    MerkleTree tree(leaves, 0);
+    const auto proof = tree.prove(5);
+    EXPECT_FALSE(MerkleTree::verify(tree.leaf(5), 6, proof, tree.cap()));
+}
+
+TEST(Merkle, TamperedSiblingFails)
+{
+    const auto leaves = randomLeaves(16, 7, 3);
+    MerkleTree tree(leaves, 0);
+    auto proof = tree.prove(9);
+    proof.siblings[1].elems[0] += Fp::one();
+    EXPECT_FALSE(MerkleTree::verify(tree.leaf(9), 9, proof, tree.cap()));
+}
+
+TEST(Merkle, WrongCapFails)
+{
+    const auto leaves = randomLeaves(8, 7, 4);
+    MerkleTree tree(leaves, 1);
+    const auto proof = tree.prove(2);
+    auto cap = tree.cap();
+    cap[0].elems[0] += Fp::one();
+    // Index 2 maps to cap entry 0; corrupting it must break
+    // verification.
+    EXPECT_FALSE(MerkleTree::verify(tree.leaf(2), 2, proof, cap));
+}
+
+TEST(Merkle, ProofLengthMatchesHeightMinusCap)
+{
+    const auto leaves = randomLeaves(64, 3, 5);
+    MerkleTree tree(leaves, 2);
+    EXPECT_EQ(tree.prove(0).siblings.size(), 4u); // log2(64) - 2
+}
+
+TEST(Merkle, CapAtLeafLevel)
+{
+    // cap_height == tree height: the cap IS the leaf hashes, proofs are
+    // empty.
+    const auto leaves = randomLeaves(8, 6, 6);
+    MerkleTree tree(leaves, 3);
+    const auto proof = tree.prove(4);
+    EXPECT_TRUE(proof.siblings.empty());
+    EXPECT_TRUE(MerkleTree::verify(leaves[4], 4, proof, tree.cap()));
+}
+
+TEST(Merkle, DeterministicCap)
+{
+    const auto leaves = randomLeaves(16, 5, 7);
+    MerkleTree t1(leaves, 1);
+    MerkleTree t2(leaves, 1);
+    EXPECT_EQ(t1.cap()[0], t2.cap()[0]);
+    EXPECT_EQ(t1.cap()[1], t2.cap()[1]);
+}
+
+TEST(Merkle, DifferentLeavesDifferentCap)
+{
+    auto leaves = randomLeaves(16, 5, 8);
+    MerkleTree t1(leaves, 0);
+    leaves[11][0] += Fp::one();
+    MerkleTree t2(leaves, 0);
+    EXPECT_NE(t1.cap()[0], t2.cap()[0]);
+}
+
+TEST(Merkle, PermutationCountAccounting)
+{
+    // 16 leaves of 135 elements with cap height 1:
+    // leaves: ceil(135/8)=17 perms each; interior: 16 - 2 = 14.
+    EXPECT_EQ(MerkleTree::permutationCount(16, 135, 1), 16 * 17 + 14u);
+    // Short leaves (<=4 elements) are packed, not hashed.
+    EXPECT_EQ(MerkleTree::permutationCount(8, 3, 0), 7u);
+}
+
+TEST(Merkle, ProofByteSize)
+{
+    const auto leaves = randomLeaves(16, 5, 9);
+    MerkleTree tree(leaves, 0);
+    EXPECT_EQ(tree.prove(0).byteSize(), 4 * HashOut::byteSize());
+}
+
+} // namespace
+} // namespace unizk

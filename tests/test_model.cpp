@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the analytical models: the Table 2 area/power breakdown,
+ * the GPU baseline estimate, and the PipeZK/Groth16 cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/area_power.h"
+#include "model/gpu_model.h"
+#include "model/pipezk_model.h"
+
+namespace unizk {
+namespace {
+
+TEST(AreaPower, DefaultConfigReproducesTable2)
+{
+    const ChipCost cost =
+        estimateChipCost(HardwareConfig::paperDefault(), 2);
+    ASSERT_EQ(cost.components.size(), 5u);
+    // Paper Table 2: total 57.8 mm^2, 96.4 W.
+    EXPECT_NEAR(cost.totalAreaMm2(), 57.8, 0.1);
+    EXPECT_NEAR(cost.totalPowerW(), 96.4, 0.1);
+    EXPECT_NEAR(cost.components[0].areaMm2, 21.3, 0.05); // VSAs
+    EXPECT_NEAR(cost.components[0].powerW, 58.0, 0.05);
+    EXPECT_NEAR(cost.components[4].areaMm2, 29.8, 0.05); // HBM PHYs
+}
+
+TEST(AreaPower, ScalesWithVsaCount)
+{
+    HardwareConfig cfg = HardwareConfig::paperDefault();
+    cfg.numVsas = 64;
+    const ChipCost cost = estimateChipCost(cfg, 2);
+    EXPECT_NEAR(cost.components[0].areaMm2, 2 * 21.3, 0.1);
+}
+
+TEST(AreaPower, ScalesWithScratchpad)
+{
+    HardwareConfig cfg = HardwareConfig::paperDefault();
+    cfg.scratchpadBytes = 16ull << 20;
+    const ChipCost cost = estimateChipCost(cfg, 2);
+    EXPECT_NEAR(cost.components[1].areaMm2, 10.0, 0.1);
+}
+
+TEST(GpuModel, SpeedupCapsAtAcceleratedShare)
+{
+    // If kernels were infinitely fast on the GPU, total time still
+    // includes host-resident work -- Amdahl, as the paper stresses.
+    KernelTimeBreakdown cpu;
+    cpu.add(KernelClass::Ntt, 10.0);
+    cpu.add(KernelClass::MerkleTree, 30.0);
+    cpu.add(KernelClass::Polynomial, 8.0);
+    cpu.add(KernelClass::OtherHash, 2.0);
+
+    KernelTrace trace; // empty trace: no transfer cost
+    GpuModelParams params;
+    params.nttSpeedup = 1e9;
+    params.hashSpeedup = 1e9;
+    params.polySpeedup = 1e9;
+    const GpuEstimate est = estimateGpuTime(cpu, trace, params);
+    EXPECT_NEAR(est.totalSeconds, 2.0, 1e-6);
+}
+
+TEST(GpuModel, RealisticParamsGiveModestSpeedup)
+{
+    // Paper Table 3: GPU speedups land between 1.2x and 4.6x.
+    KernelTimeBreakdown cpu;
+    cpu.add(KernelClass::Ntt, 10.0);
+    cpu.add(KernelClass::MerkleTree, 33.0);
+    cpu.add(KernelClass::Polynomial, 6.0);
+    cpu.add(KernelClass::OtherHash, 0.1);
+    cpu.add(KernelClass::LayoutTransform, 1.2);
+
+    KernelTrace trace;
+    trace.ops.push_back(
+        {NttKernel{20, 135, true, false, false, PolyLayout::PolyMajor},
+         "intt"});
+    trace.ops.push_back({HashKernel{100}, "fiat-shamir"});
+    trace.ops.push_back({MerkleKernel{1 << 23, 135, 4}, "tree"});
+
+    const GpuEstimate est = estimateGpuTime(cpu, trace, {});
+    const double speedup = cpu.total() / est.totalSeconds;
+    EXPECT_GT(speedup, 1.2);
+    EXPECT_LT(speedup, 8.0);
+}
+
+TEST(GpuModel, TransfersChargedOnHostDeviceBoundaries)
+{
+    KernelTimeBreakdown cpu;
+    cpu.add(KernelClass::Ntt, 1.0);
+
+    // GPU kernel sandwiched between host kernels: pays transfers.
+    KernelTrace bouncing;
+    bouncing.ops.push_back({HashKernel{10}, "host"});
+    bouncing.ops.push_back(
+        {NttKernel{24, 64, false, false, false, PolyLayout::PolyMajor},
+         "gpu"});
+    bouncing.ops.push_back({HashKernel{10}, "host"});
+    bouncing.ops.push_back(
+        {NttKernel{24, 64, false, false, false, PolyLayout::PolyMajor},
+         "gpu"});
+
+    KernelTrace fused;
+    fused.ops.push_back({HashKernel{10}, "host"});
+    fused.ops.push_back(
+        {NttKernel{24, 64, false, false, false, PolyLayout::PolyMajor},
+         "gpu"});
+    fused.ops.push_back(
+        {NttKernel{24, 64, false, false, false, PolyLayout::PolyMajor},
+         "gpu"});
+
+    const GpuEstimate b = estimateGpuTime(cpu, bouncing, {});
+    const GpuEstimate f = estimateGpuTime(cpu, fused, {});
+    EXPECT_GT(b.transferSeconds, f.transferSeconds);
+}
+
+TEST(PipezkModel, ReproducesPublishedDesignPoints)
+{
+    const Groth16CostModel model;
+    const auto sha = Groth16Circuit::sha256OneBlock();
+    const auto aes = Groth16Circuit::aes128OneBlock();
+    // Paper Table 6: CPU Groth16 1.5 s / 1.1 s; PipeZK 102 ms / 97 ms.
+    EXPECT_NEAR(model.cpuSeconds(sha), 1.5, 0.1);
+    EXPECT_NEAR(model.cpuSeconds(aes), 1.1, 0.1);
+    EXPECT_NEAR(model.pipezkSeconds(sha), 0.102, 0.01);
+    EXPECT_NEAR(model.pipezkSeconds(aes), 0.097, 0.03);
+}
+
+TEST(PipezkModel, AsicPortionIsFraction)
+{
+    const Groth16CostModel model;
+    const auto sha = Groth16Circuit::sha256OneBlock();
+    EXPECT_NEAR(model.pipezkAsicOnlySeconds(sha) /
+                    model.pipezkSeconds(sha),
+                model.asicFraction, 1e-9);
+}
+
+TEST(PipezkModel, BlockThroughputMatchesPaper)
+{
+    // Paper: "PipeZK ... processes 10 blocks per second for SHA-256".
+    const Groth16CostModel model;
+    EXPECT_NEAR(model.pipezkBlocksPerSecond(
+                    Groth16Circuit::sha256OneBlock()),
+                10.0, 1.0);
+}
+
+} // namespace
+} // namespace unizk

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the NTT library: all order/coset variants against the naive
+ * DFT, inverse round trips, convolution property, LDE, and the
+ * multi-dimensional decomposition used by the hardware mapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "ntt/ntt.h"
+
+namespace unizk {
+namespace {
+
+std::vector<Fp>
+randomVector(size_t n, uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    std::vector<Fp> v(n);
+    for (auto &x : v)
+        x = randomFp(rng);
+    return v;
+}
+
+class NttSizes : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(NttSizes, NttNNMatchesNaiveDft)
+{
+    const size_t n = GetParam();
+    auto a = randomVector(n, n);
+    const auto expect = naiveDft(a, Fp::one());
+    nttNN(a);
+    EXPECT_EQ(a, expect);
+}
+
+TEST_P(NttSizes, NttNRIsBitReversedNN)
+{
+    const size_t n = GetParam();
+    auto a = randomVector(n, n + 1);
+    auto b = a;
+    nttNN(a);
+    nttNR(b);
+    bitReversePermute(b);
+    EXPECT_EQ(a, b);
+}
+
+TEST_P(NttSizes, NttRNConsumesBitReversedInput)
+{
+    const size_t n = GetParam();
+    auto a = randomVector(n, n + 2);
+    auto b = a;
+    nttNN(a);
+    bitReversePermute(b); // present input in bit-reversed order
+    nttRN(b);
+    EXPECT_EQ(a, b);
+}
+
+TEST_P(NttSizes, InverseRoundTripNN)
+{
+    const size_t n = GetParam();
+    const auto orig = randomVector(n, n + 3);
+    auto a = orig;
+    nttNN(a);
+    inttNN(a);
+    EXPECT_EQ(a, orig);
+}
+
+TEST_P(NttSizes, InverseRoundTripNRThenRN)
+{
+    const size_t n = GetParam();
+    const auto orig = randomVector(n, n + 4);
+    auto a = orig;
+    nttNR(a);   // natural coeffs -> bit-reversed values
+    inttRN(a);  // bit-reversed values -> natural coeffs
+    EXPECT_EQ(a, orig);
+}
+
+TEST_P(NttSizes, InttNRThenNttRN)
+{
+    const size_t n = GetParam();
+    const auto orig = randomVector(n, n + 5);
+    auto a = orig;
+    inttNR(a);
+    nttRN(a);
+    EXPECT_EQ(a, orig);
+}
+
+TEST_P(NttSizes, CosetNttMatchesNaive)
+{
+    const size_t n = GetParam();
+    const Fp shift = defaultCosetShift();
+    auto a = randomVector(n, n + 6);
+    const auto expect = naiveDft(a, shift);
+    cosetNttNN(a, shift);
+    EXPECT_EQ(a, expect);
+}
+
+TEST_P(NttSizes, CosetInverseRoundTrip)
+{
+    const size_t n = GetParam();
+    const Fp shift = defaultCosetShift();
+    const auto orig = randomVector(n, n + 7);
+    auto a = orig;
+    cosetNttNN(a, shift);
+    cosetInttNN(a, shift);
+    EXPECT_EQ(a, orig);
+
+    auto b = orig;
+    cosetNttNR(b, shift);
+    cosetInttRN(b, shift);
+    EXPECT_EQ(b, orig);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, NttSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024));
+
+TEST(Ntt, NaiveIdftInvertsNaiveDft)
+{
+    const auto orig = randomVector(16, 99);
+    const Fp shift = Fp(5);
+    const auto vals = naiveDft(orig, shift);
+    EXPECT_EQ(naiveIdft(vals, shift), orig);
+}
+
+TEST(Ntt, ConvolutionTheorem)
+{
+    // Multiplying polynomials via pointwise products of NTTs.
+    const size_t n = 64;
+    auto a = randomVector(n / 2, 1);
+    auto b = randomVector(n / 2, 2);
+
+    // Schoolbook product.
+    std::vector<Fp> expect(n, Fp::zero());
+    for (size_t i = 0; i < a.size(); ++i)
+        for (size_t j = 0; j < b.size(); ++j)
+            expect[i + j] += a[i] * b[j];
+
+    a.resize(n, Fp::zero());
+    b.resize(n, Fp::zero());
+    nttNN(a);
+    nttNN(b);
+    std::vector<Fp> c(n);
+    for (size_t i = 0; i < n; ++i)
+        c[i] = a[i] * b[i];
+    inttNN(c);
+    EXPECT_EQ(c, expect);
+}
+
+TEST(Ntt, LdeAgreesWithNaiveCosetEvaluation)
+{
+    const size_t n = 32;
+    const uint32_t blowup = 8;
+    const Fp shift = defaultCosetShift();
+    const auto coeffs = randomVector(n, 3);
+
+    auto lde = lowDegreeExtension(coeffs, blowup, shift);
+    ASSERT_EQ(lde.size(), n * blowup);
+    bitReversePermute(lde); // back to natural order for comparison
+
+    auto padded = coeffs;
+    padded.resize(n * blowup, Fp::zero());
+    const auto expect = naiveDft(padded, shift);
+    EXPECT_EQ(lde, expect);
+}
+
+TEST(Ntt, LdePreservesLowDegreeStructure)
+{
+    // The LDE of a degree-(n-1) polynomial, restricted back via iNTT on
+    // the big domain, has zero coefficients above n.
+    const size_t n = 16;
+    const uint32_t blowup = 4;
+    const Fp shift = defaultCosetShift();
+    const auto coeffs = randomVector(n, 4);
+
+    auto lde = lowDegreeExtension(coeffs, blowup, shift);
+    cosetInttRN(lde, shift);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(lde[i], coeffs[i]);
+    for (size_t i = n; i < lde.size(); ++i)
+        EXPECT_TRUE(lde[i].isZero()) << "coefficient " << i;
+}
+
+TEST(Ntt, DecomposeDims)
+{
+    EXPECT_EQ(decomposeNttDims(9, 3), (std::vector<uint32_t>{3, 3, 3}));
+    EXPECT_EQ(decomposeNttDims(10, 3), (std::vector<uint32_t>{3, 3, 3, 1}));
+    EXPECT_EQ(decomposeNttDims(5, 5), (std::vector<uint32_t>{5}));
+    EXPECT_EQ(decomposeNttDims(2, 5), (std::vector<uint32_t>{2}));
+}
+
+class MultidimSizes
+    : public ::testing::TestWithParam<std::pair<size_t, uint32_t>>
+{};
+
+TEST_P(MultidimSizes, MatchesDirectNtt)
+{
+    const auto [n, log_max] = GetParam();
+    auto a = randomVector(n, n * 31 + log_max);
+    auto b = a;
+    nttNN(a);
+    multidimNttNN(b, log_max);
+    EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decompositions, MultidimSizes,
+    ::testing::Values(std::make_pair<size_t, uint32_t>(512, 3),  // 8x8x8
+                      std::make_pair<size_t, uint32_t>(1024, 5), // 32x32
+                      std::make_pair<size_t, uint32_t>(64, 5),   // 32x2
+                      std::make_pair<size_t, uint32_t>(256, 4),
+                      std::make_pair<size_t, uint32_t>(32, 5)));
+
+TEST(Ntt, SizeOneIsIdentity)
+{
+    std::vector<Fp> a{Fp(42)};
+    nttNN(a);
+    EXPECT_EQ(a[0], Fp(42));
+    inttNN(a);
+    EXPECT_EQ(a[0], Fp(42));
+}
+
+TEST(Ntt, LinearityProperty)
+{
+    const size_t n = 128;
+    const auto a = randomVector(n, 7);
+    const auto b = randomVector(n, 8);
+    SplitMix64 rng(9);
+    const Fp alpha = randomFp(rng);
+
+    std::vector<Fp> combo(n);
+    for (size_t i = 0; i < n; ++i)
+        combo[i] = a[i] * alpha + b[i];
+
+    auto fa = a, fb = b;
+    nttNN(fa);
+    nttNN(fb);
+    nttNN(combo);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(combo[i], fa[i] * alpha + fb[i]);
+}
+
+} // namespace
+} // namespace unizk

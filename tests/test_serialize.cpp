@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for proof serialization: byte-level primitives, round trips
+ * for every proof type (the round-tripped proof must still verify),
+ * and robustness against truncated / corrupted / non-canonical input.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "serialize/bytes.h"
+#include "serialize/proof_io.h"
+#include "workloads/apps.h"
+
+namespace unizk {
+namespace {
+
+TEST(Bytes, U64RoundTrip)
+{
+    ByteWriter w;
+    w.putU64(0);
+    w.putU64(~0ULL);
+    w.putU64(0x0123456789ABCDEFULL);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.getU64(), 0u);
+    EXPECT_EQ(r.getU64(), ~0ULL);
+    EXPECT_EQ(r.getU64(), 0x0123456789ABCDEFULL);
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, ReadPastEndFails)
+{
+    ByteWriter w;
+    w.putU64(5);
+    ByteReader r(w.bytes());
+    r.getU64();
+    r.getU64(); // past end
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, NonCanonicalFieldElementRejected)
+{
+    ByteWriter w;
+    w.putU64(Fp::modulus); // not a canonical residue
+    ByteReader r(w.bytes());
+    r.getFp();
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, FailedReaderStaysFailed)
+{
+    std::vector<uint8_t> empty;
+    ByteReader r(empty);
+    r.getU64();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.getU64(), 0u);
+    EXPECT_FALSE(r.exhausted());
+}
+
+TEST(Bytes, FpVectorBounded)
+{
+    ByteWriter w;
+    w.putU64(1000); // claimed length far beyond limit
+    ByteReader r(w.bytes());
+    r.getFpVector(10);
+    EXPECT_FALSE(r.ok());
+}
+
+/** Build a small verified Plonk proof once for the suite. */
+struct PlonkProofFixture
+{
+    FriConfig cfg = FriConfig::testing();
+    PlonkApp app = buildPlonkApp(AppId::Fibonacci, 64, 2);
+    PlonkProvingKey key;
+    PlonkProof proof;
+
+    PlonkProofFixture()
+    {
+        ProverContext ctx;
+        key = plonkSetup(app.circuit, cfg, ctx);
+        proof = plonkProve(app.circuit, key, app.witnesses, cfg, ctx);
+    }
+};
+
+TEST(ProofIo, PlonkRoundTripVerifies)
+{
+    PlonkProofFixture f;
+    const auto bytes = serializePlonkProof(f.proof);
+    EXPECT_GT(bytes.size(), 1000u);
+    const auto back = deserializePlonkProof(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(plonkVerify(f.key.constants->cap(), *back, f.cfg));
+    // Re-serialization is byte-identical (canonical encoding).
+    EXPECT_EQ(serializePlonkProof(*back), bytes);
+}
+
+TEST(ProofIo, PlonkTruncatedRejected)
+{
+    PlonkProofFixture f;
+    auto bytes = serializePlonkProof(f.proof);
+    for (const size_t keep :
+         {size_t{0}, size_t{7}, bytes.size() / 2, bytes.size() - 1}) {
+        std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + keep);
+        EXPECT_FALSE(deserializePlonkProof(cut).has_value())
+            << "kept " << keep;
+    }
+}
+
+TEST(ProofIo, PlonkTrailingGarbageRejected)
+{
+    PlonkProofFixture f;
+    auto bytes = serializePlonkProof(f.proof);
+    bytes.push_back(0);
+    EXPECT_FALSE(deserializePlonkProof(bytes).has_value());
+}
+
+TEST(ProofIo, PlonkCorruptedEitherRejectedOrFailsVerify)
+{
+    PlonkProofFixture f;
+    const auto bytes = serializePlonkProof(f.proof);
+    SplitMix64 rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        auto bad = bytes;
+        bad[rng.nextBelow(bad.size())] ^=
+            static_cast<uint8_t>(1 + rng.nextBelow(255));
+        const auto back = deserializePlonkProof(bad);
+        if (back.has_value()) {
+            EXPECT_FALSE(
+                plonkVerify(f.key.constants->cap(), *back, f.cfg))
+                << "trial " << trial;
+        }
+    }
+}
+
+TEST(ProofIo, StarkRoundTripVerifies)
+{
+    FriConfig cfg = FriConfig::testing();
+    cfg.blowupBits = 1;
+    cfg.numQueries = 10;
+    const StarkApp app = buildStarkApp(AppId::Fibonacci, 128);
+    ProverContext ctx;
+    const StarkProof proof = starkProve(*app.air, app.trace, cfg, ctx);
+
+    const auto bytes = serializeStarkProof(proof);
+    const auto back = deserializeStarkProof(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(starkVerify(*app.air, *back, cfg));
+    EXPECT_EQ(serializeStarkProof(*back), bytes);
+}
+
+TEST(ProofIo, StarkTruncatedRejected)
+{
+    FriConfig cfg = FriConfig::testing();
+    const StarkApp app = buildStarkApp(AppId::Factorial, 64);
+    ProverContext ctx;
+    const StarkProof proof = starkProve(*app.air, app.trace, cfg, ctx);
+    auto bytes = serializeStarkProof(proof);
+    bytes.resize(bytes.size() / 3);
+    EXPECT_FALSE(deserializeStarkProof(bytes).has_value());
+}
+
+TEST(ProofIo, FriRoundTrip)
+{
+    PlonkProofFixture f;
+    const auto bytes = serializeFriProof(f.proof.fri);
+    const auto back = deserializeFriProof(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(serializeFriProof(*back), bytes);
+    EXPECT_EQ(back->powNonce, f.proof.fri.powNonce);
+    EXPECT_EQ(back->finalPoly.size(), f.proof.fri.finalPoly.size());
+    EXPECT_EQ(back->queries.size(), f.proof.fri.queries.size());
+}
+
+TEST(ProofIo, SumcheckRoundTripVerifies)
+{
+    SplitMix64 rng(3);
+    std::vector<Fp> table(1 << 6);
+    for (auto &x : table)
+        x = randomFp(rng);
+    Challenger ch;
+    const SumcheckProof proof = sumcheckProve(table, ch);
+
+    const auto bytes = serializeSumcheckProof(proof);
+    const auto back = deserializeSumcheckProof(bytes);
+    ASSERT_TRUE(back.has_value());
+    Challenger vch;
+    EXPECT_TRUE(sumcheckVerify(*back, 6, vch));
+    EXPECT_EQ(serializeSumcheckProof(*back), bytes);
+}
+
+TEST(ProofIo, SumcheckGarbageRejected)
+{
+    std::vector<uint8_t> garbage(100, 0xFF);
+    EXPECT_FALSE(deserializeSumcheckProof(garbage).has_value());
+}
+
+TEST(ProofIo, SerializedSizeTracksByteSizeEstimate)
+{
+    // The analytic byteSize() used for Table 5 must be close to the
+    // real wire size (within the length-prefix overhead).
+    PlonkProofFixture f;
+    const auto bytes = serializePlonkProof(f.proof);
+    const double ratio = static_cast<double>(bytes.size()) /
+                         static_cast<double>(f.proof.byteSize());
+    EXPECT_GT(ratio, 0.9);
+    EXPECT_LT(ratio, 1.5);
+}
+
+} // namespace
+} // namespace unizk

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the UniZK simulator: DRAM model behaviour, per-kernel
+ * mapper properties (compute- vs memory-bound, scaling with hardware
+ * resources), and the trace engine's aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dram.h"
+#include "sim/mappers.h"
+#include "sim/simulator.h"
+
+namespace unizk {
+namespace {
+
+HardwareConfig
+defaultHw()
+{
+    return HardwareConfig::paperDefault();
+}
+
+TEST(Dram, SequentialStreamApproachesPeakBandwidth)
+{
+    const HardwareConfig cfg = defaultHw();
+    DramModel dram(cfg);
+    const uint64_t bytes = 64ull << 20;
+    const DramResult r = dram.access({bytes, 0, false});
+    const double achieved =
+        static_cast<double>(r.readBytes) / static_cast<double>(r.cycles);
+    // A pure sequential stream sustains the derated stream rate.
+    EXPECT_GT(achieved,
+              0.95 * cfg.dramStreamEfficiency * cfg.peakMemBytesPerCycle);
+    EXPECT_EQ(r.readRequests, bytes / cfg.memRequestBytes);
+}
+
+TEST(Dram, SmallGranularityWastesBandwidth)
+{
+    const HardwareConfig cfg = defaultHw();
+    DramModel dram(cfg);
+    const uint64_t bytes = 1ull << 20;
+    const DramResult seq = dram.access({bytes, 0, false});
+    // 24-byte scattered runs (gate-evaluation style, Sec. 7.1): each
+    // run occupies a full 64B request.
+    const DramResult scat = dram.access({bytes, 24, false});
+    EXPECT_GT(scat.cycles, 2 * seq.cycles);
+    EXPECT_GT(scat.readBytes, 2 * bytes);
+}
+
+TEST(Dram, WritesCountedSeparately)
+{
+    DramModel dram(defaultHw());
+    const DramResult w = dram.access({4096, 0, true});
+    EXPECT_EQ(w.readRequests, 0u);
+    EXPECT_EQ(w.writeRequests, 64u);
+}
+
+TEST(Dram, ZeroBytesFree)
+{
+    DramModel dram(defaultHw());
+    const DramResult r = dram.access({0, 0, false});
+    EXPECT_EQ(r.cycles, 0u);
+}
+
+TEST(Dram, BandwidthScaleKnob)
+{
+    HardwareConfig cfg = defaultHw();
+    const uint64_t bytes = 16ull << 20;
+    const uint64_t base = DramModel(cfg).access({bytes, 0, false}).cycles;
+    cfg.memBandwidthScale = 2.0;
+    const uint64_t fast = DramModel(cfg).access({bytes, 0, false}).cycles;
+    EXPECT_LT(fast, base);
+    EXPECT_NEAR(static_cast<double>(base) / fast, 2.0, 0.1);
+}
+
+TEST(MapNtt, IsMemoryBound)
+{
+    // Section 7.2: NTT shows the highest bandwidth utilization but low
+    // VSA utilization.
+    const HardwareConfig cfg = defaultHw();
+    NttKernel k{20, 8, false, true, true, PolyLayout::PolyMajor};
+    const KernelSim sim = mapNtt(k, cfg);
+    EXPECT_GT(sim.mem.cycles, sim.computeCycles);
+    EXPECT_EQ(sim.cls, KernelClass::Ntt);
+}
+
+TEST(MapNtt, SmallNttFitsScratchpadAndSavesTraffic)
+{
+    const HardwareConfig cfg = defaultHw();
+    NttKernel small{12, 1, false, false, false, PolyLayout::PolyMajor};
+    NttKernel large{22, 1, false, false, false, PolyLayout::PolyMajor};
+    const KernelSim s = mapNtt(small, cfg);
+    const KernelSim l = mapNtt(large, cfg);
+    // The large NTT (multi-trip, out of scratchpad) must move more than
+    // proportionally more data.
+    const double bytes_ratio =
+        static_cast<double>(l.mem.readBytes + l.mem.writeBytes) /
+        static_cast<double>(s.mem.readBytes + s.mem.writeBytes);
+    EXPECT_GT(bytes_ratio, double{1 << 10});
+}
+
+TEST(MapMerkle, IsComputeBound)
+{
+    // Hash kernels saturate the VSAs with moderate bandwidth (Table 4).
+    const HardwareConfig cfg = defaultHw();
+    MerkleKernel k{1 << 16, 135, 4};
+    const KernelSim sim = mapMerkle(k, cfg);
+    EXPECT_GT(sim.computeCycles, sim.mem.cycles);
+    EXPECT_EQ(sim.cls, KernelClass::MerkleTree);
+}
+
+TEST(MapMerkle, ScalesWithVsaCount)
+{
+    // Figure 10: Merkle-tree performance depends primarily on #VSAs.
+    MerkleKernel k{1 << 16, 135, 4};
+    HardwareConfig cfg = defaultHw();
+    const uint64_t base = mapMerkle(k, cfg).cycles;
+    cfg.numVsas = 64;
+    const uint64_t doubled = mapMerkle(k, cfg).cycles;
+    EXPECT_LT(doubled, base);
+    EXPECT_NEAR(static_cast<double>(base) / doubled, 2.0, 0.3);
+}
+
+TEST(MapVecOp, RandomAccessHurts)
+{
+    const HardwareConfig cfg = defaultHw();
+    VecOpKernel seq{1 << 20, 4, 1, 8, 0};
+    VecOpKernel rnd{1 << 20, 4, 1, 8, 24};
+    EXPECT_GT(mapVecOp(rnd, cfg).cycles, mapVecOp(seq, cfg).cycles);
+}
+
+TEST(MapPartialProduct, SerialChainSmallVsElementwise)
+{
+    const HardwareConfig cfg = defaultHw();
+    PartialProductKernel k{1 << 20, 8};
+    const KernelSim sim = mapPartialProduct(k, cfg);
+    EXPECT_GT(sim.cycles, 0u);
+    EXPECT_EQ(sim.cls, KernelClass::Polynomial);
+}
+
+TEST(MapTranspose, IsFree)
+{
+    // The global transpose buffer hides layout transforms (Sec. 4).
+    const KernelSim sim = mapTranspose(TransposeKernel{135, 1 << 16},
+                                       defaultHw());
+    EXPECT_EQ(sim.cycles, 0u);
+    EXPECT_EQ(sim.cls, KernelClass::LayoutTransform);
+}
+
+TEST(Simulator, AggregatesClassesAndCounts)
+{
+    KernelTrace trace;
+    trace.ops.push_back(
+        {NttKernel{16, 4, true, false, false, PolyLayout::PolyMajor},
+         "intt"});
+    trace.ops.push_back({MerkleKernel{1 << 15, 135, 4}, "tree"});
+    trace.ops.push_back({VecOpKernel{1 << 16, 2, 1, 4, 0}, "vec"});
+    trace.ops.push_back({HashKernel{1000}, "pow"});
+    trace.ops.push_back({TransposeKernel{16, 1 << 15}, "tr"});
+
+    const SimReport report = simulateTrace(trace, defaultHw());
+    EXPECT_GT(report.totalCycles, 0u);
+    EXPECT_EQ(report.classStats(KernelClass::Ntt).kernels, 1u);
+    EXPECT_EQ(report.classStats(KernelClass::MerkleTree).kernels, 1u);
+    EXPECT_EQ(report.classStats(KernelClass::Polynomial).kernels, 1u);
+    EXPECT_EQ(report.classStats(KernelClass::OtherHash).kernels, 1u);
+    EXPECT_EQ(report.classStats(KernelClass::LayoutTransform).cycles, 0u);
+    EXPECT_GT(report.totalReadRequests(), 0u);
+    EXPECT_GT(report.totalWriteRequests(), 0u);
+
+    double fractions = 0.0;
+    for (size_t i = 0; i < static_cast<size_t>(KernelClass::NumClasses);
+         ++i) {
+        fractions += report.cycleFraction(static_cast<KernelClass>(i));
+    }
+    EXPECT_NEAR(fractions, 1.0, 1e-9);
+}
+
+TEST(Simulator, UtilizationShapesMatchTable4)
+{
+    // A representative mix: the per-class utilization ordering must
+    // reproduce Table 4's qualitative shape -- NTT: high mem / low VSA;
+    // hash: very high VSA / moderate mem; poly: low both.
+    KernelTrace trace;
+    trace.ops.push_back(
+        {NttKernel{18, 135, false, true, true, PolyLayout::PolyMajor},
+         "lde"});
+    trace.ops.push_back({MerkleKernel{1 << 18, 135, 4}, "tree"});
+    trace.ops.push_back({VecOpKernel{1 << 18, 8, 1, 16, 24}, "gates"});
+
+    const SimReport r = simulateTrace(trace, defaultHw());
+    EXPECT_GT(r.memUtilization(KernelClass::Ntt), 0.3);
+    EXPECT_LT(r.vsaUtilization(KernelClass::Ntt), 0.2);
+    EXPECT_GT(r.vsaUtilization(KernelClass::MerkleTree), 0.8);
+    EXPECT_LT(r.memUtilization(KernelClass::MerkleTree), 0.5);
+    EXPECT_LT(r.vsaUtilization(KernelClass::Polynomial), 0.2);
+}
+
+TEST(Simulator, SecondsUsesClock)
+{
+    KernelTrace trace;
+    trace.ops.push_back({HashKernel{100000}, "pow"});
+    HardwareConfig cfg = defaultHw();
+    const SimReport a = simulateTrace(trace, cfg);
+    cfg.clockGhz = 2.0;
+    const SimReport b = simulateTrace(trace, cfg);
+    EXPECT_NEAR(a.seconds() / b.seconds(), 2.0, 1e-9);
+}
+
+TEST(Simulator, FormatReportMentionsClasses)
+{
+    KernelTrace trace;
+    trace.ops.push_back({MerkleKernel{1 << 12, 8, 2}, "tree"});
+    const std::string text = formatReport(simulateTrace(trace,
+                                                        defaultHw()));
+    EXPECT_NE(text.find("MerkleTree"), std::string::npos);
+    EXPECT_NE(text.find("read requests"), std::string::npos);
+}
+
+} // namespace
+} // namespace unizk
