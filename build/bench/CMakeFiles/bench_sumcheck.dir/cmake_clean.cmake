@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sumcheck.dir/bench_sumcheck.cpp.o"
+  "CMakeFiles/bench_sumcheck.dir/bench_sumcheck.cpp.o.d"
+  "bench_sumcheck"
+  "bench_sumcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sumcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5.cpp" "bench/CMakeFiles/bench_table5.dir/bench_table5.cpp.o" "gcc" "bench/CMakeFiles/bench_table5.dir/bench_table5.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unizk/CMakeFiles/unizk_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/unizk_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/plonk/CMakeFiles/unizk_plonk.dir/DependInfo.cmake"
+  "/root/repo/build/src/stark/CMakeFiles/unizk_stark.dir/DependInfo.cmake"
+  "/root/repo/build/src/fri/CMakeFiles/unizk_fri.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/unizk_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/unizk_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unizk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/merkle/CMakeFiles/unizk_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/unizk_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntt/CMakeFiles/unizk_ntt.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/unizk_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/unizk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unizk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

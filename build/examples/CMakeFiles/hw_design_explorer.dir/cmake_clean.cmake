@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_design_explorer.dir/hw_design_explorer.cpp.o"
+  "CMakeFiles/hw_design_explorer.dir/hw_design_explorer.cpp.o.d"
+  "hw_design_explorer"
+  "hw_design_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_design_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

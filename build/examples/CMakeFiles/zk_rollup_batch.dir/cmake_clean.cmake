@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zk_rollup_batch.dir/zk_rollup_batch.cpp.o"
+  "CMakeFiles/zk_rollup_batch.dir/zk_rollup_batch.cpp.o.d"
+  "zk_rollup_batch"
+  "zk_rollup_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zk_rollup_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

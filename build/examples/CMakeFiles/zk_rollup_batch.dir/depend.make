@@ -1,0 +1,2 @@
+# Empty dependencies file for zk_rollup_batch.
+# This may be replaced when dependencies are built.

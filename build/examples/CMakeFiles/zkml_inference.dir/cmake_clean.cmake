@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkml_inference.dir/zkml_inference.cpp.o"
+  "CMakeFiles/zkml_inference.dir/zkml_inference.cpp.o.d"
+  "zkml_inference"
+  "zkml_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkml_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("field")
+subdirs("ntt")
+subdirs("hash")
+subdirs("merkle")
+subdirs("poly")
+subdirs("fri")
+subdirs("plonk")
+subdirs("stark")
+subdirs("sumcheck")
+subdirs("serialize")
+subdirs("trace")
+subdirs("sim")
+subdirs("model")
+subdirs("workloads")
+subdirs("unizk")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_common.dir/cli.cpp.o"
+  "CMakeFiles/unizk_common.dir/cli.cpp.o.d"
+  "CMakeFiles/unizk_common.dir/logging.cpp.o"
+  "CMakeFiles/unizk_common.dir/logging.cpp.o.d"
+  "CMakeFiles/unizk_common.dir/stats.cpp.o"
+  "CMakeFiles/unizk_common.dir/stats.cpp.o.d"
+  "libunizk_common.a"
+  "libunizk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/field/extension.cpp" "src/field/CMakeFiles/unizk_field.dir/extension.cpp.o" "gcc" "src/field/CMakeFiles/unizk_field.dir/extension.cpp.o.d"
+  "/root/repo/src/field/goldilocks.cpp" "src/field/CMakeFiles/unizk_field.dir/goldilocks.cpp.o" "gcc" "src/field/CMakeFiles/unizk_field.dir/goldilocks.cpp.o.d"
+  "/root/repo/src/field/matrix.cpp" "src/field/CMakeFiles/unizk_field.dir/matrix.cpp.o" "gcc" "src/field/CMakeFiles/unizk_field.dir/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unizk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

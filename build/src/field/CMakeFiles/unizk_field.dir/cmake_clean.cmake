@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_field.dir/extension.cpp.o"
+  "CMakeFiles/unizk_field.dir/extension.cpp.o.d"
+  "CMakeFiles/unizk_field.dir/goldilocks.cpp.o"
+  "CMakeFiles/unizk_field.dir/goldilocks.cpp.o.d"
+  "CMakeFiles/unizk_field.dir/matrix.cpp.o"
+  "CMakeFiles/unizk_field.dir/matrix.cpp.o.d"
+  "libunizk_field.a"
+  "libunizk_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

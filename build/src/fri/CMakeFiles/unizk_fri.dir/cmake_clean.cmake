@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_fri.dir/fri.cpp.o"
+  "CMakeFiles/unizk_fri.dir/fri.cpp.o.d"
+  "CMakeFiles/unizk_fri.dir/polynomial_batch.cpp.o"
+  "CMakeFiles/unizk_fri.dir/polynomial_batch.cpp.o.d"
+  "libunizk_fri.a"
+  "libunizk_fri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_fri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

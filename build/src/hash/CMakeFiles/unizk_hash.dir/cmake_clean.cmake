@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_hash.dir/challenger.cpp.o"
+  "CMakeFiles/unizk_hash.dir/challenger.cpp.o.d"
+  "CMakeFiles/unizk_hash.dir/hashing.cpp.o"
+  "CMakeFiles/unizk_hash.dir/hashing.cpp.o.d"
+  "CMakeFiles/unizk_hash.dir/poseidon.cpp.o"
+  "CMakeFiles/unizk_hash.dir/poseidon.cpp.o.d"
+  "libunizk_hash.a"
+  "libunizk_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_merkle.dir/merkle_tree.cpp.o"
+  "CMakeFiles/unizk_merkle.dir/merkle_tree.cpp.o.d"
+  "libunizk_merkle.a"
+  "libunizk_merkle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

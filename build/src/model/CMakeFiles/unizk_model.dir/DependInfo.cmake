@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/area_power.cpp" "src/model/CMakeFiles/unizk_model.dir/area_power.cpp.o" "gcc" "src/model/CMakeFiles/unizk_model.dir/area_power.cpp.o.d"
+  "/root/repo/src/model/gpu_model.cpp" "src/model/CMakeFiles/unizk_model.dir/gpu_model.cpp.o" "gcc" "src/model/CMakeFiles/unizk_model.dir/gpu_model.cpp.o.d"
+  "/root/repo/src/model/pipezk_model.cpp" "src/model/CMakeFiles/unizk_model.dir/pipezk_model.cpp.o" "gcc" "src/model/CMakeFiles/unizk_model.dir/pipezk_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/unizk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/unizk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/merkle/CMakeFiles/unizk_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/unizk_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntt/CMakeFiles/unizk_ntt.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/unizk_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unizk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

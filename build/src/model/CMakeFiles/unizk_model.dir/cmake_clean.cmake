@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_model.dir/area_power.cpp.o"
+  "CMakeFiles/unizk_model.dir/area_power.cpp.o.d"
+  "CMakeFiles/unizk_model.dir/gpu_model.cpp.o"
+  "CMakeFiles/unizk_model.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/unizk_model.dir/pipezk_model.cpp.o"
+  "CMakeFiles/unizk_model.dir/pipezk_model.cpp.o.d"
+  "libunizk_model.a"
+  "libunizk_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_ntt.dir/ntt.cpp.o"
+  "CMakeFiles/unizk_ntt.dir/ntt.cpp.o.d"
+  "libunizk_ntt.a"
+  "libunizk_ntt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_ntt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

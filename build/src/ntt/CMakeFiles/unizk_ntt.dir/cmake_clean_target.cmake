@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libunizk_ntt.a"
+)

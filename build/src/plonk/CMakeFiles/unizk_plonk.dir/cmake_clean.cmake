@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_plonk.dir/circuit.cpp.o"
+  "CMakeFiles/unizk_plonk.dir/circuit.cpp.o.d"
+  "CMakeFiles/unizk_plonk.dir/plonk.cpp.o"
+  "CMakeFiles/unizk_plonk.dir/plonk.cpp.o.d"
+  "libunizk_plonk.a"
+  "libunizk_plonk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_plonk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_poly.dir/polynomial.cpp.o"
+  "CMakeFiles/unizk_poly.dir/polynomial.cpp.o.d"
+  "libunizk_poly.a"
+  "libunizk_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_serialize.dir/proof_io.cpp.o"
+  "CMakeFiles/unizk_serialize.dir/proof_io.cpp.o.d"
+  "libunizk_serialize.a"
+  "libunizk_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_sim.dir/dram.cpp.o"
+  "CMakeFiles/unizk_sim.dir/dram.cpp.o.d"
+  "CMakeFiles/unizk_sim.dir/mappers.cpp.o"
+  "CMakeFiles/unizk_sim.dir/mappers.cpp.o.d"
+  "CMakeFiles/unizk_sim.dir/simulator.cpp.o"
+  "CMakeFiles/unizk_sim.dir/simulator.cpp.o.d"
+  "libunizk_sim.a"
+  "libunizk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

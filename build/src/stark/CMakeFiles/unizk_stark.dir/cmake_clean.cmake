@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_stark.dir/stark.cpp.o"
+  "CMakeFiles/unizk_stark.dir/stark.cpp.o.d"
+  "libunizk_stark.a"
+  "libunizk_stark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_stark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_sumcheck.dir/sumcheck.cpp.o"
+  "CMakeFiles/unizk_sumcheck.dir/sumcheck.cpp.o.d"
+  "libunizk_sumcheck.a"
+  "libunizk_sumcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_sumcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_trace.dir/kernel_trace.cpp.o"
+  "CMakeFiles/unizk_trace.dir/kernel_trace.cpp.o.d"
+  "libunizk_trace.a"
+  "libunizk_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

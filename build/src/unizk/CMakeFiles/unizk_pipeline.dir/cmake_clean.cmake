@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/unizk_pipeline.dir/pipeline.cpp.o.d"
+  "libunizk_pipeline.a"
+  "libunizk_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

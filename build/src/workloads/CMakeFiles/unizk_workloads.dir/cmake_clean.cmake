@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unizk_workloads.dir/apps.cpp.o"
+  "CMakeFiles/unizk_workloads.dir/apps.cpp.o.d"
+  "libunizk_workloads.a"
+  "libunizk_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unizk_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fri.dir/test_fri.cpp.o"
+  "CMakeFiles/test_fri.dir/test_fri.cpp.o.d"
+  "test_fri"
+  "test_fri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poseidon.dir/test_poseidon.cpp.o"
+  "CMakeFiles/test_poseidon.dir/test_poseidon.cpp.o.d"
+  "test_poseidon"
+  "test_poseidon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poseidon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stark.dir/test_stark.cpp.o"
+  "CMakeFiles/test_stark.dir/test_stark.cpp.o.d"
+  "test_stark"
+  "test_stark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sumcheck.dir/test_sumcheck.cpp.o"
+  "CMakeFiles/test_sumcheck.dir/test_sumcheck.cpp.o.d"
+  "test_sumcheck"
+  "test_sumcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sumcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
