@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/thread_pool.h"
 #include "fri/fri_config.h"
 #include "sim/hw_config.h"
 
@@ -59,6 +60,7 @@ struct HarnessOptions
     uint32_t scale = 0;       ///< shifts every app's rows up by 2^scale
     uint32_t repsOverride = 0; ///< 0 = per-app default
     bool fast = false;         ///< reduced security params for quick runs
+    unsigned threads = 1;      ///< resolved prover thread count (>= 1)
 
     FriConfig
     plonky2Config() const
@@ -91,6 +93,10 @@ parseHarnessOptions(int argc, char **argv)
     opt.scale = static_cast<uint32_t>(cli.getUint("scale", 0));
     opt.repsOverride = static_cast<uint32_t>(cli.getUint("reps", 0));
     opt.fast = cli.has("fast");
+    // Routes --threads to the global pool (0/absent = auto:
+    // UNIZK_THREADS, else hardware concurrency).
+    applyGlobalCliOptions(cli);
+    opt.threads = globalThreadCount();
     return opt;
 }
 

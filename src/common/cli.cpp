@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace unizk {
 
@@ -56,6 +57,15 @@ bool
 CliOptions::has(const std::string &key) const
 {
     return values.count(key) > 0;
+}
+
+void
+applyGlobalCliOptions(const CliOptions &cli)
+{
+    if (cli.has("threads")) {
+        setGlobalThreadCount(
+            static_cast<unsigned>(cli.getUint("threads", 0)));
+    }
 }
 
 } // namespace unizk

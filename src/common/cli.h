@@ -39,6 +39,13 @@ class CliOptions
     std::map<std::string, std::string> values;
 };
 
+/**
+ * Apply the process-wide options every binary understands: currently
+ * `--threads N` (0 or absent = auto: UNIZK_THREADS env var, then
+ * hardware concurrency), which sizes the global thread pool.
+ */
+void applyGlobalCliOptions(const CliOptions &cli);
+
 } // namespace unizk
 
 #endif // UNIZK_COMMON_CLI_H

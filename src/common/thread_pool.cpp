@@ -1,0 +1,210 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace unizk {
+
+namespace {
+
+/** True on threads currently executing a pool chunk: nested parallel
+ *  regions run inline instead of deadlocking on the shared pool. */
+thread_local bool in_pool_worker = false;
+
+unsigned
+autoThreadCount()
+{
+    if (const char *env = std::getenv("UNIZK_THREADS")) {
+        const unsigned long n = std::strtoul(env, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+        warn("ignoring invalid UNIZK_THREADS value '", env, "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+// Requested count for the global pool; 0 = resolve via autoThreadCount.
+std::mutex global_mutex;
+unsigned requested_threads = 0;
+ThreadPool *global_pool = nullptr;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    unizk_assert(threads >= 1, "thread pool needs at least one thread");
+    thread_count_ = threads;
+    workers_.reserve(threads - 1);
+    for (unsigned t = 0; t + 1 < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutting_down_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::resize(unsigned threads)
+{
+    unizk_assert(threads >= 1, "thread pool needs at least one thread");
+    if (threads == thread_count_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        unizk_assert(task_ == nullptr,
+                     "cannot resize the pool inside a parallel region");
+        shutting_down_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+    workers_.clear();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutting_down_ = false;
+    }
+    thread_count_ = threads;
+    workers_.reserve(threads - 1);
+    for (unsigned t = 0; t + 1 < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    uint64_t seen_generation = generation_;
+    for (;;) {
+        work_ready_.wait(lock, [&] {
+            return shutting_down_ ||
+                   (task_ != nullptr && generation_ != seen_generation);
+        });
+        if (shutting_down_)
+            return;
+        seen_generation = generation_;
+        // Drain chunks until the region's cursor is exhausted. Chunk
+        // *boundaries* are fixed by the submitter; only the assignment
+        // of chunks to threads is dynamic, and chunk outputs are
+        // disjoint, so results do not depend on this schedule.
+        while (task_ != nullptr && next_chunk_ < num_chunks_) {
+            const size_t chunk = next_chunk_++;
+            ++chunks_in_flight_;
+            const auto *fn = task_;
+            const size_t lo = region_begin_ + chunk * chunk_size_;
+            const size_t hi = std::min(lo + chunk_size_, region_end_);
+            lock.unlock();
+            in_pool_worker = true;
+            (*fn)(lo, hi);
+            in_pool_worker = false;
+            lock.lock();
+            if (--chunks_in_flight_ == 0 && next_chunk_ >= num_chunks_)
+                work_done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)> &fn)
+{
+    if (begin >= end)
+        return;
+    const size_t n = end - begin;
+    if (grain == 0)
+        grain = 1;
+
+    // Chunk boundaries depend only on (n, grain, threadCount) -- never
+    // on scheduling -- keeping the decomposition reproducible. Up to
+    // 4 chunks per thread smooths out imbalanced bodies.
+    size_t num_chunks = std::min<size_t>(ceilDiv(n, grain),
+                                         size_t{4} * thread_count_);
+    const size_t chunk_size = ceilDiv(n, num_chunks);
+    num_chunks = ceilDiv(n, chunk_size);
+
+    if (thread_count_ == 1 || num_chunks == 1 || in_pool_worker) {
+        fn(begin, end);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    unizk_assert(task_ == nullptr, "parallel region already active");
+    task_ = &fn;
+    region_begin_ = begin;
+    region_end_ = end;
+    chunk_size_ = chunk_size;
+    num_chunks_ = num_chunks;
+    next_chunk_ = 0;
+    chunks_in_flight_ = 0;
+    ++generation_;
+    lock.unlock();
+    work_ready_.notify_all();
+
+    // The submitting thread works too.
+    lock.lock();
+    while (next_chunk_ < num_chunks_) {
+        const size_t chunk = next_chunk_++;
+        ++chunks_in_flight_;
+        const size_t lo = region_begin_ + chunk * chunk_size_;
+        const size_t hi = std::min(lo + chunk_size_, region_end_);
+        lock.unlock();
+        in_pool_worker = true;
+        fn(lo, hi);
+        in_pool_worker = false;
+        lock.lock();
+        --chunks_in_flight_;
+    }
+    work_done_.wait(lock,
+                    [&] { return chunks_in_flight_ == 0; });
+    task_ = nullptr;
+}
+
+ThreadPool &
+globalThreadPool()
+{
+    std::lock_guard<std::mutex> lock(global_mutex);
+    if (global_pool == nullptr) {
+        const unsigned n =
+            requested_threads ? requested_threads : autoThreadCount();
+        // Leaked deliberately: workers must outlive every static
+        // destructor that might still prove something.
+        global_pool = new ThreadPool(n);
+    }
+    return *global_pool;
+}
+
+void
+setGlobalThreadCount(unsigned threads)
+{
+    std::lock_guard<std::mutex> lock(global_mutex);
+    requested_threads = threads;
+    const unsigned n = threads ? threads : autoThreadCount();
+    if (global_pool == nullptr)
+        global_pool = new ThreadPool(n);
+    else
+        global_pool->resize(n);
+}
+
+unsigned
+globalThreadCount()
+{
+    {
+        std::lock_guard<std::mutex> lock(global_mutex);
+        if (global_pool != nullptr)
+            return global_pool->threadCount();
+        if (requested_threads)
+            return requested_threads;
+    }
+    return autoThreadCount();
+}
+
+} // namespace unizk

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Process-wide thread pool and a deterministic parallel-for helper.
+ *
+ * The paper's CPU baselines are multi-threaded provers (Tables 1/3/5
+ * report an 80-thread Xeon); this pool is what routes our prover hot
+ * paths -- per-polynomial NTT/LDE, Merkle leaf and interior hashing,
+ * quotient-domain constraint evaluation, and chunked batch inversion --
+ * onto all available cores.
+ *
+ * Determinism guarantee: parallelFor() splits [begin, end) into
+ * contiguous chunks whose boundaries are a pure function of the range,
+ * the grain, and the pool size. Callers only use it for loops whose
+ * chunks write disjoint outputs (or compute values that are exact
+ * regardless of chunking, like batch inversion), so proofs and
+ * challenger transcripts are bitwise identical for any thread count.
+ * Reductions with order-dependent rounding are never run through the
+ * pool.
+ *
+ * The pool is lazily created on first use. Thread count resolution
+ * order: setGlobalThreadCount() (the `--threads` CLI flag), the
+ * UNIZK_THREADS environment variable, then
+ * std::thread::hardware_concurrency().
+ */
+
+#ifndef UNIZK_COMMON_THREAD_POOL_H
+#define UNIZK_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace unizk {
+
+/**
+ * A fixed set of worker threads executing chunked loop bodies. One
+ * instance (the global pool) is shared by every prover; standalone
+ * instances exist only in tests.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads - 1 workers (the caller is the last "thread"). */
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of threads a parallel region may use (>= 1). */
+    unsigned threadCount() const { return thread_count_; }
+
+    /** Join all workers and respawn with a new count. */
+    void resize(unsigned threads);
+
+    /**
+     * Execute fn(chunk_begin, chunk_end) over contiguous chunks covering
+     * [begin, end). Chunks hold at least @p grain indices (the last may
+     * be short); with one thread, a single chunk, or when called from
+     * inside a pool worker, the loop runs inline on the calling thread.
+     * Blocks until every chunk has completed.
+     */
+    void parallelFor(size_t begin, size_t end, size_t grain,
+                     const std::function<void(size_t, size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    unsigned thread_count_ = 1;
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable work_done_;
+    // Current parallel region; guarded by mutex_ together with the
+    // chunk cursor so workers and the submitting thread agree on state.
+    const std::function<void(size_t, size_t)> *task_ = nullptr;
+    size_t region_begin_ = 0;
+    size_t region_end_ = 0;
+    size_t chunk_size_ = 0;
+    size_t num_chunks_ = 0;
+    size_t next_chunk_ = 0;
+    size_t chunks_in_flight_ = 0;
+    uint64_t generation_ = 0;
+    bool shutting_down_ = false;
+};
+
+/** The process-wide pool (created on first use). */
+ThreadPool &globalThreadPool();
+
+/**
+ * Set the global pool's thread count (0 = auto: UNIZK_THREADS env var,
+ * else hardware concurrency). Resizes the pool if it already exists.
+ */
+void setGlobalThreadCount(unsigned threads);
+
+/** Thread count the global pool uses (without forcing creation). */
+unsigned globalThreadCount();
+
+/** parallelFor on the global pool. */
+inline void
+parallelFor(size_t begin, size_t end, size_t grain,
+            const std::function<void(size_t, size_t)> &fn)
+{
+    globalThreadPool().parallelFor(begin, end, grain, fn);
+}
+
+} // namespace unizk
+
+#endif // UNIZK_COMMON_THREAD_POOL_H

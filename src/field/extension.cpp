@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace unizk {
 
@@ -47,19 +48,24 @@ batchInverseExt(std::vector<Fp2> &xs)
 {
     if (xs.empty())
         return;
-    std::vector<Fp2> prefix(xs.size());
-    Fp2 acc = Fp2::one();
-    for (size_t i = 0; i < xs.size(); ++i) {
-        unizk_assert(!xs[i].isZero(), "batchInverseExt: zero element");
-        prefix[i] = acc;
-        acc *= xs[i];
-    }
-    Fp2 inv = acc.inverse();
-    for (size_t i = xs.size(); i-- > 0;) {
-        const Fp2 next = inv * xs[i];
-        xs[i] = inv * prefix[i];
-        inv = next;
-    }
+    // Chunked like batchInverse: exact inverses make the result
+    // independent of the chunking.
+    parallelFor(0, xs.size(), /*grain=*/2048, [&](size_t lo, size_t hi) {
+        std::vector<Fp2> prefix(hi - lo);
+        Fp2 acc = Fp2::one();
+        for (size_t i = lo; i < hi; ++i) {
+            unizk_assert(!xs[i].isZero(),
+                         "batchInverseExt: zero element");
+            prefix[i - lo] = acc;
+            acc *= xs[i];
+        }
+        Fp2 inv = acc.inverse();
+        for (size_t i = hi; i-- > lo;) {
+            const Fp2 next = inv * xs[i];
+            xs[i] = inv * prefix[i - lo];
+            inv = next;
+        }
+    });
 }
 
 } // namespace unizk

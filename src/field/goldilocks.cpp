@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace unizk {
 
@@ -51,19 +52,25 @@ batchInverse(std::vector<Fp> &xs)
 {
     if (xs.empty())
         return;
-    std::vector<Fp> prefix(xs.size());
-    Fp acc = Fp::one();
-    for (size_t i = 0; i < xs.size(); ++i) {
-        unizk_assert(!xs[i].isZero(), "batchInverse: zero element");
-        prefix[i] = acc;
-        acc *= xs[i];
-    }
-    Fp inv = acc.inverse();
-    for (size_t i = xs.size(); i-- > 0;) {
-        const Fp next = inv * xs[i];
-        xs[i] = inv * prefix[i];
-        inv = next;
-    }
+    // Chunked Montgomery's trick: each chunk runs the serial prefix
+    // scheme independently (one field inversion per chunk). Inverses
+    // are exact canonical values, so the output is bitwise identical
+    // for any chunking and thread count.
+    parallelFor(0, xs.size(), /*grain=*/2048, [&](size_t lo, size_t hi) {
+        std::vector<Fp> prefix(hi - lo);
+        Fp acc = Fp::one();
+        for (size_t i = lo; i < hi; ++i) {
+            unizk_assert(!xs[i].isZero(), "batchInverse: zero element");
+            prefix[i - lo] = acc;
+            acc *= xs[i];
+        }
+        Fp inv = acc.inverse();
+        for (size_t i = hi; i-- > lo;) {
+            const Fp next = inv * xs[i];
+            xs[i] = inv * prefix[i - lo];
+            inv = next;
+        }
+    });
 }
 
 Fp

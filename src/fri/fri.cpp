@@ -1,6 +1,7 @@
 #include "fri/fri.h"
 
 #include "common/bits.h"
+#include "common/thread_pool.h"
 #include "ntt/ntt.h"
 
 namespace unizk {
@@ -54,18 +55,22 @@ foldLayer(const std::vector<Fp2> &cur, Fp2 beta, Fp shift)
     const Fp inv2 = Fp(2).inverse();
 
     std::vector<Fp> denom(half_size);
-    for (size_t i = 0; i < half_size; ++i)
-        denom[i] = y[i].doubled();
+    parallelFor(0, half_size, /*grain=*/1024, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            denom[i] = y[i].doubled();
+    });
     batchInverse(denom);
 
     std::vector<Fp2> next(half_size);
-    for (size_t i = 0; i < half_size; ++i) {
-        const Fp2 v0 = cur[2 * i];
-        const Fp2 v1 = cur[2 * i + 1];
-        const Fp2 even = (v0 + v1) * inv2;
-        const Fp2 odd = (v0 - v1) * denom[i];
-        next[i] = even + beta * odd;
-    }
+    parallelFor(0, half_size, /*grain=*/1024, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+            const Fp2 v0 = cur[2 * i];
+            const Fp2 v1 = cur[2 * i + 1];
+            const Fp2 even = (v0 + v1) * inv2;
+            const Fp2 odd = (v0 - v1) * denom[i];
+            next[i] = even + beta * odd;
+        }
+    });
     return next;
 }
 
@@ -169,28 +174,41 @@ friProve(const std::vector<const PolynomialBatch *> &batches,
     {
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::Polynomial);
 
+        // Per-index combination: every i writes its own slot and the
+        // k-order of the inner sum is fixed, so the result is
+        // thread-count independent.
         std::vector<Fp2> b_values(domain);
-        for (size_t i = 0; i < domain; ++i) {
-            Fp2 acc;
-            size_t k = 0;
-            for (const auto *batch : batches) {
-                const auto &leaf = batch->tree().leaf(i);
-                for (size_t p = 0; p < batch->polyCount(); ++p, ++k)
-                    acc += alpha_pows[k] * Fp2(leaf[p]);
+        parallelFor(0, domain, /*grain=*/256, [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) {
+                Fp2 acc;
+                size_t k = 0;
+                for (const auto *batch : batches) {
+                    const auto &leaf = batch->tree().leaf(i);
+                    for (size_t p = 0; p < batch->polyCount(); ++p, ++k)
+                        acc += alpha_pows[k] * Fp2(leaf[p]);
+                }
+                b_values[i] = acc;
             }
-            b_values[i] = acc;
-        }
+        });
 
         const auto b_z = combinedOpenings(openings, alpha_pows, num_polys);
         const auto xs = domainPoints(domain, cfg.shift());
         for (size_t j = 0; j < points.size(); ++j) {
             std::vector<Fp2> denom(domain);
-            for (size_t i = 0; i < domain; ++i)
-                denom[i] = Fp2(xs[i]) - points[j];
+            parallelFor(0, domain, /*grain=*/1024,
+                        [&](size_t lo, size_t hi) {
+                            for (size_t i = lo; i < hi; ++i)
+                                denom[i] = Fp2(xs[i]) - points[j];
+                        });
             batchInverseExt(denom);
             const Fp2 scale = alpha_pows[num_polys + j];
-            for (size_t i = 0; i < domain; ++i)
-                g_values[i] += scale * (b_values[i] - b_z[j]) * denom[i];
+            parallelFor(0, domain, /*grain=*/1024,
+                        [&](size_t lo, size_t hi) {
+                            for (size_t i = lo; i < hi; ++i)
+                                g_values[i] += scale *
+                                               (b_values[i] - b_z[j]) *
+                                               denom[i];
+                        });
         }
     }
     ctx.record(VecOpKernel{domain,
@@ -358,7 +376,7 @@ friVerify(const std::vector<FriBatchInfo> &batches, size_t degree_bound,
             if (open.values.size() != batches[bi].polyCount)
                 return false;
             if (!MerkleTree::verify(open.values, idx, open.proof,
-                                    batches[bi].cap)) {
+                                    batches[bi].cap, log_domain)) {
                 return false;
             }
             for (const Fp v : open.values)
@@ -386,9 +404,11 @@ friVerify(const std::vector<FriBatchInfo> &batches, size_t degree_bound,
             const auto &open = round.layers[l];
             if (open.pair[cur_idx & 1] != expected)
                 return false;
+            // Layer l's tree commits cur_domain/2 pair-leaves.
             if (!MerkleTree::verify(packPair(open.pair[0], open.pair[1]),
                                     pair_idx, open.proof,
-                                    proof.layerCaps[l])) {
+                                    proof.layerCaps[l],
+                                    log2Exact(cur_domain) - 1)) {
                 return false;
             }
             const uint32_t log_half = log2Exact(cur_domain) - 1;

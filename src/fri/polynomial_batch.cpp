@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/thread_pool.h"
 #include "ntt/ntt.h"
 
 namespace unizk {
@@ -15,10 +16,16 @@ PolynomialBatch::fromValues(std::vector<std::vector<Fp>> values,
     const size_t n = values[0].size();
     {
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::Ntt);
-        for (auto &v : values) {
-            unizk_assert(v.size() == n, "batch polynomials differ in size");
-            inttNN(v);
-        }
+        // Independent columns: one iNTT per polynomial.
+        parallelFor(0, values.size(), /*grain=*/1,
+                    [&](size_t lo, size_t hi) {
+                        for (size_t p = lo; p < hi; ++p) {
+                            unizk_assert(values[p].size() == n,
+                                         "batch polynomials differ in "
+                                         "size");
+                            inttNN(values[p]);
+                        }
+                    });
     }
     ctx.record(NttKernel{log2Exact(n), values.size(), /*inverse=*/true,
                          /*coset=*/false, /*bitrevOutput=*/false,
@@ -50,27 +57,39 @@ PolynomialBatch::PolynomialBatch(std::vector<std::vector<Fp>> coeffs,
     // leaves on the fly: leaf i = values of all polynomials at LDE
     // point i (bit-reversed order).
     std::vector<std::vector<Fp>> leaves(lde_size);
-    for (auto &leaf : leaves)
-        leaf.resize(num_polys);
+    parallelFor(0, lde_size, /*grain=*/512, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            leaves[i].resize(num_polys);
+    });
     {
         std::vector<std::vector<Fp>> ldes(num_polys);
         {
             ScopedKernelTimer timer(ctx.breakdown, KernelClass::Ntt);
-            for (size_t p = 0; p < num_polys; ++p) {
-                unizk_assert(coeffs_[p].size() == n_,
-                             "batch polynomials differ in size");
-                ldes[p] = lowDegreeExtension(coeffs_[p], cfg_.blowup(),
-                                             cfg_.shift());
-            }
+            // Independent columns: one coset LDE per polynomial.
+            parallelFor(0, num_polys, /*grain=*/1,
+                        [&](size_t lo, size_t hi) {
+                            for (size_t p = lo; p < hi; ++p) {
+                                unizk_assert(coeffs_[p].size() == n_,
+                                             "batch polynomials differ "
+                                             "in size");
+                                ldes[p] = lowDegreeExtension(
+                                    coeffs_[p], cfg_.blowup(),
+                                    cfg_.shift());
+                            }
+                        });
         }
         // Poly-major -> index-major transpose while forming leaves; on
         // the CPU this is real work (Table 1's Layout Transform), on
-        // UniZK the transpose buffer hides it.
+        // UniZK the transpose buffer hides it. Parallel over leaf rows:
+        // each destination row is written by exactly one chunk.
         ScopedKernelTimer timer(ctx.breakdown,
                                 KernelClass::LayoutTransform);
-        for (size_t p = 0; p < num_polys; ++p)
-            for (size_t i = 0; i < lde_size; ++i)
-                leaves[i][p] = ldes[p][i];
+        parallelFor(0, lde_size, /*grain=*/256,
+                    [&](size_t lo, size_t hi) {
+                        for (size_t i = lo; i < hi; ++i)
+                            for (size_t p = 0; p < num_polys; ++p)
+                                leaves[i][p] = ldes[p][i];
+                    });
     }
     ctx.record(NttKernel{log2Exact(lde_size), num_polys, /*inverse=*/false,
                          /*coset=*/true, /*bitrevOutput=*/true,
@@ -106,8 +125,11 @@ std::vector<Fp2>
 PolynomialBatch::evalAllExt(Fp2 z) const
 {
     std::vector<Fp2> out(coeffs_.size());
-    for (size_t i = 0; i < coeffs_.size(); ++i)
-        out[i] = evalExt(i, z);
+    parallelFor(0, coeffs_.size(), /*grain=*/1,
+                [&](size_t lo, size_t hi) {
+                    for (size_t i = lo; i < hi; ++i)
+                        out[i] = evalExt(i, z);
+                });
     return out;
 }
 

@@ -1,6 +1,7 @@
 #include "merkle/merkle_tree.h"
 
 #include "common/bits.h"
+#include "common/thread_pool.h"
 
 namespace unizk {
 
@@ -13,16 +14,28 @@ MerkleTree::MerkleTree(std::vector<std::vector<Fp>> leaves,
     const uint32_t height = log2Exact(leaves_.size());
     unizk_assert(cap_height_ <= height, "cap higher than the tree");
 
+    // Leaf digests in parallel: independent Poseidon sponges writing
+    // disjoint slots ("Gotta Hash 'Em All": leaf hashing dominates
+    // hash-based commitment, so it parallelizes first).
     levels_.emplace_back();
-    levels_[0].reserve(leaves_.size());
-    for (const auto &leaf : leaves_)
-        levels_[0].push_back(hashOrNoop(leaf));
+    levels_[0].resize(leaves_.size());
+    parallelFor(0, leaves_.size(), /*grain=*/16,
+                [&](size_t lo, size_t hi) {
+                    for (size_t i = lo; i < hi; ++i)
+                        levels_[0][i] = hashOrNoop(leaves_[i]);
+                });
 
+    // Interior levels: every node of a level depends only on the level
+    // below, so each level is one parallel pass.
     while (levels_.back().size() > (size_t{1} << cap_height_)) {
         const auto &prev = levels_.back();
         std::vector<HashOut> next(prev.size() / 2);
-        for (size_t i = 0; i < next.size(); ++i)
-            next[i] = hashTwoToOne(prev[2 * i], prev[2 * i + 1]);
+        parallelFor(0, next.size(), /*grain=*/32,
+                    [&](size_t lo, size_t hi) {
+                        for (size_t i = lo; i < hi; ++i)
+                            next[i] = hashTwoToOne(prev[2 * i],
+                                                   prev[2 * i + 1]);
+                    });
         levels_.push_back(std::move(next));
     }
     cap_ = levels_.back();
@@ -51,8 +64,22 @@ MerkleTree::prove(size_t leaf_index) const
 
 bool
 MerkleTree::verify(const std::vector<Fp> &leaf_data, size_t leaf_index,
-                   const MerkleProof &proof, const MerkleCap &cap)
+                   const MerkleProof &proof, const MerkleCap &cap,
+                   uint32_t height)
 {
+    // The path length is protocol-determined, not prover-determined: a
+    // truncated siblings vector would let an interior digest presented
+    // as "leaf data" stop early and match a legitimate cap entry.
+    if (!isPowerOfTwo(cap.size()))
+        return false;
+    const uint32_t cap_height = log2Exact(cap.size());
+    if (cap_height > height)
+        return false;
+    if (proof.siblings.size() != height - cap_height)
+        return false;
+    if (leaf_index >> height != 0)
+        return false;
+
     HashOut node = hashOrNoop(leaf_data);
     size_t idx = leaf_index;
     for (const HashOut &sibling : proof.siblings) {
@@ -60,7 +87,7 @@ MerkleTree::verify(const std::vector<Fp> &leaf_data, size_t leaf_index,
                          : hashTwoToOne(node, sibling);
         idx >>= 1;
     }
-    return idx < cap.size() && cap[idx] == node;
+    return cap[idx] == node;
 }
 
 size_t

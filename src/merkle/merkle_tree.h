@@ -62,9 +62,15 @@ class MerkleTree
 
     /**
      * Verify @p proof against @p cap for the given leaf data and index.
+     * @param height log2 of the committed tree's leaf count; the
+     *        verifier knows it from protocol context (e.g. the FRI
+     *        domain size). Proofs whose length differs from
+     *        height - cap_height are rejected: accepting shorter paths
+     *        would let an interior node masquerade as a leaf.
      */
     static bool verify(const std::vector<Fp> &leaf_data, size_t leaf_index,
-                       const MerkleProof &proof, const MerkleCap &cap);
+                       const MerkleProof &proof, const MerkleCap &cap,
+                       uint32_t height);
 
     /**
      * Total Poseidon permutations a build performs, for cost accounting:

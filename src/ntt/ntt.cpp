@@ -107,23 +107,38 @@ sizeInverse(size_t n)
     return Fp(static_cast<uint64_t>(n)).inverse();
 }
 
+/**
+ * Guard every public transform entry point against degenerate sizes
+ * with a clear message (log2Exact(0) would otherwise fire a confusing
+ * "non-power-of-two" assert deep in the twiddle computation).
+ */
+void
+checkTransformSize(size_t n)
+{
+    unizk_assert(n != 0, "NTT on an empty vector");
+    unizk_assert(isPowerOfTwo(n), "NTT size must be a power of two");
+}
+
 } // namespace
 
 void
 nttNR(std::vector<Fp> &a)
 {
+    checkTransformSize(a.size());
     difCore(a, forwardRoot(a.size()));
 }
 
 void
 nttRN(std::vector<Fp> &a)
 {
+    checkTransformSize(a.size());
     ditCore(a, forwardRoot(a.size()));
 }
 
 void
 nttNN(std::vector<Fp> &a)
 {
+    checkTransformSize(a.size());
     difCore(a, forwardRoot(a.size()));
     bitReversePermute(a);
 }
@@ -131,6 +146,7 @@ nttNN(std::vector<Fp> &a)
 void
 inttNN(std::vector<Fp> &a)
 {
+    checkTransformSize(a.size());
     difCore(a, inverseRoot(a.size()));
     bitReversePermute(a);
     scaleAll(a, sizeInverse(a.size()));
@@ -139,6 +155,7 @@ inttNN(std::vector<Fp> &a)
 void
 inttRN(std::vector<Fp> &a)
 {
+    checkTransformSize(a.size());
     ditCore(a, inverseRoot(a.size()));
     scaleAll(a, sizeInverse(a.size()));
 }
@@ -146,6 +163,7 @@ inttRN(std::vector<Fp> &a)
 void
 inttNR(std::vector<Fp> &a)
 {
+    checkTransformSize(a.size());
     difCore(a, inverseRoot(a.size()));
     scaleAll(a, sizeInverse(a.size()));
 }
@@ -181,6 +199,7 @@ cosetInttRN(std::vector<Fp> &a, Fp shift)
 std::vector<Fp>
 lowDegreeExtension(const std::vector<Fp> &coeffs, uint32_t blowup, Fp shift)
 {
+    checkTransformSize(coeffs.size());
     unizk_assert(isPowerOfTwo(blowup), "blowup must be a power of two");
     std::vector<Fp> ext(coeffs);
     ext.resize(coeffs.size() * blowup, Fp::zero());
@@ -230,7 +249,7 @@ void
 inttNNExt(std::vector<Fp2> &a)
 {
     const size_t n = a.size();
-    unizk_assert(isPowerOfTwo(n), "NTT size must be a power of two");
+    checkTransformSize(n);
     // DIF core over Fp2 values with Fp twiddles, then bit-reverse and
     // scale, mirroring inttNN.
     Fp w_len = inverseRoot(n);
@@ -284,6 +303,7 @@ void
 multidimNttNN(std::vector<Fp> &a, uint32_t log_n_max)
 {
     const size_t n = a.size();
+    checkTransformSize(n);
     const uint32_t log_n = log2Exact(n);
     if (log_n <= log_n_max) {
         nttNN(a);

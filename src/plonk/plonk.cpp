@@ -1,6 +1,7 @@
 #include "plonk/plonk.h"
 
 #include "common/bits.h"
+#include "common/thread_pool.h"
 #include "ntt/ntt.h"
 #include "poly/polynomial.h"
 
@@ -228,31 +229,39 @@ plonkProve(const Circuit &circuit, const PlonkProvingKey &key,
         }
     }
     std::vector<std::vector<Fp>> z_values(reps);
-    for (size_t r = 0; r < reps; ++r) {
+    {
+        // Timed once around the region: worker threads must not touch
+        // the shared breakdown.
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::Polynomial);
-        std::vector<Fp> f(n, Fp::one()), g(n, Fp::one());
-        for (size_t col = 0; col < 3; ++col) {
-            const Fp k = plonkCosetShift(col);
-            const auto &wcol = per_rep_wires[r][col];
-            const auto &scol = key.sigmaValues[col];
-            for (size_t i = 0; i < n; ++i) {
-                f[i] *= wcol[i] + beta * k * w_pows[i] + gamma;
-                g[i] *= wcol[i] + beta * scol[i] + gamma;
+        parallelFor(0, reps, /*grain=*/1, [&](size_t r_lo, size_t r_hi) {
+            for (size_t r = r_lo; r < r_hi; ++r) {
+                std::vector<Fp> f(n, Fp::one()), g(n, Fp::one());
+                for (size_t col = 0; col < 3; ++col) {
+                    const Fp k = plonkCosetShift(col);
+                    const auto &wcol = per_rep_wires[r][col];
+                    const auto &scol = key.sigmaValues[col];
+                    for (size_t i = 0; i < n; ++i) {
+                        f[i] *= wcol[i] + beta * k * w_pows[i] + gamma;
+                        g[i] *= wcol[i] + beta * scol[i] + gamma;
+                    }
+                }
+                std::vector<Fp> q = g;
+                batchInverse(q);
+                for (size_t i = 0; i < n; ++i)
+                    q[i] *= f[i];
+                // Quotient-chunk partial products (paper Eq. 1-2 /
+                // Fig. 6).
+                const std::vector<Fp> prefix =
+                    partialProductsGrouped(q, 32);
+                unizk_assert(prefix[n - 1] == Fp::one(),
+                             "permutation product must telescope to 1");
+                std::vector<Fp> z(n);
+                z[0] = Fp::one();
+                for (size_t i = 1; i < n; ++i)
+                    z[i] = prefix[i - 1];
+                z_values[r] = std::move(z);
             }
-        }
-        std::vector<Fp> q = g;
-        batchInverse(q);
-        for (size_t i = 0; i < n; ++i)
-            q[i] *= f[i];
-        // Quotient-chunk partial products (paper Eq. 1-2 / Fig. 6).
-        const std::vector<Fp> prefix = partialProductsGrouped(q, 32);
-        unizk_assert(prefix[n - 1] == Fp::one(),
-                     "permutation product must telescope to 1");
-        std::vector<Fp> z(n);
-        z[0] = Fp::one();
-        for (size_t i = 1; i < n; ++i)
-            z[i] = prefix[i - 1];
-        z_values[r] = std::move(z);
+        });
     }
     ctx.record(VecOpKernel{n, static_cast<uint32_t>(6 * reps),
                            static_cast<uint32_t>(2 * reps), 12, 0},
@@ -273,19 +282,29 @@ plonkProve(const Circuit &circuit, const PlonkProvingKey &key,
     std::vector<Fp> combined(big, Fp::zero());
     {
         ScopedKernelTimer ntt_timer(ctx.breakdown, KernelClass::Ntt);
-        // LDEs of everything we need, natural order.
+        // LDEs of everything we need, natural order. All 8 + 4*reps
+        // source polynomials are independent: flatten them into one
+        // parallel batch.
         std::vector<std::vector<Fp>> sel_lde(5), sig_lde(3);
-        for (size_t i = 0; i < 5; ++i)
-            sel_lde[i] = quotientDomainLde(key.constants->coefficients(i),
-                                           shift);
-        for (size_t i = 0; i < 3; ++i)
-            sig_lde[i] = quotientDomainLde(
-                key.constants->coefficients(5 + i), shift);
         std::vector<std::vector<Fp>> wire_lde(3 * reps), z_lde(reps);
-        for (size_t k = 0; k < 3 * reps; ++k)
-            wire_lde[k] = quotientDomainLde(wires.coefficients(k), shift);
-        for (size_t r = 0; r < reps; ++r)
-            z_lde[r] = quotientDomainLde(z_batch.coefficients(r), shift);
+        const size_t num_ldes = 8 + 4 * reps;
+        parallelFor(0, num_ldes, /*grain=*/1, [&](size_t lo, size_t hi) {
+            for (size_t t = lo; t < hi; ++t) {
+                if (t < 5) {
+                    sel_lde[t] = quotientDomainLde(
+                        key.constants->coefficients(t), shift);
+                } else if (t < 8) {
+                    sig_lde[t - 5] = quotientDomainLde(
+                        key.constants->coefficients(t), shift);
+                } else if (t < 8 + 3 * reps) {
+                    wire_lde[t - 8] = quotientDomainLde(
+                        wires.coefficients(t - 8), shift);
+                } else {
+                    z_lde[t - 8 - 3 * reps] = quotientDomainLde(
+                        z_batch.coefficients(t - 8 - 3 * reps), shift);
+                }
+            }
+        });
         ctx.record(NttKernel{log2Exact(big),
                              8 + 4 * reps, false, true, false,
                              PolyLayout::PolyMajor},
@@ -329,46 +348,63 @@ plonkProve(const Circuit &circuit, const PlonkProvingKey &key,
         }
 
         const size_t rot = size_t{1} << quotient_blowup_bits;
-        Fp alpha_pow = Fp::one();
-        for (size_t r = 0; r < reps; ++r) {
-            const auto &a = wire_lde[3 * r + 0];
-            const auto &b = wire_lde[3 * r + 1];
-            const auto &c = wire_lde[3 * r + 2];
-            const auto &z = z_lde[r];
-            const Fp ap0 = alpha_pow;
-            const Fp ap1 = alpha_pow * alpha;
-            const Fp ap2 = ap1 * alpha;
-            alpha_pow = ap2 * alpha;
-            for (size_t i = 0; i < big; ++i) {
-                Fp gate = sel_lde[0][i] * a[i] +
-                          sel_lde[1][i] * b[i] +
-                          sel_lde[2][i] * c[i] +
-                          sel_lde[3][i] * a[i] * b[i] +
-                          sel_lde[4][i];
-                for (size_t k = 0; k < pub_rows.size(); ++k)
-                    gate -= l_rows[k][i] * proof.publicInputs[r][k];
-                Fp f = Fp::one(), g = Fp::one();
-                const Fp wv[3] = {a[i], b[i], c[i]};
-                for (size_t j = 0; j < 3; ++j) {
-                    f *= wv[j] + beta * plonkCosetShift(j) * xs[i] +
-                         gamma;
-                    g *= wv[j] + beta * sig_lde[j][i] + gamma;
-                }
-                const Fp z_w = z[(i + rot) % big];
-                const Fp perm = z_w * g - z[i] * f;
-                const Fp l1_term = l1[i] * (z[i] - Fp::one());
-                combined[i] +=
-                    gate * ap0 + perm * ap1 + l1_term * ap2;
+        // Alpha powers per repetition, precomputed so the evaluation
+        // can run index-major: each point i is independent, and the
+        // per-point accumulation keeps the original r-ascending order,
+        // so the result is bitwise identical to the serial rep-major
+        // loop.
+        std::vector<std::array<Fp, 3>> rep_alpha(reps);
+        {
+            Fp alpha_pow = Fp::one();
+            for (size_t r = 0; r < reps; ++r) {
+                rep_alpha[r][0] = alpha_pow;
+                rep_alpha[r][1] = alpha_pow * alpha;
+                rep_alpha[r][2] = rep_alpha[r][1] * alpha;
+                alpha_pow = rep_alpha[r][2] * alpha;
             }
         }
+        parallelFor(0, big, /*grain=*/256, [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) {
+                Fp acc;
+                for (size_t r = 0; r < reps; ++r) {
+                    const auto &a = wire_lde[3 * r + 0];
+                    const auto &b = wire_lde[3 * r + 1];
+                    const auto &c = wire_lde[3 * r + 2];
+                    const auto &z = z_lde[r];
+                    Fp gate = sel_lde[0][i] * a[i] +
+                              sel_lde[1][i] * b[i] +
+                              sel_lde[2][i] * c[i] +
+                              sel_lde[3][i] * a[i] * b[i] +
+                              sel_lde[4][i];
+                    for (size_t k = 0; k < pub_rows.size(); ++k)
+                        gate -= l_rows[k][i] * proof.publicInputs[r][k];
+                    Fp f = Fp::one(), g = Fp::one();
+                    const Fp wv[3] = {a[i], b[i], c[i]};
+                    for (size_t j = 0; j < 3; ++j) {
+                        f *= wv[j] + beta * plonkCosetShift(j) * xs[i] +
+                             gamma;
+                        g *= wv[j] + beta * sig_lde[j][i] + gamma;
+                    }
+                    const Fp z_w = z[(i + rot) % big];
+                    const Fp perm = z_w * g - z[i] * f;
+                    const Fp l1_term = l1[i] * (z[i] - Fp::one());
+                    acc += gate * rep_alpha[r][0] +
+                           perm * rep_alpha[r][1] +
+                           l1_term * rep_alpha[r][2];
+                }
+                combined[i] = acc;
+            }
+        });
 
         // Divide by Z_H (nonzero on the coset; only `blowup` distinct
         // values, invert once each).
         std::vector<Fp> z_h_inv(z_h.begin(),
                                 z_h.begin() + (1u << quotient_blowup_bits));
         batchInverse(z_h_inv);
-        for (size_t i = 0; i < big; ++i)
-            combined[i] *= z_h_inv[i % z_h_inv.size()];
+        parallelFor(0, big, /*grain=*/1024, [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i)
+                combined[i] *= z_h_inv[i % z_h_inv.size()];
+        });
     }
     ctx.record(VecOpKernel{big, static_cast<uint32_t>(8 + 4 * reps), 1,
                            static_cast<uint32_t>(30 * reps),

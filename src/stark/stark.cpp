@@ -1,6 +1,7 @@
 #include "stark/stark.h"
 
 #include "common/bits.h"
+#include "common/thread_pool.h"
 #include "ntt/ntt.h"
 #include "poly/polynomial.h"
 
@@ -140,11 +141,14 @@ starkProve(const StarkAir &air,
     {
         ScopedKernelTimer ntt_timer(ctx.breakdown, KernelClass::Ntt);
         std::vector<std::vector<Fp>> lde(cols);
-        for (size_t c = 0; c < cols; ++c) {
-            lde[c] = trace.coefficients(c);
-            lde[c].resize(big, Fp::zero());
-            cosetNttNN(lde[c], shift);
-        }
+        // Independent trace columns: one coset LDE per column.
+        parallelFor(0, cols, /*grain=*/1, [&](size_t lo, size_t hi) {
+            for (size_t c = lo; c < hi; ++c) {
+                lde[c] = trace.coefficients(c);
+                lde[c].resize(big, Fp::zero());
+                cosetNttNN(lde[c], shift);
+            }
+        });
         ctx.record(NttKernel{log2Exact(big), cols, false, true, false,
                              PolyLayout::PolyMajor},
                    "quotient: trace coset LDEs");
@@ -181,32 +185,36 @@ starkProve(const StarkAir &air,
         batchInverse(inv_last);
 
         const auto bounds = air.boundaries();
-        std::vector<Fp> local(cols), next(cols),
-            t_vals(air.numConstraints());
-        for (size_t i = 0; i < big; ++i) {
-            for (size_t c = 0; c < cols; ++c) {
-                local[c] = lde[c][i];
-                next[c] = lde[c][(i + rot) % big];
+        // Each quotient-domain point is independent; scratch buffers
+        // live per chunk so worker threads never share state.
+        parallelFor(0, big, /*grain=*/128, [&](size_t lo, size_t hi) {
+            std::vector<Fp> local(cols), next(cols),
+                t_vals(air.numConstraints());
+            for (size_t i = lo; i < hi; ++i) {
+                for (size_t c = 0; c < cols; ++c) {
+                    local[c] = lde[c][i];
+                    next[c] = lde[c][(i + rot) % big];
+                }
+                air.evalTransition(local, next, t_vals);
+                Fp acc;
+                Fp alpha_pow = Fp::one();
+                const Fp trans_factor =
+                    (xs[i] - w_last) * z_h_inv[i % rot];
+                for (const Fp &t : t_vals) {
+                    acc += t * trans_factor * alpha_pow;
+                    alpha_pow *= alpha;
+                }
+                for (const BoundaryConstraint &bc : bounds) {
+                    const Fp point = bc.lastRow ? w_last : Fp::one();
+                    const Fp inv =
+                        bc.lastRow ? inv_last[i] : inv_first[i];
+                    acc += (local[bc.column] - bc.value) * inv * point *
+                           alpha_pow;
+                    alpha_pow *= alpha;
+                }
+                combined[i] = acc;
             }
-            air.evalTransition(local, next, t_vals);
-            Fp acc;
-            Fp alpha_pow = Fp::one();
-            const Fp trans_factor =
-                (xs[i] - w_last) * z_h_inv[i % rot];
-            for (const Fp &t : t_vals) {
-                acc += t * trans_factor * alpha_pow;
-                alpha_pow *= alpha;
-            }
-            for (const BoundaryConstraint &bc : bounds) {
-                const Fp point = bc.lastRow ? w_last : Fp::one();
-                const Fp inv =
-                    bc.lastRow ? inv_last[i] : inv_first[i];
-                acc += (local[bc.column] - bc.value) * inv * point *
-                       alpha_pow;
-                alpha_pow *= alpha;
-            }
-            combined[i] = acc;
-        }
+        });
     }
     ctx.record(VecOpKernel{big, static_cast<uint32_t>(2 * cols), 1,
                            static_cast<uint32_t>(

@@ -6,10 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
 #include "common/bits.h"
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace unizk {
 namespace {
@@ -180,6 +185,121 @@ TEST(Stats, ScaledBy)
     // Fractions are scale-invariant.
     EXPECT_DOUBLE_EQ(s.fraction(KernelClass::MerkleTree),
                      b.fraction(KernelClass::MerkleTree));
+}
+
+class ThreadPoolCounts : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(ThreadPoolCounts, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(GetParam());
+    EXPECT_EQ(pool.threadCount(), GetParam());
+    for (const size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{64},
+                           size_t{1000}}) {
+        for (const size_t grain : {size_t{1}, size_t{3}, size_t{64},
+                                   size_t{4096}}) {
+            std::vector<std::atomic<uint32_t>> hits(n);
+            pool.parallelFor(0, n, grain, [&](size_t lo, size_t hi) {
+                EXPECT_LE(lo, hi);
+                EXPECT_LE(hi, n);
+                for (size_t i = lo; i < hi; ++i)
+                    hits[i].fetch_add(1, std::memory_order_relaxed);
+            });
+            for (size_t i = 0; i < n; ++i)
+                EXPECT_EQ(hits[i].load(), 1u)
+                    << "n=" << n << " grain=" << grain << " i=" << i;
+        }
+    }
+}
+
+TEST_P(ThreadPoolCounts, NonZeroBeginOffset)
+{
+    ThreadPool pool(GetParam());
+    std::vector<std::atomic<uint32_t>> hits(100);
+    pool.parallelFor(25, 100, 10, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < 100; ++i)
+        EXPECT_EQ(hits[i].load(), i >= 25 ? 1u : 0u) << "i=" << i;
+}
+
+TEST_P(ThreadPoolCounts, NestedParallelForRunsInline)
+{
+    // A parallelFor issued from inside a pool worker must not deadlock
+    // waiting for the (busy) workers; it runs inline instead.
+    ThreadPool pool(GetParam());
+    std::vector<std::atomic<uint32_t>> hits(64 * 8);
+    pool.parallelFor(0, 64, 4, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            pool.parallelFor(0, 8, 1, [&, i](size_t lo2, size_t hi2) {
+                for (size_t j = lo2; j < hi2; ++j)
+                    hits[i * 8 + j].fetch_add(1,
+                                              std::memory_order_relaxed);
+            });
+    });
+    for (size_t k = 0; k < hits.size(); ++k)
+        EXPECT_EQ(hits[k].load(), 1u) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ThreadPoolCounts,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ThreadPool, ChunkBoundariesIndependentOfThreadCount)
+{
+    // Chunk boundaries are a pure function of (range, grain, pool
+    // size); running twice on the same pool gives the same partition.
+    auto boundaries = [](ThreadPool &pool, size_t n, size_t grain) {
+        std::mutex m;
+        std::vector<std::pair<size_t, size_t>> out;
+        pool.parallelFor(0, n, grain, [&](size_t lo, size_t hi) {
+            std::lock_guard<std::mutex> lock(m);
+            out.emplace_back(lo, hi);
+        });
+        std::sort(out.begin(), out.end());
+        return out;
+    };
+    ThreadPool p4(4);
+    const auto a = boundaries(p4, 1000, 7);
+    const auto b = boundaries(p4, 1000, 7);
+    EXPECT_EQ(a, b);
+    // And every boundary is grain-aligned except possibly the last end.
+    for (size_t k = 0; k + 1 < a.size(); ++k)
+        EXPECT_EQ(a[k].second, a[k + 1].first);
+}
+
+TEST(ThreadPool, ResizeKeepsCoverage)
+{
+    ThreadPool pool(2);
+    pool.resize(5);
+    EXPECT_EQ(pool.threadCount(), 5u);
+    std::vector<std::atomic<uint32_t>> hits(333);
+    pool.parallelFor(0, 333, 16, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < 333; ++i)
+        EXPECT_EQ(hits[i].load(), 1u) << "i=" << i;
+}
+
+TEST(ThreadPool, GlobalPoolThreadsFlag)
+{
+    // applyGlobalCliOptions routes --threads to the global pool.
+    const char *argv[] = {"prog", "--threads", "3"};
+    CliOptions cli(3, const_cast<char **>(argv));
+    applyGlobalCliOptions(cli);
+    EXPECT_EQ(globalThreadCount(), 3u);
+    EXPECT_EQ(globalThreadPool().threadCount(), 3u);
+
+    std::vector<std::atomic<uint32_t>> hits(50);
+    parallelFor(0, 50, 4, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < 50; ++i)
+        EXPECT_EQ(hits[i].load(), 1u) << "i=" << i;
+
+    setGlobalThreadCount(0); // restore auto for other tests
 }
 
 } // namespace

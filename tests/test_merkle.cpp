@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/bits.h"
 #include "common/rng.h"
+#include "hash/hashing.h"
 #include "merkle/merkle_tree.h"
 
 namespace unizk {
@@ -33,12 +35,13 @@ TEST_P(MerkleShapes, AllLeavesVerify)
 {
     const auto [count, len, cap_h] = GetParam();
     const auto leaves = randomLeaves(count, len, count + len);
+    const uint32_t height = log2Exact(count);
     MerkleTree tree(leaves, cap_h);
     EXPECT_EQ(tree.cap().size(), size_t{1} << cap_h);
     for (size_t i = 0; i < count; ++i) {
         const auto proof = tree.prove(i);
         EXPECT_TRUE(
-            MerkleTree::verify(leaves[i], i, proof, tree.cap()))
+            MerkleTree::verify(leaves[i], i, proof, tree.cap(), height))
             << "leaf " << i;
     }
 }
@@ -59,7 +62,7 @@ TEST(Merkle, TamperedLeafFails)
     const auto proof = tree.prove(5);
     auto bad = leaves[5];
     bad[3] += Fp::one();
-    EXPECT_FALSE(MerkleTree::verify(bad, 5, proof, tree.cap()));
+    EXPECT_FALSE(MerkleTree::verify(bad, 5, proof, tree.cap(), 4));
 }
 
 TEST(Merkle, WrongIndexFails)
@@ -67,7 +70,8 @@ TEST(Merkle, WrongIndexFails)
     const auto leaves = randomLeaves(16, 7, 2);
     MerkleTree tree(leaves, 0);
     const auto proof = tree.prove(5);
-    EXPECT_FALSE(MerkleTree::verify(tree.leaf(5), 6, proof, tree.cap()));
+    EXPECT_FALSE(
+        MerkleTree::verify(tree.leaf(5), 6, proof, tree.cap(), 4));
 }
 
 TEST(Merkle, TamperedSiblingFails)
@@ -76,7 +80,8 @@ TEST(Merkle, TamperedSiblingFails)
     MerkleTree tree(leaves, 0);
     auto proof = tree.prove(9);
     proof.siblings[1].elems[0] += Fp::one();
-    EXPECT_FALSE(MerkleTree::verify(tree.leaf(9), 9, proof, tree.cap()));
+    EXPECT_FALSE(
+        MerkleTree::verify(tree.leaf(9), 9, proof, tree.cap(), 4));
 }
 
 TEST(Merkle, WrongCapFails)
@@ -88,7 +93,7 @@ TEST(Merkle, WrongCapFails)
     cap[0].elems[0] += Fp::one();
     // Index 2 maps to cap entry 0; corrupting it must break
     // verification.
-    EXPECT_FALSE(MerkleTree::verify(tree.leaf(2), 2, proof, cap));
+    EXPECT_FALSE(MerkleTree::verify(tree.leaf(2), 2, proof, cap, 3));
 }
 
 TEST(Merkle, ProofLengthMatchesHeightMinusCap)
@@ -106,7 +111,7 @@ TEST(Merkle, CapAtLeafLevel)
     MerkleTree tree(leaves, 3);
     const auto proof = tree.prove(4);
     EXPECT_TRUE(proof.siblings.empty());
-    EXPECT_TRUE(MerkleTree::verify(leaves[4], 4, proof, tree.cap()));
+    EXPECT_TRUE(MerkleTree::verify(leaves[4], 4, proof, tree.cap(), 3));
 }
 
 TEST(Merkle, DeterministicCap)
@@ -134,6 +139,71 @@ TEST(Merkle, PermutationCountAccounting)
     EXPECT_EQ(MerkleTree::permutationCount(16, 135, 1), 16 * 17 + 14u);
     // Short leaves (<=4 elements) are packed, not hashed.
     EXPECT_EQ(MerkleTree::permutationCount(8, 3, 0), 7u);
+}
+
+TEST(Merkle, TruncatedProofInteriorNodeForgeryFails)
+{
+    // Regression test for the proof-length soundness hole: with short
+    // leaves (<= 4 elements, packed by hashOrNoop rather than hashed),
+    // an interior digest can masquerade as a leaf. Present the level-2
+    // node covering leaves 0..3 as "leaf data" with a 1-sibling proof;
+    // the hash chain then reaches the root, and a verifier that does
+    // not check the proof length against the tree height accepts a
+    // statement about a leaf that was never committed.
+    const auto leaves = randomLeaves(8, 4, 10);
+    MerkleTree tree(leaves, 0);
+
+    // Recompute the two children of the root by hand.
+    std::array<HashOut, 8> d;
+    for (size_t i = 0; i < 8; ++i)
+        d[i] = hashOrNoop(leaves[i]);
+    std::array<HashOut, 4> l1;
+    for (size_t i = 0; i < 4; ++i)
+        l1[i] = hashTwoToOne(d[2 * i], d[2 * i + 1]);
+    const HashOut left = hashTwoToOne(l1[0], l1[1]);
+    const HashOut right = hashTwoToOne(l1[2], l1[3]);
+
+    // Sanity: the chain really does reach the committed root, so only
+    // the explicit length check stands between the forgery and
+    // acceptance.
+    ASSERT_EQ(hashTwoToOne(left, right), tree.cap()[0]);
+
+    const std::vector<Fp> forged_leaf(left.elems.begin(),
+                                      left.elems.end());
+    ASSERT_EQ(hashOrNoop(forged_leaf), left); // packed, not hashed
+    MerkleProof forged_proof;
+    forged_proof.siblings = {right};
+    EXPECT_FALSE(MerkleTree::verify(forged_leaf, 0, forged_proof,
+                                    tree.cap(), 3));
+
+    // The same data with a full-length honest proof still verifies.
+    EXPECT_TRUE(MerkleTree::verify(leaves[0], 0, tree.prove(0),
+                                   tree.cap(), 3));
+}
+
+TEST(Merkle, WrongProofLengthFails)
+{
+    const auto leaves = randomLeaves(16, 7, 11);
+    MerkleTree tree(leaves, 1);
+    auto proof = tree.prove(3);
+    ASSERT_EQ(proof.siblings.size(), 3u);
+
+    auto short_proof = proof;
+    short_proof.siblings.pop_back();
+    EXPECT_FALSE(MerkleTree::verify(tree.leaf(3), 3, short_proof,
+                                    tree.cap(), 4));
+
+    auto long_proof = proof;
+    long_proof.siblings.push_back(HashOut{});
+    EXPECT_FALSE(MerkleTree::verify(tree.leaf(3), 3, long_proof,
+                                    tree.cap(), 4));
+
+    // Out-of-range leaf index for the claimed height is also rejected.
+    EXPECT_FALSE(MerkleTree::verify(tree.leaf(3), 16 + 3, proof,
+                                    tree.cap(), 4));
+
+    EXPECT_TRUE(
+        MerkleTree::verify(tree.leaf(3), 3, proof, tree.cap(), 4));
 }
 
 TEST(Merkle, ProofByteSize)

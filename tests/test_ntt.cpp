@@ -222,6 +222,50 @@ TEST(Ntt, SizeOneIsIdentity)
     EXPECT_EQ(a[0], Fp(42));
 }
 
+TEST(Ntt, SizeOneAllVariants)
+{
+    const Fp shift = defaultCosetShift();
+    std::vector<Fp> a{Fp(7)};
+    nttNR(a);
+    nttRN(a);
+    inttRN(a);
+    inttNR(a);
+    cosetNttNN(a, shift);
+    cosetInttNN(a, shift);
+    EXPECT_EQ(a[0], Fp(7));
+    EXPECT_EQ(lowDegreeExtension({Fp(7)}, 1, shift),
+              std::vector<Fp>{Fp(7)});
+}
+
+TEST(Ntt, DecomposeDimsZeroSize)
+{
+    // A size-2^0 = 1 transform needs no dimensions at all.
+    EXPECT_EQ(decomposeNttDims(0, 3), std::vector<uint32_t>{});
+}
+
+TEST(NttDeathTest, EmptyInputPanicsWithClearMessage)
+{
+    // Size-0 input used to reach log2Exact(0) and die with a confusing
+    // "power of two" message; the entry points now reject it up front.
+    std::vector<Fp> empty;
+    EXPECT_DEATH(nttNN(empty), "empty");
+    EXPECT_DEATH(nttNR(empty), "empty");
+    EXPECT_DEATH(nttRN(empty), "empty");
+    EXPECT_DEATH(inttNN(empty), "empty");
+    EXPECT_DEATH(inttNR(empty), "empty");
+    EXPECT_DEATH(inttRN(empty), "empty");
+    EXPECT_DEATH(multidimNttNN(empty, 3), "empty");
+    EXPECT_DEATH(lowDegreeExtension({}, 4, defaultCosetShift()), "empty");
+    std::vector<Fp2> empty_ext;
+    EXPECT_DEATH(inttNNExt(empty_ext), "empty");
+}
+
+TEST(NttDeathTest, NonPowerOfTwoPanics)
+{
+    std::vector<Fp> a{Fp(1), Fp(2), Fp(3)};
+    EXPECT_DEATH(nttNN(a), "power of two");
+}
+
 TEST(Ntt, LinearityProperty)
 {
     const size_t n = 128;
