@@ -43,7 +43,7 @@ ablationRow(const KernelTrace &trace, const SimReport &base,
             }
             continue;
         }
-        const double g = static_cast<double>(n) / b;
+        const double g = static_cast<double>(n) / static_cast<double>(b);
         if (g > worst_growth) {
             worst_growth = g;
             worst = kernelClassName(c);

@@ -31,7 +31,7 @@ sweepRow(const KernelTrace &trace, const HardwareConfig &hw,
         const uint64_t base_cycles = base.classStats(c).cycles;
         if (cycles == 0)
             return std::string("-");
-        return fmt(static_cast<double>(base_cycles) / cycles, 2);
+        return fmt(static_cast<double>(base_cycles) / static_cast<double>(cycles), 2);
     };
     printRow({label,
               fmt(baseline_total / static_cast<double>(r.totalCycles),
@@ -64,14 +64,14 @@ main(int argc, char **argv)
     const double base_total = static_cast<double>(base.totalCycles);
 
     printRow({"Config", "Total", "NTT", "Poly", "Merkle"}, 12);
-    for (const uint64_t mb : {2, 4, 8, 16, 32}) {
+    for (const uint64_t mb : {2u, 4u, 8u, 16u, 32u}) {
         HardwareConfig hw = base_hw;
         hw.scratchpadBytes = mb << 20;
         sweepRow(run.trace, hw, "spad " + std::to_string(mb) + "MB",
                  base_total, base);
     }
     std::printf("\n");
-    for (const uint32_t vsas : {8, 16, 32, 64, 128}) {
+    for (const uint32_t vsas : {8u, 16u, 32u, 64u, 128u}) {
         HardwareConfig hw = base_hw;
         hw.numVsas = vsas;
         sweepRow(run.trace, hw, "vsas " + std::to_string(vsas),

@@ -70,7 +70,7 @@ main(int argc, char **argv)
         ++count;
     }
     std::printf("\naverage (geomean) speedups: GPU %.1fx, UniZK %.0fx\n",
-                std::pow(gpu_geo, 1.0 / count),
-                std::pow(uni_geo, 1.0 / count));
+                std::pow(gpu_geo, 1.0 / static_cast<double>(count)),
+                std::pow(uni_geo, 1.0 / static_cast<double>(count)));
     return 0;
 }

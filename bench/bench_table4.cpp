@@ -41,18 +41,18 @@ main(int argc, char **argv)
             hash_cycles == 0
                 ? 0.0
                 : (r.sim.memUtilization(KernelClass::MerkleTree) *
-                       merkle.cycles +
+                       static_cast<double>(merkle.cycles) +
                    r.sim.memUtilization(KernelClass::OtherHash) *
-                       other.cycles) /
-                      hash_cycles;
+                       static_cast<double>(other.cycles)) /
+                      static_cast<double>(hash_cycles);
         const double hash_vsa =
             hash_cycles == 0
                 ? 0.0
                 : (r.sim.vsaUtilization(KernelClass::MerkleTree) *
-                       merkle.cycles +
+                       static_cast<double>(merkle.cycles) +
                    r.sim.vsaUtilization(KernelClass::OtherHash) *
-                       other.cycles) /
-                      hash_cycles;
+                       static_cast<double>(other.cycles)) /
+                      static_cast<double>(hash_cycles);
         printRow({r.app, fmtPct(r.sim.memUtilization(KernelClass::Ntt)),
                   fmtPct(r.sim.vsaUtilization(KernelClass::Ntt)),
                   fmtPct(r.sim.memUtilization(KernelClass::Polynomial)),

@@ -54,7 +54,7 @@ main(int argc, char **argv)
         printRow({base.app, "Base", fmt(base_cpu),
                   fmt(base.sim.seconds() * 1e3, 2),
                   fmtX(base_cpu / base.sim.seconds(), 0),
-                  fmt(base.proofBytes / 1024.0, 0)});
+                  fmt(static_cast<double>(base.proofBytes) / 1024.0, 0)});
 
         // Recursive aggregation with Plonky2 (verifier-shaped circuit).
         const WorkloadParams rp = defaultParams(AppId::Recursion,
@@ -66,7 +66,7 @@ main(int argc, char **argv)
         printRow({"", "Recursive", fmt(rec_cpu),
                   fmt(rec.sim.seconds() * 1e3, 2),
                   fmtX(rec_cpu / rec.sim.seconds(), 0),
-                  fmt(rec.proofBytes / 1024.0, 0)});
+                  fmt(static_cast<double>(rec.proofBytes) / 1024.0, 0)});
     }
     return 0;
 }

@@ -18,6 +18,13 @@
 namespace unizk {
 namespace {
 
+/** Benchmark Arg() values are int64_t; sizes in this repo are size_t. */
+size_t
+rangeSize(const benchmark::State &state)
+{
+    return static_cast<size_t>(state.range(0));
+}
+
 std::vector<Fp>
 randomVector(size_t n, uint64_t seed = 7)
 {
@@ -55,7 +62,7 @@ BENCHMARK(BM_FieldInverse);
 void
 BM_BatchInverse(benchmark::State &state)
 {
-    const auto base = randomVector(state.range(0), 3);
+    const auto base = randomVector(rangeSize(state), 3);
     for (auto _ : state) {
         auto v = base;
         batchInverse(v);
@@ -68,7 +75,7 @@ BENCHMARK(BM_BatchInverse)->Arg(1024)->Arg(65536);
 void
 BM_NttForward(benchmark::State &state)
 {
-    const auto base = randomVector(state.range(0), 4);
+    const auto base = randomVector(rangeSize(state), 4);
     for (auto _ : state) {
         auto v = base;
         nttNR(v);
@@ -81,7 +88,7 @@ BENCHMARK(BM_NttForward)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
 void
 BM_LowDegreeExtension(benchmark::State &state)
 {
-    const auto base = randomVector(state.range(0), 5);
+    const auto base = randomVector(rangeSize(state), 5);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             lowDegreeExtension(base, 8, defaultCosetShift()));
@@ -131,7 +138,7 @@ BENCHMARK(BM_HashLeaf135);
 void
 BM_MerkleTreeBuild(benchmark::State &state)
 {
-    const size_t leaves = state.range(0);
+    const size_t leaves = rangeSize(state);
     std::vector<std::vector<Fp>> data(leaves);
     for (size_t i = 0; i < leaves; ++i)
         data[i] = randomVector(16, i);
@@ -139,15 +146,16 @@ BM_MerkleTreeBuild(benchmark::State &state)
         MerkleTree tree(data, 4);
         benchmark::DoNotOptimize(tree.cap().data());
     }
-    state.SetItemsProcessed(state.iterations() * leaves);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(leaves));
 }
 BENCHMARK(BM_MerkleTreeBuild)->Arg(1 << 10)->Arg(1 << 13);
 
 void
 BM_VecMul(benchmark::State &state)
 {
-    const auto a = randomVector(state.range(0), 8);
-    const auto b = randomVector(state.range(0), 9);
+    const auto a = randomVector(rangeSize(state), 8);
+    const auto b = randomVector(rangeSize(state), 9);
     for (auto _ : state)
         benchmark::DoNotOptimize(vecMul(a, b).data());
     state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -157,7 +165,7 @@ BENCHMARK(BM_VecMul)->Arg(1 << 14)->Arg(1 << 18);
 void
 BM_PartialProductsGrouped(benchmark::State &state)
 {
-    const auto h = randomVector(state.range(0), 10);
+    const auto h = randomVector(rangeSize(state), 10);
     for (auto _ : state)
         benchmark::DoNotOptimize(partialProductsGrouped(h, 32).data());
     state.SetItemsProcessed(state.iterations() * state.range(0));

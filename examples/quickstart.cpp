@@ -48,7 +48,7 @@ main()
     const PlonkProof proof = plonkProve(
         circuit, key, {{Fp(1), Fp(2), Fp(3), Fp(11)}}, cfg, ctx);
     std::printf("proved in %.3f s; proof size %.1f kB\n",
-                watch.elapsedSeconds(), proof.byteSize() / 1024.0);
+                watch.elapsedSeconds(), static_cast<double>(proof.byteSize()) / 1024.0);
 
     // ---- 3. Verify. ----
     const bool ok = plonkVerify(key.constants->cap(), proof, cfg);

@@ -46,7 +46,7 @@ main(int argc, char **argv)
     }
     std::printf("  base proofs: CPU %.3f s, UniZK %.3f ms, total size "
                 "%.1f kB\n",
-                base_cpu, base_uni * 1e3, base_bytes / 1024.0);
+                base_cpu, base_uni * 1e3, static_cast<double>(base_bytes) / 1024.0);
 
     std::printf("aggregating with a Plonky2 recursion-shaped proof "
                 "...\n");
@@ -59,7 +59,7 @@ main(int argc, char **argv)
     }
     std::printf("  aggregate: CPU %.3f s, UniZK %.3f ms, size %.1f kB\n",
                 rec.cpuSeconds, rec.sim.seconds() * 1e3,
-                rec.proofBytes / 1024.0);
+                static_cast<double>(rec.proofBytes) / 1024.0);
 
     std::printf("\nrollup summary (%zu blocks):\n", blocks);
     std::printf("  CPU total:   %.3f s\n", base_cpu + rec.cpuSeconds);
@@ -68,6 +68,6 @@ main(int argc, char **argv)
                 (base_cpu + rec.cpuSeconds) /
                     (base_uni + rec.sim.seconds()));
     std::printf("  published proof: %.1f kB (vs %.1f kB unaggregated)\n",
-                rec.proofBytes / 1024.0, base_bytes / 1024.0);
+                static_cast<double>(rec.proofBytes) / 1024.0, static_cast<double>(base_bytes) / 1024.0);
     return 0;
 }

@@ -48,6 +48,6 @@ main(int argc, char **argv)
     std::printf("\nUniZK simulation:\n%s", formatReport(r.sim).c_str());
     std::printf("\nproof size: %.1f kB; UniZK speedup vs this thread: "
                 "%.0fx\n",
-                r.proofBytes / 1024.0, r.speedupVsCpu());
+                static_cast<double>(r.proofBytes) / 1024.0, r.speedupVsCpu());
     return 0;
 }

@@ -20,10 +20,10 @@ namespace unizk {
 class SplitMix64
 {
   public:
-    explicit SplitMix64(uint64_t seed) : state(seed) {}
+    constexpr explicit SplitMix64(uint64_t seed) : state(seed) {}
 
     /** Next raw 64-bit value. */
-    uint64_t
+    constexpr uint64_t
     next()
     {
         uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
@@ -33,7 +33,7 @@ class SplitMix64
     }
 
     /** Uniform value in [0, bound). */
-    uint64_t
+    constexpr uint64_t
     nextBelow(uint64_t bound)
     {
         // Rejection sampling to avoid modulo bias.

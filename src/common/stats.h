@@ -77,8 +77,8 @@ class KernelTimeBreakdown
 class ScopedKernelTimer
 {
   public:
-    ScopedKernelTimer(KernelTimeBreakdown *breakdown, KernelClass c)
-        : breakdown(breakdown), cls(c),
+    ScopedKernelTimer(KernelTimeBreakdown *breakdown_, KernelClass c)
+        : breakdown(breakdown_), cls(c),
           start(std::chrono::steady_clock::now())
     {}
 

@@ -2,44 +2,10 @@
 
 #include <ostream>
 
-#include "common/rng.h"
 #include "common/thread_pool.h"
+#include "field/field_checks.h"
 
 namespace unizk {
-
-Fp
-Fp::pow(uint64_t e) const
-{
-    Fp base = *this;
-    Fp acc = Fp::one();
-    while (e != 0) {
-        if (e & 1)
-            acc *= base;
-        base = base.squared();
-        e >>= 1;
-    }
-    return acc;
-}
-
-Fp
-Fp::inverse() const
-{
-    unizk_assert(!isZero(), "inverse of zero");
-    // Fermat: a^(p-2) = a^-1.
-    return pow(modulus - 2);
-}
-
-Fp
-Fp::primitiveRootOfUnity(uint32_t log_n)
-{
-    unizk_assert(log_n <= twoAdicity, "requested root order exceeds 2^32");
-    // g^( (p-1) / 2^32 ) generates the order-2^32 subgroup; squaring
-    // log-many times reaches the requested order.
-    Fp root = Fp(multiplicativeGenerator).pow((modulus - 1) >> twoAdicity);
-    for (uint32_t i = twoAdicity; i > log_n; --i)
-        root = root.squared();
-    return root;
-}
 
 std::ostream &
 operator<<(std::ostream &os, const Fp &f)
@@ -71,12 +37,6 @@ batchInverse(std::vector<Fp> &xs)
             inv = next;
         }
     });
-}
-
-Fp
-randomFp(SplitMix64 &rng)
-{
-    return Fp(rng.nextBelow(Fp::modulus));
 }
 
 } // namespace unizk

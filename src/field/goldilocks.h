@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace unizk {
 
@@ -72,7 +73,7 @@ class Fp
         return a.val != b.val;
     }
 
-    friend Fp
+    friend constexpr Fp
     operator+(const Fp &a, const Fp &b)
     {
         uint64_t s = a.val + b.val;
@@ -84,7 +85,7 @@ class Fp
         return fromCanonical(s);
     }
 
-    friend Fp
+    friend constexpr Fp
     operator-(const Fp &a, const Fp &b)
     {
         uint64_t d = a.val - b.val;
@@ -93,28 +94,28 @@ class Fp
         return fromCanonical(d);
     }
 
-    friend Fp
+    friend constexpr Fp
     operator*(const Fp &a, const Fp &b)
     {
         return fromCanonical(reduce128(
             static_cast<unsigned __int128>(a.val) * b.val));
     }
 
-    Fp &
+    constexpr Fp &
     operator+=(const Fp &o)
     {
         *this = *this + o;
         return *this;
     }
 
-    Fp &
+    constexpr Fp &
     operator-=(const Fp &o)
     {
         *this = *this - o;
         return *this;
     }
 
-    Fp &
+    constexpr Fp &
     operator*=(const Fp &o)
     {
         *this = *this * o;
@@ -122,34 +123,67 @@ class Fp
     }
 
     /** Additive inverse. */
-    Fp
+    constexpr Fp
     neg() const
     {
         return val == 0 ? Fp() : fromCanonical(modulus - val);
     }
 
-    friend Fp operator-(const Fp &a) { return a.neg(); }
+    friend constexpr Fp operator-(const Fp &a) { return a.neg(); }
 
     /** a^e by square-and-multiply. */
-    Fp pow(uint64_t e) const;
+    constexpr Fp
+    pow(uint64_t e) const
+    {
+        Fp base = *this;
+        Fp acc = Fp::one();
+        while (e != 0) {
+            if (e & 1)
+                acc *= base;
+            base = base.squared();
+            e >>= 1;
+        }
+        return acc;
+    }
 
-    /** Multiplicative inverse; panics on zero. */
-    Fp inverse() const;
+    /**
+     * Multiplicative inverse; panics on zero (fails the constant
+     * evaluation when invoked at compile time).
+     */
+    constexpr Fp
+    inverse() const
+    {
+        unizk_assert(!isZero(), "inverse of zero");
+        // Fermat: a^(p-2) = a^-1.
+        return pow(modulus - 2);
+    }
 
     /** Doubling (slightly cheaper than generic add). */
-    Fp doubled() const { return *this + *this; }
+    constexpr Fp doubled() const { return *this + *this; }
 
     /** Square. */
-    Fp squared() const { return *this * *this; }
+    constexpr Fp squared() const { return *this * *this; }
 
     /**
      * Primitive 2^k-th root of unity (k <= 32), i.e. a generator of the
      * multiplicative subgroup of order 2^k.
      */
-    static Fp primitiveRootOfUnity(uint32_t log_n);
+    static constexpr Fp
+    primitiveRootOfUnity(uint32_t log_n)
+    {
+        unizk_assert(log_n <= twoAdicity,
+                     "requested root order exceeds 2^32");
+        // g^( (p-1) / 2^32 ) generates the order-2^32 subgroup; squaring
+        // log-many times reaches the requested order.
+        Fp root =
+            Fp(multiplicativeGenerator).pow((modulus - 1) >> twoAdicity);
+        for (uint32_t i = twoAdicity; i > log_n; --i)
+            root = root.squared();
+        return root;
+    }
 
     /** Reduce a 128-bit value modulo p. */
-    static uint64_t
+    static constexpr uint64_t
     reduce128(unsigned __int128 x)
     {
         uint64_t lo = static_cast<uint64_t>(x);
@@ -233,8 +267,39 @@ fpDot(const Fp *a, const Fp *b, size_t n)
 void batchInverse(std::vector<Fp> &xs);
 
 /** Uniform random field element from a deterministic RNG. */
-class SplitMix64;
-Fp randomFp(SplitMix64 &rng);
+constexpr Fp
+randomFp(SplitMix64 &rng)
+{
+    return Fp(rng.nextBelow(Fp::modulus));
+}
+
+/**
+ * Sanctioned raw-arithmetic helpers. Protocol code sometimes needs the
+ * canonical representative as an *integer* -- to draw a query index or to
+ * count leading zero bits for proof-of-work grinding. Those are the only
+ * places raw uint64_t math on Fp::value() is legitimate, so they live
+ * here: everywhere outside src/field/, unizk_lint's fp-raw-arith rule
+ * rejects direct arithmetic on value().
+ * @{
+ */
+
+/** Map a field element to an index in [0, bound); bound must be nonzero. */
+constexpr uint64_t
+fpIndexBelow(Fp x, uint64_t bound)
+{
+    unizk_assert(bound != 0, "fpIndexBelow: empty range");
+    return x.value() % bound;
+}
+
+/** The top @p bits bits of the canonical representative (1 <= bits <= 63). */
+constexpr uint64_t
+fpHighBits(Fp x, uint32_t bits)
+{
+    unizk_assert(bits >= 1 && bits <= 63, "fpHighBits: bad width");
+    return x.value() >> (64 - bits);
+}
+
+/** @} */
 
 } // namespace unizk
 

@@ -15,7 +15,7 @@ powValid(Fp challenge, uint64_t nonce, uint32_t bits)
     if (bits == 0)
         return true;
     const HashOut h = hashNoPad({challenge, Fp(nonce)});
-    return (h.elems[0].value() >> (64 - bits)) == 0;
+    return fpHighBits(h.elems[0], bits) == 0;
 }
 
 /**
@@ -288,7 +288,7 @@ friProve(const std::vector<const PolynomialBatch *> &batches,
     for (const auto &tree : layer_trees)
         proof.layerCaps.push_back(tree.cap());
     for (uint32_t q = 0; q < cfg.numQueries; ++q) {
-        const size_t idx = challenger.challenge().value() % domain;
+        const size_t idx = fpIndexBelow(challenger.challenge(), domain);
         FriQueryRound round;
         for (const auto *batch : batches) {
             FriInitialOpening open;
@@ -362,7 +362,7 @@ friVerify(const std::vector<FriBatchInfo> &batches, size_t degree_bound,
     const uint32_t log_domain = log2Exact(domain);
 
     for (const auto &round : proof.queries) {
-        const size_t idx = challenger.challenge().value() % domain;
+        const size_t idx = fpIndexBelow(challenger.challenge(), domain);
         if (round.initial.size() != batches.size())
             return false;
         if (round.layers.size() != expected_layers)

@@ -36,7 +36,7 @@ struct FriConfig
     uint32_t finalPolyLen = 32;
 
     /** Blowup factor k = 2^blowupBits. */
-    uint32_t blowup() const { return 1u << blowupBits; }
+    uint32_t blowup() const { return uint32_t{1} << blowupBits; }
 
     /** LDE coset shift. */
     Fp shift() const { return defaultCosetShift(); }

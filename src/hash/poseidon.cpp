@@ -1,7 +1,5 @@
 #include "hash/poseidon.h"
 
-#include "common/rng.h"
-
 namespace unizk {
 
 namespace {
@@ -37,25 +35,17 @@ Poseidon::sbox(Fp x)
 void
 Poseidon::generateConstants()
 {
-    // Deterministic nothing-up-my-sleeve-style generation. The seed is
-    // fixed so every build derives identical parameters.
-    SplitMix64 rng(0x556E695A4B2D5073ULL); // "UniZK-Ps"
+    // The tables are generated and checksum-verified at compile time in
+    // poseidon_params.h (deterministic nothing-up-my-sleeve derivation,
+    // seed "UniZK-Ps"); this just copies them into the member layout the
+    // permutation uses.
+    const auto &spec_arc = poseidon_params::kRoundConstants;
+    arc.assign(spec_arc.begin(), spec_arc.end());
 
-    arc.resize(PoseidonConfig::totalRounds);
-    for (auto &round : arc)
-        for (auto &c : round)
-            c = randomFp(rng);
-
-    // Cauchy matrix M[i][j] = 1/(x_i + y_j) with x_i = i, y_j = t + j.
-    // All denominators are distinct and nonzero, so every square
-    // submatrix is nonsingular: the matrix is MDS and, crucially for the
-    // factorization, its trailing (t-1)x(t-1) submatrix is invertible.
-    for (uint32_t i = 0; i < t; ++i) {
-        for (uint32_t j = 0; j < t; ++j) {
-            mds.at(i, j) = Fp(i + t + j).inverse();
-            mds_flat[i * t + j] = mds.at(i, j);
-        }
-    }
+    mds_flat = poseidon_params::kMdsMatrix;
+    for (uint32_t i = 0; i < t; ++i)
+        for (uint32_t j = 0; j < t; ++j)
+            mds.at(i, j) = mds_flat[i * t + j];
 }
 
 void

@@ -34,21 +34,9 @@
 
 #include "field/goldilocks.h"
 #include "field/matrix.h"
+#include "hash/poseidon_params.h"
 
 namespace unizk {
-
-/** Static parameters of the Poseidon instance. */
-struct PoseidonConfig
-{
-    static constexpr uint32_t width = 12;        ///< state elements t
-    static constexpr uint32_t fullRounds = 8;    ///< total full rounds
-    static constexpr uint32_t halfFullRounds = 4;
-    static constexpr uint32_t partialRounds = 22;
-    static constexpr uint32_t totalRounds = 30;
-    static constexpr uint64_t sboxExponent = 7;
-    static constexpr uint32_t rate = 8;          ///< sponge rate
-    static constexpr uint32_t capacity = 4;      ///< sponge capacity
-};
 
 /** A 12-element Poseidon state. */
 using PoseidonState = std::array<Fp, PoseidonConfig::width>;

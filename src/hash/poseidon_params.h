@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Static parameters of the Poseidon instance, generated and verified at
+ * compile time.
+ *
+ * The round-constant and MDS tables used to be produced at runtime in
+ * Poseidon::generateConstants(). They are now constexpr: the splitmix64
+ * draw sequence and the Cauchy-matrix construction run during constant
+ * evaluation, and static_asserts pin the resulting tables to recorded
+ * checksums. A bad edit to the seed, the draw order, the rejection
+ * sampler, or the Cauchy layout therefore fails the *build* -- it cannot
+ * silently change hashes, Merkle roots, Fiat-Shamir challenges, or a
+ * Table 3 row.
+ *
+ * To intentionally re-parameterize, update kPoseidonArcChecksum /
+ * kPoseidonMdsChecksum alongside the change (and expect every proof
+ * fixture to change with them).
+ */
+
+#ifndef UNIZK_HASH_POSEIDON_PARAMS_H
+#define UNIZK_HASH_POSEIDON_PARAMS_H
+
+#include <array>
+#include <cstdint>
+
+#include "field/goldilocks.h"
+
+namespace unizk {
+
+/** Static parameters of the Poseidon instance. */
+struct PoseidonConfig
+{
+    static constexpr uint32_t width = 12;        ///< state elements t
+    static constexpr uint32_t fullRounds = 8;    ///< total full rounds
+    static constexpr uint32_t halfFullRounds = 4;
+    static constexpr uint32_t partialRounds = 22;
+    static constexpr uint32_t totalRounds = 30;
+    static constexpr uint64_t sboxExponent = 7;
+    static constexpr uint32_t rate = 8;          ///< sponge rate
+    static constexpr uint32_t capacity = 4;      ///< sponge capacity
+};
+
+// The parameter set must be internally consistent before any table is
+// generated from it.
+static_assert(PoseidonConfig::totalRounds ==
+                  PoseidonConfig::fullRounds + PoseidonConfig::partialRounds,
+              "totalRounds != fullRounds + partialRounds");
+static_assert(PoseidonConfig::fullRounds ==
+                  2 * PoseidonConfig::halfFullRounds,
+              "full rounds must split evenly around the partial rounds");
+static_assert(PoseidonConfig::width ==
+                  PoseidonConfig::rate + PoseidonConfig::capacity,
+              "sponge rate + capacity != state width");
+static_assert(PoseidonConfig::sboxExponent == 7,
+              "x^7 is the designed S-box for Goldilocks (gcd(7, p-1) = 1)");
+
+namespace poseidon_params {
+
+/** Seed for the deterministic parameter derivation ("UniZK-Ps"). */
+inline constexpr uint64_t kSeed = 0x556E695A4B2D5073ULL;
+
+using ArcTable = std::array<std::array<Fp, PoseidonConfig::width>,
+                            PoseidonConfig::totalRounds>;
+using MdsTable =
+    std::array<Fp, PoseidonConfig::width * PoseidonConfig::width>;
+
+/**
+ * All round constants, [round][lane], drawn from splitmix64 rejection
+ * sampling in a fixed order.
+ */
+constexpr ArcTable
+generateRoundConstants()
+{
+    SplitMix64 rng(kSeed);
+    ArcTable arc{};
+    for (auto &round : arc)
+        for (auto &c : round)
+            c = randomFp(rng);
+    return arc;
+}
+
+/**
+ * The dense MDS matrix, row-major. Cauchy matrix M[i][j] = 1/(x_i + y_j)
+ * with x_i = i, y_j = t + j: all denominators are distinct and nonzero,
+ * so every square submatrix is nonsingular -- the matrix is MDS and its
+ * trailing (t-1)x(t-1) submatrix is invertible (required by the sparse
+ * factorization of the optimized form).
+ */
+constexpr MdsTable
+generateMdsMatrix()
+{
+    constexpr uint32_t t = PoseidonConfig::width;
+    MdsTable mds{};
+    for (uint32_t i = 0; i < t; ++i)
+        for (uint32_t j = 0; j < t; ++j)
+            mds[i * t + j] = Fp(i + t + j).inverse();
+    return mds;
+}
+
+inline constexpr ArcTable kRoundConstants = generateRoundConstants();
+inline constexpr MdsTable kMdsMatrix = generateMdsMatrix();
+
+/** FNV-1a over the 8 bytes of @p v, little-endian, folded into @p h. */
+constexpr uint64_t
+fnv1aStep(uint64_t h, uint64_t v)
+{
+    for (uint32_t byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xFF;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+
+constexpr uint64_t
+arcChecksum()
+{
+    uint64_t h = kFnvOffsetBasis;
+    for (const auto &round : kRoundConstants)
+        for (const Fp &c : round)
+            h = fnv1aStep(h, c.value());
+    return h;
+}
+
+constexpr uint64_t
+mdsChecksum()
+{
+    uint64_t h = kFnvOffsetBasis;
+    for (const Fp &c : kMdsMatrix)
+        h = fnv1aStep(h, c.value());
+    return h;
+}
+
+/**
+ * Recorded checksums of the spec parameter set. These are the values the
+ * tables derived from kSeed had when the instance was frozen; see the
+ * file comment for the re-parameterization procedure.
+ */
+inline constexpr uint64_t kArcChecksum = 0x09889ACF5B332542ULL;
+inline constexpr uint64_t kMdsChecksum = 0x9BF4ABD760A19B64ULL;
+
+static_assert(arcChecksum() == kArcChecksum,
+              "Poseidon round-constant table diverged from the spec; if "
+              "this is an intentional re-parameterization, update "
+              "kArcChecksum");
+static_assert(mdsChecksum() == kMdsChecksum,
+              "Poseidon MDS matrix diverged from the spec; if this is an "
+              "intentional re-parameterization, update kMdsChecksum");
+
+// Structural sanity: every MDS entry and at least one round constant per
+// round must be nonzero (a zeroed table would checksum differently, but
+// these checks give a clearer failure on partial corruption).
+constexpr bool
+allMdsEntriesNonzero()
+{
+    for (const Fp &c : kMdsMatrix)
+        if (c.isZero())
+            return false;
+    return true;
+}
+
+constexpr bool
+everyRoundHasNonzeroConstant()
+{
+    for (const auto &round : kRoundConstants) {
+        bool nonzero = false;
+        for (const Fp &c : round)
+            nonzero = nonzero || !c.isZero();
+        if (!nonzero)
+            return false;
+    }
+    return true;
+}
+
+static_assert(allMdsEntriesNonzero(), "MDS matrix has a zero entry");
+static_assert(everyRoundHasNonzeroConstant(),
+              "a Poseidon round has an all-zero constant row");
+
+} // namespace poseidon_params
+} // namespace unizk
+
+#endif // UNIZK_HASH_POSEIDON_PARAMS_H

@@ -1,10 +1,28 @@
 #include "ntt/ntt.h"
 
 #include "common/bits.h"
+#include "field/field_checks.h"
 
 namespace unizk {
 
 namespace {
+
+// The twiddle factors below are all powers of Fp::primitiveRootOfUnity;
+// verify at compile time that the root tower this file builds on is
+// consistent with the field's declared 2-adicity (the full order checks
+// live in field_checks.h). A wrong root would make every NTT in the
+// repository produce well-formed but wrong evaluations.
+static_assert(selfcheck::isPrimitiveRootOfOrderPow2(
+                  Fp::primitiveRootOfUnity(Fp::twoAdicity),
+                  Fp::twoAdicity),
+              "NTT twiddle base root order mismatch with twoAdicity");
+static_assert(Fp::primitiveRootOfUnity(Fp::twoAdicity - 1) ==
+                  Fp::primitiveRootOfUnity(Fp::twoAdicity).squared(),
+              "NTT root tower is not closed under squaring");
+// The inverse twiddle used by every iNTT really is the inverse root.
+static_assert((Fp::primitiveRootOfUnity(16).inverse() *
+               Fp::primitiveRootOfUnity(16)).isOne(),
+              "inverse twiddle root is wrong");
 
 /**
  * Decimation-in-frequency butterfly network (Gentleman-Sande): natural

@@ -323,7 +323,7 @@ plonkProve(const Circuit &circuit, const PlonkProvingKey &key,
             }
         }
         const std::vector<Fp> z_h =
-            vanishingOnCoset(n, 1u << quotient_blowup_bits, shift);
+            vanishingOnCoset(n, uint32_t{1} << quotient_blowup_bits, shift);
         std::vector<Fp> l1(big);
         for (size_t i = 0; i < big; ++i)
             l1[i] = (xs[i] - Fp::one()) * Fp(static_cast<uint64_t>(n));
@@ -398,8 +398,10 @@ plonkProve(const Circuit &circuit, const PlonkProvingKey &key,
 
         // Divide by Z_H (nonzero on the coset; only `blowup` distinct
         // values, invert once each).
-        std::vector<Fp> z_h_inv(z_h.begin(),
-                                z_h.begin() + (1u << quotient_blowup_bits));
+        std::vector<Fp> z_h_inv(
+            z_h.begin(),
+            z_h.begin() + static_cast<std::ptrdiff_t>(
+                              size_t{1} << quotient_blowup_bits));
         batchInverse(z_h_inv);
         parallelFor(0, big, /*grain=*/1024, [&](size_t lo, size_t hi) {
             for (size_t i = lo; i < hi; ++i)
@@ -422,8 +424,9 @@ plonkProve(const Circuit &circuit, const PlonkProvingKey &key,
     // Degree must be below 4n by construction.
     std::vector<std::vector<Fp>> chunks(plonkQuotientChunks);
     for (size_t k = 0; k < plonkQuotientChunks; ++k) {
-        chunks[k].assign(combined.begin() + k * n,
-                         combined.begin() + (k + 1) * n);
+        chunks[k].assign(
+            combined.begin() + static_cast<std::ptrdiff_t>(k * n),
+            combined.begin() + static_cast<std::ptrdiff_t>((k + 1) * n));
     }
     PolynomialBatch quotient = PolynomialBatch::fromCoefficients(
         std::move(chunks), cfg, ctx, "quotient");

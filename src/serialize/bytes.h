@@ -67,8 +67,8 @@ class ByteWriter
 class ByteReader
 {
   public:
-    explicit ByteReader(const std::vector<uint8_t> &data)
-        : data(data)
+    explicit ByteReader(const std::vector<uint8_t> &data_)
+        : data(data_)
     {}
 
     bool ok() const { return !failed; }
@@ -84,7 +84,7 @@ class ByteReader
             return 0;
         }
         uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
+        for (size_t i = 0; i < 8; ++i)
             v |= static_cast<uint64_t>(data[pos + i]) << (8 * i);
         pos += 8;
         return v;

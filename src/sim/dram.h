@@ -55,7 +55,7 @@ struct DramResult
 class DramModel
 {
   public:
-    explicit DramModel(const HardwareConfig &cfg) : cfg(cfg) {}
+    explicit DramModel(const HardwareConfig &cfg_) : cfg(cfg_) {}
 
     /**
      * Cycles to transfer one stream, assuming the kernel keeps the

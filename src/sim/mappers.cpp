@@ -84,7 +84,7 @@ mapNtt(const NttKernel &k, const HardwareConfig &cfg)
             ? 0
             : cfg.transposeDim * 8;
     const uint32_t run_out =
-        k.bitrevOutput ? (1u << dims.front()) * 8 * cfg.transposeDim
+        k.bitrevOutput ? (uint32_t{1} << dims.front()) * 8 * cfg.transposeDim
                        : run_in;
 
     std::vector<MemStream> streams;

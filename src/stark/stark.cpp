@@ -27,8 +27,9 @@ combinedAtZeta(const StarkAir &air, const std::vector<Fp2> &at_z,
     const Fp2 z_h = zeta_n - Fp2::one();
     const Fp2 z_h_inv = z_h.inverse();
 
-    std::vector<Fp2> local(at_z.begin(), at_z.begin() + cols);
-    std::vector<Fp2> next(at_wz.begin(), at_wz.begin() + cols);
+    const auto dcols = static_cast<std::ptrdiff_t>(cols);
+    std::vector<Fp2> local(at_z.begin(), at_z.begin() + dcols);
+    std::vector<Fp2> next(at_wz.begin(), at_wz.begin() + dcols);
     std::vector<Fp2> t_vals(air.numConstraints());
     air.evalTransitionExt(local, next, t_vals);
 
@@ -163,8 +164,10 @@ starkProve(const StarkAir &air,
         // Z_H values on the coset (periodic with period `rot`),
         // inverted once.
         const auto z_h_all =
-            vanishingOnCoset(n, 1u << q_blowup_bits, shift);
-        std::vector<Fp> z_h_inv(z_h_all.begin(), z_h_all.begin() + rot);
+            vanishingOnCoset(n, uint32_t{1} << q_blowup_bits, shift);
+        std::vector<Fp> z_h_inv(
+            z_h_all.begin(),
+            z_h_all.begin() + static_cast<std::ptrdiff_t>(rot));
         batchInverse(z_h_inv);
 
         // (x - 1) and (x - w_last) inverses for boundary terms.
@@ -235,8 +238,9 @@ starkProve(const StarkAir &air,
     }
     std::vector<std::vector<Fp>> chunks(num_chunks);
     for (size_t k = 0; k < num_chunks; ++k) {
-        chunks[k].assign(combined.begin() + k * n,
-                         combined.begin() + (k + 1) * n);
+        chunks[k].assign(
+            combined.begin() + static_cast<std::ptrdiff_t>(k * n),
+            combined.begin() + static_cast<std::ptrdiff_t>((k + 1) * n));
     }
     PolynomialBatch quotient = PolynomialBatch::fromCoefficients(
         std::move(chunks), cfg, ctx, "quotient");

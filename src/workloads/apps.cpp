@@ -258,7 +258,7 @@ buildRecursion(size_t rows, size_t reps, uint64_t seed)
 class FibonacciAir : public StarkAir
 {
   public:
-    explicit FibonacciAir(Fp last) : last(last) {}
+    explicit FibonacciAir(Fp last_) : last(last_) {}
 
     size_t numColumns() const override { return 2; }
     size_t numConstraints() const override { return 2; }
@@ -302,7 +302,7 @@ class FibonacciAir : public StarkAir
 class FactorialAir : public StarkAir
 {
   public:
-    explicit FactorialAir(Fp last) : last(last) {}
+    explicit FactorialAir(Fp last_) : last(last_) {}
 
     size_t numColumns() const override { return 2; }
     size_t numConstraints() const override { return 2; }

@@ -58,8 +58,8 @@ TEST(Bits, ReverseBits)
 TEST(Bits, BitReversePermuteIsInvolution)
 {
     std::vector<int> v(16);
-    for (int i = 0; i < 16; ++i)
-        v[i] = i;
+    for (size_t i = 0; i < 16; ++i)
+        v[i] = static_cast<int>(i);
     auto orig = v;
     bitReversePermute(v);
     EXPECT_NE(v, orig);

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Runtime mirrors of the compile-time self-checks (field_checks.h,
+ * poseidon_params.h) plus regression tests for operations that were
+ * UB-prone before the sanitizer sweep: width-dependent shifts and raw
+ * index extraction from field elements. The static_asserts prove the
+ * constexpr evaluation; these tests prove the *runtime* code paths and
+ * the live Poseidon instance agree with the constexpr tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/field_checks.h"
+#include "field/goldilocks.h"
+#include "fri/fri_config.h"
+#include "hash/poseidon.h"
+
+namespace unizk {
+namespace {
+
+TEST(SelfCheck, GoldilocksIdentitiesHoldAtRuntime)
+{
+    EXPECT_EQ(Fp::modulus,
+              0xFFFFFFFFFFFFFFFFULL - (1ULL << 32) + 2);
+    EXPECT_EQ(Fp(7).inverse() * Fp(7), Fp(1));
+    EXPECT_EQ(Fp(Fp::modulus - 1).squared(), Fp(1));
+    EXPECT_TRUE(selfcheck::isPrimitiveRootOfOrderPow2(
+        Fp::primitiveRootOfUnity(Fp::twoAdicity), Fp::twoAdicity));
+    EXPECT_TRUE(selfcheck::generatesFullMultiplicativeGroup(
+        Fp(Fp::multiplicativeGenerator)));
+}
+
+TEST(SelfCheck, RootTowerClosedUnderSquaring)
+{
+    for (uint32_t k = 1; k <= Fp::twoAdicity; ++k) {
+        const Fp w = Fp::primitiveRootOfUnity(k);
+        EXPECT_EQ(w.squared(), Fp::primitiveRootOfUnity(k - 1))
+            << "tower broken at k=" << k;
+    }
+    EXPECT_EQ(Fp::primitiveRootOfUnity(0), Fp(1));
+    EXPECT_EQ(Fp::primitiveRootOfUnity(1), Fp(Fp::modulus - 1));
+}
+
+TEST(SelfCheck, LivePoseidonTablesMatchConstexprSpec)
+{
+    const Poseidon &p = Poseidon::instance();
+    const auto &arc = p.roundConstants();
+    ASSERT_EQ(arc.size(), PoseidonConfig::totalRounds);
+    for (size_t r = 0; r < arc.size(); ++r)
+        for (size_t lane = 0; lane < PoseidonConfig::width; ++lane)
+            ASSERT_EQ(arc[r][lane],
+                      poseidon_params::kRoundConstants[r][lane])
+                << "round " << r << " lane " << lane;
+
+    const FpMatrix &mds = p.mdsMatrix();
+    for (size_t i = 0; i < PoseidonConfig::width; ++i)
+        for (size_t j = 0; j < PoseidonConfig::width; ++j)
+            ASSERT_EQ(mds.at(i, j),
+                      poseidon_params::kMdsMatrix
+                          [i * PoseidonConfig::width + j])
+                << "mds entry (" << i << ", " << j << ")";
+}
+
+TEST(SelfCheck, PoseidonChecksumsMatchRecordedSpec)
+{
+    // Recompute at runtime what the static_asserts pinned at compile
+    // time; catches a miscompiled constexpr table.
+    EXPECT_EQ(poseidon_params::arcChecksum(),
+              poseidon_params::kArcChecksum);
+    EXPECT_EQ(poseidon_params::mdsChecksum(),
+              poseidon_params::kMdsChecksum);
+}
+
+TEST(SelfCheck, FpHighBitsBoundaryWidths)
+{
+    // bits=1 and bits=63 are the extremes the unizk_assert guard
+    // admits; the old open-coded `value() >> (64 - bits)` invited a
+    // shift-by-64 when bits could reach 0.
+    const Fp top(0x8000000000000000ULL); // below the modulus
+    EXPECT_EQ(fpHighBits(top, 1), 1u);
+    EXPECT_EQ(fpHighBits(Fp(1), 1), 0u);
+    EXPECT_EQ(fpHighBits(top, 63), 1ULL << 62);
+    EXPECT_EQ(fpHighBits(Fp(Fp::modulus - 1), 32),
+              (Fp::modulus - 1) >> 32);
+}
+
+TEST(SelfCheck, FpIndexBelowBoundaries)
+{
+    EXPECT_EQ(fpIndexBelow(Fp(12345), 1), 0u);
+    EXPECT_EQ(fpIndexBelow(Fp(12345), uint64_t{1} << 63),
+              12345u);
+    EXPECT_EQ(fpIndexBelow(Fp(Fp::modulus - 1), 1024),
+              (Fp::modulus - 1) % 1024);
+}
+
+TEST(SelfCheck, BlowupShiftIsWidthSafe)
+{
+    // blowup() computes `uint32_t{1} << blowupBits`; 31 is the largest
+    // representable exponent and used to be `1 << n` with int
+    // promotion (UB at 31 on the sign bit).
+    FriConfig cfg;
+    cfg.blowupBits = 31;
+    EXPECT_EQ(cfg.blowup(), 1u << 31);
+    cfg.blowupBits = 0;
+    EXPECT_EQ(cfg.blowup(), 1u);
+}
+
+TEST(SelfCheck, Reduce128AgreesWithWideModulo)
+{
+    // Spot-check the constexpr reduction against __int128 arithmetic.
+    SplitMix64 rng(2026);
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t a = rng.next();
+        const uint64_t b = rng.next();
+        const unsigned __int128 wide =
+            static_cast<unsigned __int128>(a) * b;
+        const uint64_t expect =
+            static_cast<uint64_t>(wide % Fp::modulus);
+        EXPECT_EQ((Fp(a) * Fp(b)).value(), Fp(expect).value());
+    }
+}
+
+} // namespace
+} // namespace unizk

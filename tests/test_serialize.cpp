@@ -100,7 +100,9 @@ TEST(ProofIo, PlonkTruncatedRejected)
     auto bytes = serializePlonkProof(f.proof);
     for (const size_t keep :
          {size_t{0}, size_t{7}, bytes.size() / 2, bytes.size() - 1}) {
-        std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + keep);
+        std::vector<uint8_t> cut(
+            bytes.begin(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(keep));
         EXPECT_FALSE(deserializePlonkProof(cut).has_value())
             << "kept " << keep;
     }

@@ -70,7 +70,8 @@ TEST(Dram, BandwidthScaleKnob)
     cfg.memBandwidthScale = 2.0;
     const uint64_t fast = DramModel(cfg).access({bytes, 0, false}).cycles;
     EXPECT_LT(fast, base);
-    EXPECT_NEAR(static_cast<double>(base) / fast, 2.0, 0.1);
+    EXPECT_NEAR(static_cast<double>(base) / static_cast<double>(fast),
+                2.0, 0.1);
 }
 
 TEST(MapNtt, IsMemoryBound)
@@ -118,7 +119,8 @@ TEST(MapMerkle, ScalesWithVsaCount)
     cfg.numVsas = 64;
     const uint64_t doubled = mapMerkle(k, cfg).cycles;
     EXPECT_LT(doubled, base);
-    EXPECT_NEAR(static_cast<double>(base) / doubled, 2.0, 0.3);
+    EXPECT_NEAR(static_cast<double>(base) / static_cast<double>(doubled),
+                2.0, 0.3);
 }
 
 TEST(MapVecOp, RandomAccessHurts)

@@ -79,7 +79,7 @@ fibonacciTrace(size_t rows)
 class CubeAir : public StarkAir
 {
   public:
-    CubeAir(Fp first, Fp last) : first(first), last(last) {}
+    CubeAir(Fp first_, Fp last_) : first(first_), last(last_) {}
 
     size_t numColumns() const override { return 1; }
     size_t numConstraints() const override { return 1; }

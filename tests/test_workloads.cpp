@@ -50,8 +50,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(AppId::Factorial, AppId::Fibonacci, AppId::Ecdsa,
                       AppId::Sha256, AppId::ImageCrop, AppId::Mvm,
                       AppId::Recursion),
-    [](const auto &info) {
-        std::string name = appName(info.param);
+    [](const auto &param_info) {
+        std::string name = appName(param_info.param);
         for (auto &c : name)
             if (!isalnum(static_cast<unsigned char>(c)))
                 c = '_';

@@ -1,0 +1,355 @@
+#!/usr/bin/env python3
+"""Self-test for unizk_lint: every rule has fixture snippets that must
+trigger and snippets that must not, plus suppression-syntax coverage.
+
+Run directly (python3 tools/lint/test_unizk_lint.py) or via ctest
+(registered as `lint_selftest`).
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import unizk_lint  # noqa: E402
+
+
+class LintHarness(unittest.TestCase):
+    """Writes a snippet to a synthetic repo-relative path and lints it."""
+
+    def lint(self, relpath, source):
+        with tempfile.TemporaryDirectory() as root:
+            path = os.path.join(root, relpath)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(source)
+            return unizk_lint.lint_file(path, root)
+
+    def assert_rules(self, relpath, source, expected_rules):
+        findings = self.lint(relpath, source)
+        self.assertEqual(
+            sorted({f.rule for f in findings}),
+            sorted(set(expected_rules)),
+            msg="findings were: "
+            + "; ".join(f.render() for f in findings),
+        )
+
+    def assert_clean(self, relpath, source):
+        self.assert_rules(relpath, source, [])
+
+
+class TestFpRawArith(LintHarness):
+    def test_modulo_on_value_triggers(self):
+        self.assert_rules(
+            "src/fri/query.cpp",
+            "size_t idx = c.challenge().value() % domain;\n",
+            ["fp-raw-arith"],
+        )
+
+    def test_shift_on_value_triggers(self):
+        self.assert_rules(
+            "src/hash/pow.cpp",
+            "uint64_t hi = h.value() >> (64 - bits);\n",
+            ["fp-raw-arith"],
+        )
+
+    def test_add_into_value_triggers(self):
+        self.assert_rules(
+            "tests/test_x.cpp",
+            "uint64_t s = base + x.value();\n",
+            ["fp-raw-arith"],
+        )
+
+    def test_allowed_inside_field_dir(self):
+        self.assert_clean(
+            "src/field/goldilocks_extra.cpp",
+            "uint64_t s = a.value() + b.value();\n",
+        )
+
+    def test_comparison_is_fine(self):
+        self.assert_clean(
+            "src/serialize/bytes2.h",
+            "if (v.value() == 0 || v.value() < bound) {}\n",
+        )
+
+    def test_passing_value_as_argument_is_fine(self):
+        self.assert_clean(
+            "src/serialize/bytes2.h",
+            "w.putU64(v.value());\n",
+        )
+
+    def test_arith_inside_comment_is_fine(self):
+        self.assert_clean(
+            "src/fri/query.cpp",
+            "// idx = c.challenge().value() % domain\nint x = 0;\n",
+        )
+
+
+class TestNondetContainer(LintHarness):
+    def test_unordered_map_in_prover_path_triggers(self):
+        self.assert_rules(
+            "src/plonk/cache.cpp",
+            "std::unordered_map<uint64_t, int> memo;\n",
+            ["nondet-container"],
+        )
+
+    def test_unordered_set_in_merkle_triggers(self):
+        self.assert_rules(
+            "src/merkle/dedup.h",
+            "std::unordered_set<uint64_t> seen;\n",
+            ["nondet-container"],
+        )
+
+    def test_rand_in_fri_triggers(self):
+        self.assert_rules(
+            "src/fri/sample.cpp",
+            "int r = rand() % 16;\n",
+            ["nondet-container", "fp-raw-arith"][:1],
+        )
+
+    def test_mt19937_in_stark_triggers(self):
+        self.assert_rules(
+            "src/stark/noise.cpp",
+            "std::mt19937_64 gen(seed);\n",
+            ["nondet-container"],
+        )
+
+    def test_random_device_in_hash_triggers(self):
+        self.assert_rules(
+            "src/hash/seed.cpp",
+            "std::random_device rd;\n",
+            ["nondet-container"],
+        )
+
+    def test_unordered_map_outside_prover_path_is_fine(self):
+        self.assert_clean(
+            "src/sim/table.cpp",
+            "std::unordered_map<uint64_t, int> memo;\n",
+        )
+
+    def test_deterministic_rng_is_fine(self):
+        self.assert_clean(
+            "src/fri/sample.cpp",
+            "SplitMix64 rng(42);\nFp x = randomFp(rng);\n",
+        )
+
+    def test_randomFp_name_not_confused_with_rand(self):
+        self.assert_clean(
+            "src/merkle/leaves.cpp",
+            "auto v = randomFp(rng);\n",
+        )
+
+
+class TestAssertSideEffect(LintHarness):
+    def test_increment_triggers(self):
+        self.assert_rules(
+            "src/ntt/check.cpp",
+            "unizk_assert(++count < limit, \"overflow\");\n",
+            ["assert-side-effect"],
+        )
+
+    def test_assignment_triggers(self):
+        self.assert_rules(
+            "src/common/check.cpp",
+            "assert(x = compute());\n",
+            ["assert-side-effect"],
+        )
+
+    def test_compound_assignment_triggers(self):
+        self.assert_rules(
+            "src/common/check.cpp",
+            "unizk_assert((total += n) < cap, \"cap\");\n",
+            ["assert-side-effect"],
+        )
+
+    def test_multiline_assert_with_side_effect_triggers(self):
+        self.assert_rules(
+            "src/common/check.cpp",
+            "unizk_assert(\n    consume(it++),\n    \"msg\");\n",
+            ["assert-side-effect"],
+        )
+
+    def test_comparisons_are_fine(self):
+        self.assert_clean(
+            "src/ntt/check.cpp",
+            'unizk_assert(a == b && c != d && e <= f && g >= h, "ok");\n',
+        )
+
+    def test_pure_call_is_fine(self):
+        self.assert_clean(
+            "src/ntt/check.cpp",
+            'unizk_assert(isPowerOfTwo(n), "power of two");\n',
+        )
+
+    def test_message_text_cannot_trigger(self):
+        self.assert_clean(
+            "src/ntt/check.cpp",
+            'unizk_assert(ok, "x = 1, then ++ it");\n',
+        )
+
+
+class TestUnguardedShift(LintHarness):
+    def test_int_one_shift_by_variable_triggers(self):
+        self.assert_rules(
+            "src/sim/addr.cpp",
+            "size_t n = 1 << log_n;\n",
+            ["unguarded-shift"],
+        )
+
+    def test_unsigned_one_shift_by_variable_triggers(self):
+        self.assert_rules(
+            "src/fri/fold.cpp",
+            "uint32_t b = 1u << blowupBits;\n",
+            ["unguarded-shift"],
+        )
+
+    def test_shift_by_call_triggers(self):
+        self.assert_rules(
+            "src/sim/addr.cpp",
+            "auto n = 2 << dims.front();\n",
+            ["unguarded-shift"],
+        )
+
+    def test_literal_shift_amount_is_fine(self):
+        self.assert_clean(
+            "src/sim/addr.cpp",
+            "size_t mb = 1 << 20;\n",
+        )
+
+    def test_ull_suffix_is_fine(self):
+        self.assert_clean(
+            "src/sim/addr.cpp",
+            "uint64_t n = 1ULL << log_n;\n",
+        )
+
+    def test_brace_init_base_is_fine(self):
+        self.assert_clean(
+            "src/sim/addr.cpp",
+            "const size_t n1 = size_t{1} << log_n_max;\n"
+            "const uint64_t n2 = uint64_t{1} << log_size;\n",
+        )
+
+    def test_stream_output_not_confused(self):
+        self.assert_clean(
+            "src/sim/report.cpp",
+            'oss << cycles << " cycles";\n',
+        )
+
+
+class TestFloatInCore(LintHarness):
+    def test_double_in_field_triggers(self):
+        self.assert_rules(
+            "src/field/approx.cpp",
+            "double ratio = 0.5;\n",
+            ["float-in-core"],
+        )
+
+    def test_float_in_ntt_triggers(self):
+        self.assert_rules(
+            "src/ntt/tuning.h",
+            "float factor = 1.5f;\n",
+            ["float-in-core"],
+        )
+
+    def test_double_in_hash_triggers(self):
+        self.assert_rules(
+            "src/hash/stats.cpp",
+            "long double precise = 0.0L;\n",
+            ["float-in-core"],
+        )
+
+    def test_double_outside_core_is_fine(self):
+        self.assert_clean(
+            "src/model/energy.cpp",
+            "double joules = cycles * watts;\n",
+        )
+
+    def test_doubled_identifier_is_fine(self):
+        self.assert_clean(
+            "src/field/goldilocks2.h",
+            "Fp doubled() const { return *this + *this; }\n"
+            "Fp y = x.doubled();\n",
+        )
+
+
+class TestSuppressions(LintHarness):
+    SNIPPET = "size_t n = 1 << log_n;"
+
+    def test_same_line_suppression(self):
+        self.assert_clean(
+            "src/sim/addr.cpp",
+            self.SNIPPET + "  // unizk-lint: disable=unguarded-shift\n",
+        )
+
+    def test_next_line_suppression(self):
+        self.assert_clean(
+            "src/sim/addr.cpp",
+            "// unizk-lint: disable-next-line=unguarded-shift\n"
+            + self.SNIPPET
+            + "\n",
+        )
+
+    def test_file_wide_suppression(self):
+        self.assert_clean(
+            "src/sim/addr.cpp",
+            "// unizk-lint: disable-file=unguarded-shift\n"
+            + self.SNIPPET
+            + "\n"
+            + self.SNIPPET
+            + "\n",
+        )
+
+    def test_suppressing_one_rule_keeps_others(self):
+        findings = self.lint(
+            "src/fri/both.cpp",
+            "std::unordered_map<int, int> m; size_t n = 1 << log_n; "
+            "// unizk-lint: disable=unguarded-shift\n",
+        )
+        self.assertEqual({f.rule for f in findings}, {"nondet-container"})
+
+    def test_unrelated_suppression_does_not_hide(self):
+        self.assert_rules(
+            "src/sim/addr.cpp",
+            self.SNIPPET + "  // unizk-lint: disable=float-in-core\n",
+            ["unguarded-shift"],
+        )
+
+
+class TestEngine(LintHarness):
+    def test_multiline_block_comment_is_stripped(self):
+        self.assert_clean(
+            "src/fri/doc.cpp",
+            "/* rand() in prover\n   1 << log_n\n   more */\nint x;\n",
+        )
+
+    def test_rule_names_are_unique(self):
+        self.assertEqual(
+            len(unizk_lint.RULES), len(unizk_lint.RULE_NAMES)
+        )
+
+    def test_every_rule_has_exactly_one_matcher(self):
+        for rule in unizk_lint.RULES:
+            self.assertTrue(
+                (rule.pattern is None) != (rule.checker is None),
+                msg=rule.name,
+            )
+
+    def test_exit_status_contract(self):
+        with tempfile.TemporaryDirectory() as root:
+            src_dir = os.path.join(root, "src", "sim")
+            os.makedirs(src_dir)
+            bad = os.path.join(src_dir, "bad.cpp")
+            with open(bad, "w", encoding="utf-8") as f:
+                f.write("size_t n = 1 << log_n;\n")
+            status = unizk_lint.main(["--repo-root", root, bad])
+            self.assertEqual(status, 1)
+            with open(bad, "w", encoding="utf-8") as f:
+                f.write("size_t n = size_t{1} << log_n;\n")
+            status = unizk_lint.main(["--repo-root", root, bad])
+            self.assertEqual(status, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,469 @@
+#!/usr/bin/env python3
+"""unizk_lint: repo-specific invariant linter for the UniZK reproduction.
+
+Enforces correctness invariants that generic tools (clang-tidy, compiler
+warnings) cannot know about, because they are properties of *this*
+codebase's proof-soundness and determinism contracts:
+
+  fp-raw-arith      Raw uint64_t arithmetic on Fp::value() results is only
+                    allowed inside src/field/ — everywhere else, modular
+                    reduction mistakes silently corrupt proofs instead of
+                    crashing.  Use Fp operators or the helpers exported by
+                    field/goldilocks.h (e.g. fpIndexBelow).
+  nondet-container  Prover paths must be deterministic: no
+                    std::unordered_map / std::unordered_set (iteration
+                    order varies across libstdc++ versions), and no
+                    rand()/srand()/std::mt19937/std::random_device
+                    (SplitMix64 is the only sanctioned RNG).  Violations
+                    break the byte-identical-proof guarantee.
+  assert-side-effect
+                    assert()/unizk_assert() conditions must be pure:
+                    ++/--/assignment inside an assertion changes behaviour
+                    between build types or reads as if it does.
+  unguarded-shift   `1 << n` with a non-literal shift amount has type int:
+                    it overflows at n >= 31 and is UB at n >= 32, long
+                    before the 2-adicity limit of 32 used by NTT index
+                    math.  Use uint64_t{1} << n or size_t{1} << n.
+  float-in-core     No float/double in src/field, src/ntt, src/hash:
+                    field arithmetic is exact; a stray floating-point
+                    intermediate destroys soundness silently.
+
+Suppressions (per line, per rule):
+
+    some_code();  // unizk-lint: disable=rule-name
+    // unizk-lint: disable-next-line=rule-name,other-rule
+    some_code();
+
+File-wide (anywhere in the file):
+
+    // unizk-lint: disable-file=rule-name
+
+Usage:
+    python3 tools/lint/unizk_lint.py [--list-rules] [paths...]
+
+Paths may be files or directories (searched recursively for C++ sources).
+Exit status is nonzero iff at least one finding is reported.
+
+Stdlib-only by design; runs anywhere python3 exists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import re
+import sys
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+CXX_EXTENSIONS = {".h", ".hpp", ".hh", ".inl", ".cpp", ".cc", ".cxx"}
+
+# Directories whose contents feed the byte-identical-proof guarantee.
+PROVER_PATHS = (
+    "src/fri/",
+    "src/plonk/",
+    "src/stark/",
+    "src/merkle/",
+    "src/hash/",
+)
+
+# Directories where floating point is banned outright.
+EXACT_ARITHMETIC_PATHS = ("src/field/", "src/ntt/", "src/hash/")
+
+SUPPRESS_LINE_RE = re.compile(r"unizk-lint:\s*disable=([\w,-]+)")
+SUPPRESS_NEXT_RE = re.compile(r"unizk-lint:\s*disable-next-line=([\w,-]+)")
+SUPPRESS_FILE_RE = re.compile(r"unizk-lint:\s*disable-file=([\w,-]+)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One table entry of the rule engine.
+
+    Exactly one of `pattern` or `checker` drives the rule:
+      - `pattern` rules flag every stripped source line matching the regex;
+      - `checker` rules receive the whole stripped file and return
+        (line_number, detail) pairs, for checks that need multi-line
+        context (e.g. balanced parentheses).
+    Scoping: a rule applies to a file iff the file's repo-relative path
+    starts with one of `include` (empty tuple = everywhere) and with none
+    of `exclude`.
+    """
+
+    name: str
+    summary: str
+    message: str
+    pattern: Optional[re.Pattern] = None
+    checker: Optional[
+        Callable[[Sequence[str]], Iterable[Tuple[int, str]]]
+    ] = None
+    include: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if self.include and not any(
+            relpath.startswith(p) for p in self.include
+        ):
+            return False
+        return not any(relpath.startswith(p) for p in self.exclude)
+
+
+# --------------------------------------------------------------------------
+# Source preprocessing: strip string/char literals and comments so rule
+# regexes only ever see code. Suppression comments are extracted *before*
+# comments are removed.
+# --------------------------------------------------------------------------
+
+def strip_source(lines: Sequence[str]) -> List[str]:
+    """Blank out string literals, char literals, and comments.
+
+    Replaced regions become spaces so column/line structure is preserved.
+    Handles multi-line /* */ comments, escape sequences, and C++14 digit
+    separators (1'000'000 is not a char literal).
+    """
+    out: List[str] = []
+    in_block_comment = False
+    for line in lines:
+        res = []
+        i = 0
+        n = len(line)
+        while i < n:
+            c = line[i]
+            if in_block_comment:
+                if c == "*" and i + 1 < n and line[i + 1] == "/":
+                    in_block_comment = False
+                    res.append("  ")
+                    i += 2
+                else:
+                    res.append(" ")
+                    i += 1
+                continue
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                res.append(" " * (n - i))
+                break
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block_comment = True
+                res.append("  ")
+                i += 2
+                continue
+            if c == '"' or c == "'":
+                # A single quote between digits is a separator, not a
+                # character literal (e.g. 1'000'000).
+                if (
+                    c == "'"
+                    and i > 0
+                    and line[i - 1].isalnum()
+                ):
+                    res.append(c)
+                    i += 1
+                    continue
+                quote = c
+                res.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        res.append("  ")
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        res.append(quote)
+                        i += 1
+                        break
+                    res.append(" ")
+                    i += 1
+                continue
+            res.append(c)
+            i += 1
+        out.append("".join(res))
+    return out
+
+
+# --------------------------------------------------------------------------
+# assert-side-effect: needs balanced-paren scanning across lines.
+# --------------------------------------------------------------------------
+
+ASSERT_CALL_RE = re.compile(r"(?<![\w.])(?:unizk_)?assert\s*\(")
+# ++ / -- anywhere, or an assignment operator: '=' that is not part of
+# ==, !=, <=, >= and not preceded by another '=' (compound assignments
+# += -= *= /= %= &= |= ^= <<= >>= all end in a bare '=' preceded by an
+# operator character, which we *do* want to flag).
+SIDE_EFFECT_RE = re.compile(
+    r"\+\+|--|(?<![=!<>])(?:[-+*/%&|^]|<<|>>)?=(?!=)"
+)
+
+
+def check_assert_side_effects(
+    stripped: Sequence[str],
+) -> Iterable[Tuple[int, str]]:
+    for lineno, line in enumerate(stripped, start=1):
+        for m in ASSERT_CALL_RE.finditer(line):
+            # Collect the balanced-paren argument text, possibly spanning
+            # a few following lines.
+            depth = 0
+            arg_chars: List[str] = []
+            row = lineno - 1
+            col = m.end() - 1  # position of '('
+            scanned_rows = 0
+            done = False
+            while row < len(stripped) and scanned_rows < 16 and not done:
+                text = stripped[row]
+                start = col if row == lineno - 1 else 0
+                for ch in text[start:]:
+                    if ch == "(":
+                        depth += 1
+                    elif ch == ")":
+                        depth -= 1
+                        if depth == 0:
+                            done = True
+                            break
+                    if depth >= 1:
+                        arg_chars.append(ch)
+                row += 1
+                scanned_rows += 1
+                arg_chars.append("\n")
+            arg = "".join(arg_chars)
+            sem = SIDE_EFFECT_RE.search(arg)
+            if sem:
+                yield lineno, f"offending token {sem.group(0)!r}"
+
+
+# --------------------------------------------------------------------------
+# Rule table.
+# --------------------------------------------------------------------------
+
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        name="fp-raw-arith",
+        summary="raw arithmetic on Fp::value() outside src/field/",
+        message=(
+            "raw uint64_t arithmetic on an Fp::value() result; do modular "
+            "math through Fp operators or field/goldilocks.h helpers "
+            "(fpIndexBelow, fpHighBits) so reduction stays in src/field/"
+        ),
+        pattern=re.compile(
+            r"\.value\(\)\s*(?:%|\+|\*|<<|>>|(?<!&)&(?!&)|(?<!\|)\|(?!\|)"
+            r"|\^|-(?!>))"
+            r"|(?:%|\+|\*|<<|>>|(?<!&)&(?!&)|(?<!\|)\|(?!\|)|\^|-)=?\s*"
+            r"[A-Za-z_][\w:.\[\]]*\.value\(\)"
+        ),
+        exclude=("src/field/",),
+    ),
+    Rule(
+        name="nondet-container",
+        summary="nondeterminism sources in prover paths",
+        message=(
+            "nondeterministic container or RNG in a prover path; iteration "
+            "order / seeding would break the byte-identical-proof "
+            "guarantee. Use std::map/std::set/sorted vectors and the "
+            "deterministic SplitMix64 from common/rng.h"
+        ),
+        pattern=re.compile(
+            r"\bstd::unordered_(?:map|set|multimap|multiset)\b"
+            r"|\bstd::(?:mt19937(?:_64)?|minstd_rand0?|random_device)\b"
+            r"|(?<![\w:])s?rand\s*\("
+        ),
+        include=PROVER_PATHS,
+    ),
+    Rule(
+        name="assert-side-effect",
+        summary="assert()/unizk_assert() with side effects",
+        message=(
+            "assertion condition contains a side effect (++/--/assignment); "
+            "assertions must be pure so behaviour cannot depend on them"
+        ),
+        checker=check_assert_side_effects,
+    ),
+    Rule(
+        name="unguarded-shift",
+        summary="int-typed literal shifted by a variable",
+        message=(
+            "integer literal of type int/unsigned shifted by a non-literal "
+            "amount; this is UB once the amount reaches 32 (NTT/bit-reverse "
+            "index math reaches 32+). Write uint64_t{1} << n or 1ULL << n"
+        ),
+        pattern=re.compile(
+            r"(?<![\w.}\)])\d+[uU]?\s*<<\s*[A-Za-z_(]"
+        ),
+    ),
+    Rule(
+        name="float-in-core",
+        summary="float/double in exact-arithmetic directories",
+        message=(
+            "float/double in src/field, src/ntt or src/hash; these layers "
+            "are exact modular arithmetic and floating point silently "
+            "destroys soundness"
+        ),
+        pattern=re.compile(r"\b(?:float|double|long\s+double)\b"),
+        include=EXACT_ARITHMETIC_PATHS,
+    ),
+)
+
+RULE_NAMES = {r.name for r in RULES}
+
+
+# --------------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------------
+
+def parse_suppressions(
+    raw_lines: Sequence[str],
+) -> Tuple[dict, set]:
+    """Return ({line_number: set(rule_names)}, file_wide_rule_names)."""
+    per_line: dict = {}
+    file_wide: set = set()
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = SUPPRESS_FILE_RE.search(line)
+        if m:
+            file_wide.update(m.group(1).split(","))
+        m = SUPPRESS_LINE_RE.search(line)
+        if m:
+            per_line.setdefault(lineno, set()).update(m.group(1).split(","))
+        m = SUPPRESS_NEXT_RE.search(line)
+        if m:
+            per_line.setdefault(lineno + 1, set()).update(
+                m.group(1).split(",")
+            )
+    return per_line, file_wide
+
+
+def repo_relative(path: str, repo_root: str) -> str:
+    ap = os.path.abspath(path)
+    rel = os.path.relpath(ap, repo_root)
+    return rel.replace(os.sep, "/")
+
+
+def lint_file(path: str, repo_root: str) -> List[Finding]:
+    relpath = repo_relative(path, repo_root)
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            raw = f.read().splitlines()
+    except OSError as e:
+        return [Finding(relpath, 0, "io-error", str(e))]
+
+    per_line_supp, file_supp = parse_suppressions(raw)
+    stripped = strip_source(raw)
+
+    findings: List[Finding] = []
+
+    def suppressed(rule_name: str, lineno: int) -> bool:
+        if rule_name in file_supp:
+            return True
+        return rule_name in per_line_supp.get(lineno, set())
+
+    for rule in RULES:
+        if not rule.applies_to(relpath):
+            continue
+        if rule.pattern is not None:
+            for lineno, line in enumerate(stripped, start=1):
+                if rule.pattern.search(line) and not suppressed(
+                    rule.name, lineno
+                ):
+                    findings.append(
+                        Finding(relpath, lineno, rule.name, rule.message)
+                    )
+        if rule.checker is not None:
+            for lineno, detail in rule.checker(stripped):
+                if not suppressed(rule.name, lineno):
+                    findings.append(
+                        Finding(
+                            relpath,
+                            lineno,
+                            rule.name,
+                            f"{rule.message} ({detail})",
+                        )
+                    )
+    return findings
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    files: List[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs[:] = sorted(
+                    d
+                    for d in dirs
+                    if not d.startswith(".") and not d.startswith("build")
+                )
+                for name in sorted(names):
+                    if os.path.splitext(name)[1] in CXX_EXTENSIONS:
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"unizk_lint: no such path: {p}", file=sys.stderr)
+    return files
+
+
+def main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="unizk_lint",
+        description="repo-specific invariant linter (see module docstring)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "bench", "tests", "examples"],
+        help="files or directories to lint (default: src bench tests "
+        "examples)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--repo-root",
+        default=None,
+        help="repository root used for rule path scoping (default: "
+        "two directories above this script)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            scope = (
+                ", ".join(rule.include) if rule.include else "all files"
+            )
+            if rule.exclude:
+                scope += f" (except {', '.join(rule.exclude)})"
+            print(f"{rule.name:20s} {rule.summary}  [{scope}]")
+        return 0
+
+    repo_root = args.repo_root or os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+    )
+
+    files = collect_files(args.paths)
+    if not files:
+        print("unizk_lint: no C++ sources found", file=sys.stderr)
+        return 2
+
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, repo_root))
+
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"unizk_lint: {len(findings)} finding(s) in "
+            f"{len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
