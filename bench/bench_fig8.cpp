@@ -26,12 +26,14 @@ main(int argc, char **argv)
                 "acceleration\n\n");
     printRow({"Application", "NTT", "Polynomial", "Hash", "(cycles)"});
 
+    ObsArtifacts artifacts(opt);
     for (const AppId app : evaluationApps()) {
         const WorkloadParams p = defaultParams(app, opt.scale);
         const size_t reps =
             opt.repsOverride ? opt.repsOverride : p.repetitions;
         const AppRunResult r = runPlonky2App(app, p.rows, reps, cfg, hw,
                                              /*verify_proof=*/false);
+        artifacts.addRun(r, "plonky2", opt.threads);
         const double hash =
             r.sim.cycleFraction(KernelClass::MerkleTree) +
             r.sim.cycleFraction(KernelClass::OtherHash);
@@ -39,5 +41,6 @@ main(int argc, char **argv)
                   fmtPct(r.sim.cycleFraction(KernelClass::Polynomial)),
                   fmtPct(hash), std::to_string(r.sim.totalCycles)});
     }
+    artifacts.write(hw);
     return 0;
 }

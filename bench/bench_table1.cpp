@@ -36,6 +36,7 @@ main(int argc, char **argv)
     printRow({"Application", "1T (s)", nt_header, "Scaling",
               "Polynomial", "NTT", "MerkleTree", "OtherHash", "Layout"});
 
+    ObsArtifacts artifacts(opt);
     for (const AppId app : evaluationApps()) {
         const WorkloadParams p = defaultParams(app, opt.scale);
         const size_t reps =
@@ -45,6 +46,7 @@ main(int argc, char **argv)
         const AppRunResult one = runPlonky2App(app, p.rows, reps, cfg,
                                                hw,
                                                /*verify_proof=*/false);
+        artifacts.addRun(one, "plonky2", 1);
         // Re-prove at the configured thread count unless it is also 1.
         double nt_seconds = one.cpuBreakdown.total();
         if (nt > 1) {
@@ -52,6 +54,7 @@ main(int argc, char **argv)
             const AppRunResult multi = runPlonky2App(
                 app, p.rows, reps, cfg, hw, /*verify_proof=*/false);
             nt_seconds = multi.cpuBreakdown.total();
+            artifacts.addRun(multi, "plonky2", nt);
         }
 
         const auto &b = one.cpuBreakdown;
@@ -64,5 +67,6 @@ main(int argc, char **argv)
                   fmtPct(b.fraction(KernelClass::LayoutTransform))});
     }
     setGlobalThreadCount(nt);
+    artifacts.write(hw);
     return 0;
 }

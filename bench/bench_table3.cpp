@@ -48,12 +48,14 @@ main(int argc, char **argv)
 
     double gpu_geo = 1.0, uni_geo = 1.0;
     size_t count = 0;
+    ObsArtifacts artifacts(opt);
     for (const AppId app : evaluationApps()) {
         const WorkloadParams p = defaultParams(app, opt.scale);
         const size_t reps =
             opt.repsOverride ? opt.repsOverride : p.repetitions;
         const AppRunResult r = runPlonky2App(app, p.rows, reps, cfg, hw,
                                              /*verify_proof=*/false);
+        artifacts.addRun(r, "plonky2", opt.threads);
         const double cpu = r.cpuSeconds / cpu_scale;
         // The GPU model's per-class speedups are relative to the
         // parallel CPU; PCIe transfer time stays absolute.
@@ -72,5 +74,6 @@ main(int argc, char **argv)
     std::printf("\naverage (geomean) speedups: GPU %.1fx, UniZK %.0fx\n",
                 std::pow(gpu_geo, 1.0 / static_cast<double>(count)),
                 std::pow(uni_geo, 1.0 / static_cast<double>(count)));
+    artifacts.write(hw);
     return 0;
 }

@@ -22,16 +22,20 @@ main(int argc, char **argv)
 
     std::printf("=== Table 4: memory and VSA utilization in UniZK ===\n");
     std::printf("paper: NTT 47-56%% / 4-5%%, Poly 13-25%% / 2-9%%, "
-                "Hash 20-22%% / 95-97%%\n\n");
+                "Hash 20-22%% / 95-97%%\n");
+    std::printf("(mem util counts bus bytes moved, matching the paper's "
+                "bandwidth accounting)\n\n");
     printRow({"Application", "NTT mem", "NTT VSA", "Poly mem",
               "Poly VSA", "Hash mem", "Hash VSA"});
 
+    ObsArtifacts artifacts(opt);
     for (const AppId app : evaluationApps()) {
         const WorkloadParams p = defaultParams(app, opt.scale);
         const size_t reps =
             opt.repsOverride ? opt.repsOverride : p.repetitions;
         const AppRunResult r = runPlonky2App(app, p.rows, reps, cfg, hw,
                                              /*verify_proof=*/false);
+        artifacts.addRun(r, "plonky2", opt.threads);
         // "Hash" in Table 4 covers Merkle plus other hashing; weight
         // the two classes by their cycles.
         const auto &merkle = r.sim.classStats(KernelClass::MerkleTree);
@@ -59,5 +63,6 @@ main(int argc, char **argv)
                   fmtPct(r.sim.vsaUtilization(KernelClass::Polynomial)),
                   fmtPct(hash_mem), fmtPct(hash_vsa)});
     }
+    artifacts.write(hw);
     return 0;
 }

@@ -27,8 +27,8 @@ double
 KernelTimeBreakdown::total() const
 {
     double t = 0.0;
-    for (const auto &s : seconds_)
-        t += s;
+    for (size_t i = 0; i < kNumClasses; ++i)
+        t += seconds(static_cast<KernelClass>(i));
     return t;
 }
 
@@ -42,9 +42,10 @@ KernelTimeBreakdown::fraction(KernelClass c) const
 KernelTimeBreakdown &
 KernelTimeBreakdown::operator+=(const KernelTimeBreakdown &other)
 {
-    for (size_t i = 0; i < static_cast<size_t>(KernelClass::NumClasses);
-         ++i) {
-        seconds_[i] += other.seconds_[i];
+    for (size_t i = 0; i < kNumClasses; ++i) {
+        nanos_[i].fetch_add(
+            other.nanos_[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
     }
     return *this;
 }
@@ -53,9 +54,13 @@ KernelTimeBreakdown
 KernelTimeBreakdown::scaledBy(double factor) const
 {
     KernelTimeBreakdown out;
-    for (size_t i = 0; i < static_cast<size_t>(KernelClass::NumClasses);
-         ++i) {
-        out.seconds_[i] = seconds_[i] * factor;
+    for (size_t i = 0; i < kNumClasses; ++i) {
+        const double scaled =
+            static_cast<double>(
+                nanos_[i].load(std::memory_order_relaxed)) *
+            factor;
+        out.nanos_[i].store(static_cast<uint64_t>(scaled),
+                            std::memory_order_relaxed);
     }
     return out;
 }

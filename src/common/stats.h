@@ -7,6 +7,7 @@
 #ifndef UNIZK_COMMON_STATS_H
 #define UNIZK_COMMON_STATS_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -35,20 +36,47 @@ const char *kernelClassName(KernelClass c);
  * Accumulates wall-clock time per kernel class. The CPU prover brackets
  * each kernel with ScopedKernelTimer; the resulting breakdown reproduces
  * Table 1.
+ *
+ * ScopedKernelTimer fires inside thread-pool workers, so accumulation
+ * must be race-free: time is stored as integer nanoseconds and added
+ * with relaxed atomic fetch_add (no ordering is needed -- readers only
+ * observe totals after the parallel region has joined).
  */
 class KernelTimeBreakdown
 {
   public:
+    KernelTimeBreakdown() = default;
+
+    // std::atomic members delete the implicit copies, but the breakdown
+    // is copied into AppRunResult and returned from scaledBy(); copies
+    // are only taken at quiescent points, so relaxed loads suffice.
+    KernelTimeBreakdown(const KernelTimeBreakdown &other) { *this = other; }
+
+    KernelTimeBreakdown &
+    operator=(const KernelTimeBreakdown &other)
+    {
+        for (size_t i = 0; i < kNumClasses; ++i) {
+            nanos_[i].store(
+                other.nanos_[i].load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        }
+        return *this;
+    }
+
     void
     add(KernelClass c, double seconds)
     {
-        seconds_[static_cast<size_t>(c)] += seconds;
+        nanos_[static_cast<size_t>(c)].fetch_add(
+            static_cast<uint64_t>(seconds * 1e9),
+            std::memory_order_relaxed);
     }
 
     double
     seconds(KernelClass c) const
     {
-        return seconds_[static_cast<size_t>(c)];
+        return static_cast<double>(nanos_[static_cast<size_t>(c)].load(
+                   std::memory_order_relaxed)) *
+               1e-9;
     }
 
     /** Total across all classes. */
@@ -60,8 +88,8 @@ class KernelTimeBreakdown
     void
     reset()
     {
-        for (auto &s : seconds_)
-            s = 0.0;
+        for (auto &n : nanos_)
+            n.store(0, std::memory_order_relaxed);
     }
 
     KernelTimeBreakdown &operator+=(const KernelTimeBreakdown &other);
@@ -70,7 +98,10 @@ class KernelTimeBreakdown
     KernelTimeBreakdown scaledBy(double factor) const;
 
   private:
-    double seconds_[static_cast<size_t>(KernelClass::NumClasses)] = {};
+    static constexpr size_t kNumClasses =
+        static_cast<size_t>(KernelClass::NumClasses);
+
+    std::atomic<uint64_t> nanos_[kNumClasses] = {};
 };
 
 /** RAII timer attributing the enclosed scope to a kernel class. */

@@ -3,6 +3,7 @@
 #include "common/bits.h"
 #include "common/thread_pool.h"
 #include "ntt/ntt.h"
+#include "obs/obs.h"
 
 namespace unizk {
 
@@ -150,6 +151,7 @@ friProve(const std::vector<const PolynomialBatch *> &batches,
          Challenger &challenger, const FriConfig &cfg,
          const ProverContext &ctx)
 {
+    UNIZK_SPAN("fri/prove");
     unizk_assert(!batches.empty(), "no batches to open");
     unizk_assert(points.size() == openings.size(),
                  "one opening set per point required");
@@ -173,6 +175,7 @@ friProve(const std::vector<const PolynomialBatch *> &batches,
     std::vector<Fp2> g_values(domain);
     {
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::Polynomial);
+        UNIZK_SPAN("fri/deep-quotient");
 
         // Per-index combination: every i writes its own slot and the
         // k-order of the inner sum is fixed, so the result is
@@ -233,6 +236,7 @@ friProve(const std::vector<const PolynomialBatch *> &batches,
             cfg.capHeight, log2Exact(leaves.size()));
         {
             ScopedKernelTimer timer(ctx.breakdown, KernelClass::MerkleTree);
+            UNIZK_SPAN("fri/layer-commit");
             layer_trees.emplace_back(std::move(leaves), cap_h);
         }
         ctx.record(MerkleKernel{cur.size() / 2, 4, cap_h},
@@ -244,6 +248,7 @@ friProve(const std::vector<const PolynomialBatch *> &batches,
         layer_values.push_back(cur);
         {
             ScopedKernelTimer timer(ctx.breakdown, KernelClass::Polynomial);
+            UNIZK_SPAN("fri/fold");
             cur = foldLayer(cur, beta, layer_shift);
         }
         ctx.record(VecOpKernel{cur.size(), 2, 1, 12, 0}, "FRI: fold");
@@ -254,6 +259,7 @@ friProve(const std::vector<const PolynomialBatch *> &batches,
     // ---- Final polynomial: coset-iNTT of the residual layer. ----
     {
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::Ntt);
+        UNIZK_SPAN("fri/final-poly-intt");
         bitReversePermute(cur); // back to natural order for the iNTT
         cosetInttNNExt(cur, layer_shift);
     }
@@ -275,11 +281,13 @@ friProve(const std::vector<const PolynomialBatch *> &batches,
     // ---- Proof-of-work grinding. ----
     {
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::OtherHash);
+        UNIZK_SPAN("fri/pow");
         const Fp pow_challenge = challenger.challenge();
         uint64_t nonce = 0;
         while (!powValid(pow_challenge, nonce, cfg.powBits))
             ++nonce;
         proof.powNonce = nonce;
+        UNIZK_COUNTER_ADD("fri.pow_iterations", nonce + 1);
         ctx.record(HashKernel{nonce + 1}, "FRI: proof-of-work");
         challenger.observe(Fp(nonce));
     }
@@ -287,6 +295,8 @@ friProve(const std::vector<const PolynomialBatch *> &batches,
     // ---- Query phase. ----
     for (const auto &tree : layer_trees)
         proof.layerCaps.push_back(tree.cap());
+    UNIZK_SPAN("fri/queries");
+    UNIZK_COUNTER_ADD("fri.queries", cfg.numQueries);
     for (uint32_t q = 0; q < cfg.numQueries; ++q) {
         const size_t idx = fpIndexBelow(challenger.challenge(), domain);
         FriQueryRound round;

@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.h"
 #include "ntt/ntt.h"
+#include "obs/obs.h"
 
 namespace unizk {
 
@@ -16,6 +17,7 @@ PolynomialBatch::fromValues(std::vector<std::vector<Fp>> values,
     const size_t n = values[0].size();
     {
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::Ntt);
+        UNIZK_SPAN("commit/values-intt");
         // Independent columns: one iNTT per polynomial.
         parallelFor(0, values.size(), /*grain=*/1,
                     [&](size_t lo, size_t hi) {
@@ -65,6 +67,7 @@ PolynomialBatch::PolynomialBatch(std::vector<std::vector<Fp>> coeffs,
         std::vector<std::vector<Fp>> ldes(num_polys);
         {
             ScopedKernelTimer timer(ctx.breakdown, KernelClass::Ntt);
+            UNIZK_SPAN("commit/lde");
             // Independent columns: one coset LDE per polynomial.
             parallelFor(0, num_polys, /*grain=*/1,
                         [&](size_t lo, size_t hi) {
@@ -84,6 +87,7 @@ PolynomialBatch::PolynomialBatch(std::vector<std::vector<Fp>> coeffs,
         // each destination row is written by exactly one chunk.
         ScopedKernelTimer timer(ctx.breakdown,
                                 KernelClass::LayoutTransform);
+        UNIZK_SPAN("commit/leaf-transpose");
         parallelFor(0, lde_size, /*grain=*/256,
                     [&](size_t lo, size_t hi) {
                         for (size_t i = lo; i < hi; ++i)
@@ -104,6 +108,7 @@ PolynomialBatch::PolynomialBatch(std::vector<std::vector<Fp>> coeffs,
         std::min<uint32_t>(cfg_.capHeight, log2Exact(lde_size));
     {
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::MerkleTree);
+        UNIZK_SPAN("commit/merkle-tree");
         tree_ = std::make_unique<MerkleTree>(std::move(leaves), cap_height);
     }
     ctx.record(MerkleKernel{lde_size, static_cast<uint32_t>(num_polys),

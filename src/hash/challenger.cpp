@@ -1,5 +1,7 @@
 #include "hash/challenger.h"
 
+#include "obs/obs.h"
+
 namespace unizk {
 
 Challenger::Challenger() = default;
@@ -38,6 +40,7 @@ Challenger::duplex()
     input_buffer.clear();
     Poseidon::instance().permute(state);
     ++permutation_count;
+    UNIZK_COUNTER_ADD("challenger.permutations", 1);
     output_buffer.assign(state.begin(),
                          state.begin() + PoseidonConfig::rate);
 }

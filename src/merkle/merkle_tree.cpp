@@ -2,6 +2,7 @@
 
 #include "common/bits.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace unizk {
 
@@ -17,16 +18,22 @@ MerkleTree::MerkleTree(std::vector<std::vector<Fp>> leaves,
     // Leaf digests in parallel: independent Poseidon sponges writing
     // disjoint slots ("Gotta Hash 'Em All": leaf hashing dominates
     // hash-based commitment, so it parallelizes first).
+    UNIZK_COUNTER_ADD("merkle.trees", 1);
+    UNIZK_COUNTER_ADD("merkle.leaves", leaves_.size());
     levels_.emplace_back();
     levels_[0].resize(leaves_.size());
-    parallelFor(0, leaves_.size(), /*grain=*/16,
-                [&](size_t lo, size_t hi) {
-                    for (size_t i = lo; i < hi; ++i)
-                        levels_[0][i] = hashOrNoop(leaves_[i]);
-                });
+    {
+        UNIZK_SPAN("merkle/leaf-hashes");
+        parallelFor(0, leaves_.size(), /*grain=*/16,
+                    [&](size_t lo, size_t hi) {
+                        for (size_t i = lo; i < hi; ++i)
+                            levels_[0][i] = hashOrNoop(leaves_[i]);
+                    });
+    }
 
     // Interior levels: every node of a level depends only on the level
     // below, so each level is one parallel pass.
+    UNIZK_SPAN("merkle/interior-levels");
     while (levels_.back().size() > (size_t{1} << cap_height_)) {
         const auto &prev = levels_.back();
         std::vector<HashOut> next(prev.size() / 2);

@@ -2,6 +2,7 @@
 
 #include "common/bits.h"
 #include "field/field_checks.h"
+#include "obs/obs.h"
 
 namespace unizk {
 
@@ -32,6 +33,10 @@ static_assert((Fp::primitiveRootOfUnity(16).inverse() *
 void
 difCore(std::vector<Fp> &a, Fp root)
 {
+    // Transforms run inside pool workers, so this span gives the trace
+    // a per-thread NTT lane.
+    UNIZK_SPAN("ntt/dif");
+    UNIZK_COUNTER_ADD("ntt.transforms", 1);
     const size_t n = a.size();
     unizk_assert(isPowerOfTwo(n), "NTT size must be a power of two");
     Fp w_len = root;
@@ -58,6 +63,8 @@ difCore(std::vector<Fp> &a, Fp root)
 void
 ditCore(std::vector<Fp> &a, Fp root)
 {
+    UNIZK_SPAN("ntt/dit");
+    UNIZK_COUNTER_ADD("ntt.transforms", 1);
     const size_t n = a.size();
     unizk_assert(isPowerOfTwo(n), "NTT size must be a power of two");
     const uint32_t log_n = log2Exact(n);

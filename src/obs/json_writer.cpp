@@ -1,0 +1,203 @@
+#include "obs/json_writer.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace unizk {
+namespace obs {
+
+void
+JsonWriter::beforeValue()
+{
+    if (pending_key_) {
+        pending_key_ = false;
+        return;
+    }
+    if (!has_element_.empty()) {
+        if (has_element_.back())
+            out_ += ",";
+        has_element_.back() = true;
+        out_ += "\n";
+        indent();
+    }
+}
+
+void
+JsonWriter::indent()
+{
+    out_.append(2 * has_element_.size(), ' ');
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += "{";
+    has_element_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    unizk_assert(!has_element_.empty());
+    const bool had = has_element_.back();
+    has_element_.pop_back();
+    if (had) {
+        out_ += "\n";
+        indent();
+    }
+    out_ += "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += "[";
+    has_element_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    unizk_assert(!has_element_.empty());
+    const bool had = has_element_.back();
+    has_element_.pop_back();
+    if (had) {
+        out_ += "\n";
+        indent();
+    }
+    out_ += "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    unizk_assert(!has_element_.empty());
+    if (has_element_.back())
+        out_ += ",";
+    has_element_.back() = true;
+    out_ += "\n";
+    indent();
+    out_ += "\"" + escape(name) + "\": ";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    beforeValue();
+    out_ += "\"" + escape(s) + "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    std::string text(buf);
+    // Bare integers like "3" are valid JSON numbers, but keep the
+    // output self-describing: mark doubles with a decimal point.
+    if (text.find_first_of(".eE") == std::string::npos &&
+        text.find_first_not_of("-0123456789") == std::string::npos) {
+        text += ".0";
+    }
+    out_ += text;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    unizk_assert(has_element_.empty());
+    return out_;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f << contents;
+    return static_cast<bool>(f);
+}
+
+} // namespace obs
+} // namespace unizk

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal streaming JSON writer (no external dependency). Produces
+ * deterministic, pretty-printed output for the obs exporters; commas
+ * and indentation are managed by a container stack.
+ */
+
+#ifndef UNIZK_OBS_JSON_WRITER_H
+#define UNIZK_OBS_JSON_WRITER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unizk {
+namespace obs {
+
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit a key inside an object; follow with a value or container. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** Finished document (all containers must be closed). */
+    const std::string &str() const;
+
+    /** JSON-escape @p s (quotes not included). */
+    static std::string escape(const std::string &s);
+
+  private:
+    void beforeValue();
+    void indent();
+
+    std::string out_;
+    // One frame per open container: true once the first element has
+    // been written (so later elements get a leading comma).
+    std::vector<bool> has_element_;
+    bool pending_key_ = false;
+};
+
+/** Write @p contents to @p path; returns false on I/O failure. */
+bool writeFile(const std::string &path, const std::string &contents);
+
+} // namespace obs
+} // namespace unizk
+
+#endif // UNIZK_OBS_JSON_WRITER_H

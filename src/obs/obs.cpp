@@ -1,0 +1,190 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace unizk {
+namespace obs {
+
+namespace {
+
+constexpr size_t kMaxCounters = 128;
+
+std::atomic<bool> g_enabled{false};
+
+/** Per-thread span buffer; owned by the registry, written by one thread. */
+struct SpanBuffer
+{
+    uint32_t threadId = 0;
+    std::vector<SpanEvent> events;
+};
+
+/**
+ * Per-thread counter block. The owning thread does relaxed fetch_adds;
+ * snapshot readers do relaxed loads, so concurrent snapshots observe a
+ * consistent-enough value without any data race.
+ */
+struct CounterBlock
+{
+    std::array<std::atomic<uint64_t>, kMaxCounters> values{};
+};
+
+/** Guards the registries (buffer/block lists and counter names). */
+std::mutex g_registry_mutex;
+std::vector<std::unique_ptr<SpanBuffer>> g_span_buffers;
+std::vector<std::unique_ptr<CounterBlock>> g_counter_blocks;
+std::vector<std::string> g_counter_names;
+std::atomic<uint32_t> g_next_thread_id{0};
+
+std::chrono::steady_clock::time_point g_epoch =
+    std::chrono::steady_clock::now();
+
+thread_local SpanBuffer *tl_span_buffer = nullptr;
+thread_local CounterBlock *tl_counter_block = nullptr;
+thread_local uint32_t tl_depth = 0;
+
+SpanBuffer &
+threadSpanBuffer()
+{
+    if (tl_span_buffer == nullptr) {
+        auto buf = std::make_unique<SpanBuffer>();
+        buf->threadId = g_next_thread_id.fetch_add(
+            1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(g_registry_mutex);
+        tl_span_buffer = buf.get();
+        g_span_buffers.push_back(std::move(buf));
+    }
+    return *tl_span_buffer;
+}
+
+CounterBlock &
+threadCounterBlock()
+{
+    if (tl_counter_block == nullptr) {
+        auto block = std::make_unique<CounterBlock>();
+        std::lock_guard<std::mutex> lock(g_registry_mutex);
+        tl_counter_block = block.get();
+        g_counter_blocks.push_back(std::move(block));
+    }
+    return *tl_counter_block;
+}
+
+} // namespace
+
+void
+setEnabled(bool enabled_flag)
+{
+    g_enabled.store(enabled_flag, std::memory_order_relaxed);
+}
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+uint64_t
+nowNs()
+{
+    const auto elapsed = std::chrono::steady_clock::now() - g_epoch;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+}
+
+std::vector<SpanEvent>
+drainSpans()
+{
+    std::vector<SpanEvent> out;
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    for (auto &buf : g_span_buffers) {
+        out.insert(out.end(), buf->events.begin(), buf->events.end());
+        buf->events.clear();
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanEvent &a, const SpanEvent &b) {
+                  if (a.threadId != b.threadId)
+                      return a.threadId < b.threadId;
+                  return a.startNs < b.startNs;
+              });
+    return out;
+}
+
+std::map<std::string, uint64_t>
+counterSnapshot()
+{
+    std::map<std::string, uint64_t> out;
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    for (size_t i = 0; i < g_counter_names.size(); ++i) {
+        uint64_t total = 0;
+        for (const auto &block : g_counter_blocks)
+            total += block->values[i].load(std::memory_order_relaxed);
+        out[g_counter_names[i]] = total;
+    }
+    return out;
+}
+
+void
+resetAll()
+{
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    for (auto &buf : g_span_buffers)
+        buf->events.clear();
+    for (auto &block : g_counter_blocks) {
+        for (auto &v : block->values)
+            v.store(0, std::memory_order_relaxed);
+    }
+    g_epoch = std::chrono::steady_clock::now();
+}
+
+Span::Span(const char *name)
+{
+    if (!g_enabled.load(std::memory_order_relaxed))
+        return;
+    name_ = name;
+    start_ns_ = nowNs();
+    depth_ = tl_depth++;
+}
+
+Span::~Span()
+{
+    if (name_ == nullptr)
+        return;
+    --tl_depth;
+    SpanBuffer &buf = threadSpanBuffer();
+    buf.events.push_back(
+        {name_, start_ns_, nowNs(), buf.threadId, depth_});
+}
+
+Counter::Counter(const char *name) : id_(0)
+{
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    for (size_t i = 0; i < g_counter_names.size(); ++i) {
+        if (g_counter_names[i] == name) {
+            id_ = i;
+            return;
+        }
+    }
+    if (g_counter_names.size() >= kMaxCounters)
+        unizk_panic("obs counter registry full: ", name);
+    id_ = g_counter_names.size();
+    g_counter_names.emplace_back(name);
+}
+
+void
+Counter::add(uint64_t delta)
+{
+    if (!g_enabled.load(std::memory_order_relaxed))
+        return;
+    threadCounterBlock().values[id_].fetch_add(
+        delta, std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace unizk

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Observability core: RAII span tracer with per-thread lock-free
+ * buffers (safe inside parallelFor workers) and a named-counter
+ * registry with per-thread accumulator blocks.
+ *
+ * Design goals (see DESIGN.md section 6.4):
+ *  - Zero overhead when disabled: one relaxed atomic load per span /
+ *    counter hit at runtime, or compiled out entirely with
+ *    UNIZK_OBS_DISABLE (CMake option UNIZK_DISABLE_OBS).
+ *  - No effect on proof bytes: instrumentation only reads the clock
+ *    and appends to thread-local buffers; determinism tests cover
+ *    byte-identical proofs with tracing on and off.
+ *  - Collection is lock-free on the hot path: each thread owns a span
+ *    buffer and a counter block, registered once under a mutex and
+ *    appended to without synchronization. Snapshots (drainSpans /
+ *    counterSnapshot) must only run at quiescent points -- after all
+ *    parallel regions have joined, which the thread pool's completion
+ *    handshake already sequences.
+ */
+
+#ifndef UNIZK_OBS_OBS_H
+#define UNIZK_OBS_OBS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace unizk {
+namespace obs {
+
+/** One closed span, timestamped in nanoseconds since the obs epoch. */
+struct SpanEvent
+{
+    const char *name = nullptr; ///< static string (never freed)
+    uint64_t startNs = 0;
+    uint64_t endNs = 0;
+    uint32_t threadId = 0; ///< small stable per-thread id
+    uint32_t depth = 0;    ///< nesting depth on the owning thread
+};
+
+/**
+ * Master switch for spans and counters. When off (the default) every
+ * instrumentation hit is a single relaxed atomic load and an early
+ * return. Enabling resets nothing; pair with resetAll() for a clean
+ * capture window.
+ */
+void setEnabled(bool enabled);
+bool enabled();
+
+/** Nanoseconds since the current obs epoch (monotonic clock). */
+uint64_t nowNs();
+
+/**
+ * Move all recorded spans out of the per-thread buffers, sorted by
+ * (threadId, startNs). Must only be called at a quiescent point.
+ */
+std::vector<SpanEvent> drainSpans();
+
+/** Merged name -> value view of every registered counter. */
+std::map<std::string, uint64_t> counterSnapshot();
+
+/** Clear spans and counters and restart the epoch clock. */
+void resetAll();
+
+/**
+ * RAII span. Construct via the UNIZK_SPAN macro with a static string;
+ * the constructor samples the clock only when tracing is enabled, and
+ * the destructor appends one SpanEvent to the calling thread's buffer.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *name_ = nullptr; ///< nullptr when tracing was disabled
+    uint64_t start_ns_ = 0;
+    uint32_t depth_ = 0;
+};
+
+/**
+ * Handle to one named counter. Registration (the constructor) takes a
+ * mutex; add() is a relaxed fetch_add on the calling thread's block.
+ * Intended use is one function-local static per call site (see
+ * UNIZK_COUNTER_ADD).
+ */
+class Counter
+{
+  public:
+    explicit Counter(const char *name);
+
+    void add(uint64_t delta);
+
+  private:
+    size_t id_;
+};
+
+} // namespace obs
+} // namespace unizk
+
+#if defined(UNIZK_OBS_DISABLE)
+
+#define UNIZK_SPAN(name)                                                  \
+    do {                                                                  \
+    } while (false)
+#define UNIZK_COUNTER_ADD(name, delta)                                    \
+    do {                                                                  \
+    } while (false)
+
+#else
+
+#define UNIZK_OBS_CONCAT2(a, b) a##b
+#define UNIZK_OBS_CONCAT(a, b) UNIZK_OBS_CONCAT2(a, b)
+
+/** Open a span covering the rest of the enclosing scope. */
+#define UNIZK_SPAN(name)                                                  \
+    const ::unizk::obs::Span UNIZK_OBS_CONCAT(unizk_obs_span_,            \
+                                              __LINE__)(name)
+
+/** Bump the named counter by @p delta (no-op while obs is disabled). */
+#define UNIZK_COUNTER_ADD(name, delta)                                    \
+    do {                                                                  \
+        static ::unizk::obs::Counter UNIZK_OBS_CONCAT(unizk_obs_ctr_,     \
+                                                      __LINE__)(name);    \
+        UNIZK_OBS_CONCAT(unizk_obs_ctr_, __LINE__)                        \
+            .add(static_cast<uint64_t>(delta));                           \
+    } while (false)
+
+#endif // UNIZK_OBS_DISABLE
+
+#endif // UNIZK_OBS_OBS_H

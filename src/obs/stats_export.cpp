@@ -1,0 +1,111 @@
+#include "obs/stats_export.h"
+
+#include "obs/json_writer.h"
+
+namespace unizk {
+namespace obs {
+
+namespace {
+
+void
+writeBreakdown(JsonWriter &w, const KernelTimeBreakdown &b)
+{
+    w.beginObject();
+    w.kv("totalSeconds", b.total());
+    for (size_t i = 0; i < static_cast<size_t>(KernelClass::NumClasses);
+         ++i) {
+        const auto c = static_cast<KernelClass>(i);
+        w.kv(kernelClassName(c), b.seconds(c));
+    }
+    w.endObject();
+}
+
+void
+writeSimReport(JsonWriter &w, const SimReport &sim)
+{
+    w.beginObject();
+    w.kv("totalCycles", sim.totalCycles);
+    w.kv("seconds", sim.seconds());
+    w.kv("readRequests", sim.totalReadRequests());
+    w.kv("writeRequests", sim.totalWriteRequests());
+
+    w.key("config").beginObject();
+    w.kv("numVsas", static_cast<uint64_t>(sim.config.numVsas));
+    w.kv("clockGhz", sim.config.clockGhz);
+    w.kv("peakMemBytesPerCycle",
+         static_cast<uint64_t>(sim.config.peakMemBytesPerCycle));
+    w.endObject();
+
+    w.key("perClass").beginObject();
+    for (size_t i = 0; i < static_cast<size_t>(KernelClass::NumClasses);
+         ++i) {
+        const auto c = static_cast<KernelClass>(i);
+        const ClassStats &s = sim.classStats(c);
+        w.key(kernelClassName(c)).beginObject();
+        w.kv("cycles", s.cycles);
+        w.kv("computeCycles", s.computeCycles);
+        w.kv("memCycles", s.memCycles);
+        w.kv("busBytes", s.busBytes);
+        w.kv("usefulBytes", s.usefulBytes);
+        w.kv("readRequests", s.readRequests);
+        w.kv("writeRequests", s.writeRequests);
+        w.kv("kernels", s.kernels);
+        w.kv("cycleFraction", sim.cycleFraction(c));
+        w.kv("memUtilization", sim.memUtilization(c));
+        w.kv("usefulFraction", sim.usefulFraction(c));
+        w.kv("vsaUtilization", sim.vsaUtilization(c));
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+statsToJson(const std::vector<RunStats> &runs,
+            const std::map<std::string, uint64_t> &counters)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "unizk-stats-v1");
+
+    w.key("runs").beginArray();
+    for (const RunStats &r : runs) {
+        w.beginObject();
+        w.kv("app", r.app);
+        w.kv("protocol", r.protocol);
+        w.kv("rows", static_cast<uint64_t>(r.rows));
+        w.kv("repetitions", static_cast<uint64_t>(r.repetitions));
+        w.kv("threads", static_cast<uint64_t>(r.threads));
+
+        w.key("cpu").beginObject();
+        w.kv("totalSeconds", r.cpuSeconds);
+        w.key("breakdown");
+        writeBreakdown(w, r.cpuBreakdown);
+        w.endObject();
+
+        w.key("proof").beginObject();
+        w.kv("bytes", static_cast<uint64_t>(r.proofBytes));
+        w.kv("verified", r.verified);
+        w.endObject();
+
+        w.key("sim");
+        writeSimReport(w, r.sim);
+
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : counters)
+        w.kv(name, value);
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+} // namespace obs
+} // namespace unizk

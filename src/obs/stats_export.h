@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Stable machine-readable stats schema ("unizk-stats-v1"): per run, the
+ * CPU kernel-time breakdown (Table 1), the full simulator report with
+ * per-class cycles / bus vs useful bytes / requests (Tables 3-4), proof
+ * size, and the merged obs counters.
+ */
+
+#ifndef UNIZK_OBS_STATS_EXPORT_H
+#define UNIZK_OBS_STATS_EXPORT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/simulator.h"
+
+namespace unizk {
+namespace obs {
+
+/** Everything the stats exporter records about one app run. */
+struct RunStats
+{
+    std::string app;
+    std::string protocol; ///< "plonky2" or "starky"
+    size_t rows = 0;
+    size_t repetitions = 0;
+    unsigned threads = 1;
+    double cpuSeconds = 0.0;
+    KernelTimeBreakdown cpuBreakdown;
+    SimReport sim;
+    size_t proofBytes = 0;
+    bool verified = false;
+};
+
+/**
+ * Render runs (plus a counter snapshot) as a "unizk-stats-v1" JSON
+ * document. The schema is validated by tools/obs/validate_obs_json.py;
+ * update both together.
+ */
+std::string statsToJson(const std::vector<RunStats> &runs,
+                        const std::map<std::string, uint64_t> &counters);
+
+} // namespace obs
+} // namespace unizk
+
+#endif // UNIZK_OBS_STATS_EXPORT_H

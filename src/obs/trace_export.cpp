@@ -1,0 +1,99 @@
+#include "obs/trace_export.h"
+
+#include "obs/json_writer.h"
+#include "sim/mappers.h"
+
+namespace unizk {
+namespace obs {
+
+void
+ChromeTraceBuilder::addSpans(const std::vector<SpanEvent> &spans)
+{
+    if (spans.empty())
+        return;
+    if (process_names_.empty() ||
+        process_names_.front().first != 1) {
+        process_names_.insert(process_names_.begin(),
+                              {1, "cpu prover"});
+    }
+    for (const SpanEvent &s : spans) {
+        Event e;
+        e.name = s.name;
+        e.category = "cpu";
+        e.tsMicros = static_cast<double>(s.startNs) * 1e-3;
+        e.durMicros =
+            static_cast<double>(s.endNs - s.startNs) * 1e-3;
+        e.pid = 1;
+        e.tid = s.threadId;
+        events_.push_back(std::move(e));
+    }
+}
+
+void
+ChromeTraceBuilder::addSimLane(const std::string &lane_name,
+                               const KernelTrace &trace,
+                               const HardwareConfig &cfg)
+{
+    const uint32_t pid = next_sim_pid_++;
+    process_names_.push_back({pid, "sim: " + lane_name});
+
+    uint64_t cursor_cycles = 0;
+    for (const KernelOp &op : trace.ops) {
+        const KernelSim sim = mapKernel(op.payload, cfg);
+        Event e;
+        e.name = op.label.empty() ? kernelPayloadName(op.payload)
+                                  : op.label;
+        e.category = kernelClassName(sim.cls);
+        e.tsMicros = cfg.cyclesToSeconds(cursor_cycles) * 1e6;
+        e.durMicros = cfg.cyclesToSeconds(sim.cycles) * 1e6;
+        e.pid = pid;
+        e.tid = 0;
+        e.simCycles = sim.cycles;
+        events_.push_back(std::move(e));
+        cursor_cycles += sim.cycles;
+    }
+}
+
+std::string
+ChromeTraceBuilder::build() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+
+    for (const auto &[pid, name] : process_names_) {
+        w.beginObject();
+        w.kv("name", "process_name");
+        w.kv("ph", "M");
+        w.kv("pid", static_cast<uint64_t>(pid));
+        w.kv("tid", static_cast<uint64_t>(0));
+        w.key("args").beginObject();
+        w.kv("name", name);
+        w.endObject();
+        w.endObject();
+    }
+
+    for (const Event &e : events_) {
+        w.beginObject();
+        w.kv("name", e.name);
+        w.kv("cat", e.category);
+        w.kv("ph", "X");
+        w.kv("ts", e.tsMicros);
+        w.kv("dur", e.durMicros);
+        w.kv("pid", static_cast<uint64_t>(e.pid));
+        w.kv("tid", static_cast<uint64_t>(e.tid));
+        if (e.simCycles != 0) {
+            w.key("args").beginObject();
+            w.kv("cycles", e.simCycles);
+            w.endObject();
+        }
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace obs
+} // namespace unizk

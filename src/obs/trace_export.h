@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Chrome trace_event exporter: turns recorded obs spans into "X"
+ * (complete) events on per-thread CPU lanes, and reconstructs a
+ * simulated-timeline lane from a KernelTrace by replaying each kernel
+ * op through the simulator's mappers. Open the output in Perfetto
+ * (https://ui.perfetto.dev) or chrome://tracing.
+ */
+
+#ifndef UNIZK_OBS_TRACE_EXPORT_H
+#define UNIZK_OBS_TRACE_EXPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "sim/hw_config.h"
+#include "trace/kernel_trace.h"
+
+namespace unizk {
+namespace obs {
+
+/**
+ * Accumulates trace events and renders the Chrome trace JSON document.
+ * CPU spans go under process id 1 ("cpu prover", one tid per pool
+ * thread); each simulated lane gets its own process id from 2 upward.
+ */
+class ChromeTraceBuilder
+{
+  public:
+    /** Add recorded CPU spans (from obs::drainSpans()). */
+    void addSpans(const std::vector<SpanEvent> &spans);
+
+    /**
+     * Add one simulated-kernel timeline lane: ops laid end to end at
+     * their modeled cycle counts, converted to wall time via @p cfg.
+     */
+    void addSimLane(const std::string &lane_name,
+                    const KernelTrace &trace, const HardwareConfig &cfg);
+
+    /** Render the {"traceEvents": [...]} document. */
+    std::string build() const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        std::string category;
+        double tsMicros = 0.0;
+        double durMicros = 0.0;
+        uint32_t pid = 0;
+        uint32_t tid = 0;
+        uint64_t simCycles = 0; ///< sim lanes only (0 on CPU spans)
+    };
+
+    std::vector<Event> events_;
+    std::vector<std::pair<uint32_t, std::string>> process_names_;
+    uint32_t next_sim_pid_ = 2;
+};
+
+} // namespace obs
+} // namespace unizk
+
+#endif // UNIZK_OBS_TRACE_EXPORT_H

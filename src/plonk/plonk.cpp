@@ -3,6 +3,7 @@
 #include "common/bits.h"
 #include "common/thread_pool.h"
 #include "ntt/ntt.h"
+#include "obs/obs.h"
 #include "poly/polynomial.h"
 
 namespace unizk {
@@ -170,6 +171,7 @@ plonkProve(const Circuit &circuit, const PlonkProvingKey &key,
            const std::vector<std::vector<Fp>> &inputs, const FriConfig &cfg,
            const ProverContext &ctx)
 {
+    UNIZK_SPAN("plonk/prove");
     const size_t n = circuit.rows();
     const size_t reps = inputs.size();
     unizk_assert(reps > 0, "at least one witness repetition required");
@@ -233,6 +235,7 @@ plonkProve(const Circuit &circuit, const PlonkProvingKey &key,
         // Timed once around the region: worker threads must not touch
         // the shared breakdown.
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::Polynomial);
+        UNIZK_SPAN("plonk/permutation-z");
         parallelFor(0, reps, /*grain=*/1, [&](size_t r_lo, size_t r_hi) {
             for (size_t r = r_lo; r < r_hi; ++r) {
                 std::vector<Fp> f(n, Fp::one()), g(n, Fp::one());
@@ -281,6 +284,7 @@ plonkProve(const Circuit &circuit, const PlonkProvingKey &key,
     const size_t big = n << quotient_blowup_bits;
     std::vector<Fp> combined(big, Fp::zero());
     {
+        UNIZK_SPAN("plonk/quotient");
         ScopedKernelTimer ntt_timer(ctx.breakdown, KernelClass::Ntt);
         // LDEs of everything we need, natural order. All 8 + 4*reps
         // source polynomials are independent: flatten them into one
@@ -416,6 +420,7 @@ plonkProve(const Circuit &circuit, const PlonkProvingKey &key,
 
     {
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::Ntt);
+        UNIZK_SPAN("plonk/quotient-intt");
         cosetInttNN(combined, shift);
     }
     ctx.record(NttKernel{log2Exact(big), 1, true, true, false,
@@ -444,6 +449,7 @@ plonkProve(const Circuit &circuit, const PlonkProvingKey &key,
     proof.openings.resize(points.size());
     {
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::Polynomial);
+        UNIZK_SPAN("plonk/openings");
         for (size_t j = 0; j < points.size(); ++j) {
             for (const auto *batch : batches) {
                 for (const Fp2 &v : batch->evalAllExt(points[j]))

@@ -18,11 +18,13 @@ DramModel::access(const MemStream &stream) const
         stream.runBytes == 0 ? stream.bytes : stream.runBytes;
 
     // Each contiguous run is rounded up to whole requests; runs shorter
-    // than a request still occupy a full one (wasted bandwidth).
-    const uint64_t num_runs = ceilDiv(stream.bytes, run);
-    const uint64_t run_len = std::min<uint64_t>(run, stream.bytes);
-    const uint64_t requests_per_run = ceilDiv(run_len, req);
-    const uint64_t requests = num_runs * requests_per_run;
+    // than a request still occupy a full one (wasted bandwidth). The
+    // trailing partial run (bytes % run) is billed by its actual length,
+    // not as a full run.
+    const uint64_t full_runs = stream.bytes / run;
+    const uint64_t tail_len = stream.bytes % run;
+    const uint64_t requests = full_runs * ceilDiv(run, req) +
+                              (tail_len ? ceilDiv(tail_len, req) : 0);
     const uint64_t bus_bytes = requests * req;
 
     // Bandwidth-limited transfer time at the sustained (derated) rate.
@@ -32,9 +34,11 @@ DramModel::access(const MemStream &stream) const
         static_cast<uint64_t>(static_cast<double>(bus_bytes) / peak) + 1;
 
     // Row-activate overhead: each run touching a new row pays tRC,
-    // amortized over the banks that can activate in parallel.
+    // amortized over the banks that can activate in parallel. The tail
+    // run only touches the rows its actual length covers.
     const uint64_t rows_touched =
-        num_runs * ceilDiv(run_len, cfg.memRowBytes);
+        full_runs * ceilDiv(run, cfg.memRowBytes) +
+        (tail_len ? ceilDiv(tail_len, cfg.memRowBytes) : 0);
     const uint64_t activate_cycles =
         rows_touched * cfg.memRowMissPenalty / cfg.memBanks;
     cycles = std::max(cycles, activate_cycles);

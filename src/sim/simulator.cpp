@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace unizk {
 
 double
@@ -21,7 +23,17 @@ SimReport::memUtilization(KernelClass c) const
         return 0.0;
     const double capacity = config.effectivePeakBytesPerCycle() *
                             static_cast<double>(s.cycles);
-    return static_cast<double>(s.usefulBytes) / capacity;
+    return static_cast<double>(s.busBytes) / capacity;
+}
+
+double
+SimReport::usefulFraction(KernelClass c) const
+{
+    const ClassStats &s = classStats(c);
+    if (s.busBytes == 0)
+        return 0.0;
+    return static_cast<double>(s.usefulBytes) /
+           static_cast<double>(s.busBytes);
 }
 
 double
@@ -55,6 +67,8 @@ SimReport::totalWriteRequests() const
 SimReport
 simulateTrace(const KernelTrace &trace, const HardwareConfig &cfg)
 {
+    UNIZK_SPAN("sim/simulate-trace");
+    UNIZK_COUNTER_ADD("sim.kernel_ops", trace.ops.size());
     SimReport report;
     report.config = cfg;
     for (const KernelOp &op : trace.ops) {
@@ -89,7 +103,8 @@ formatReport(const SimReport &report)
             continue;
         oss << "  " << kernelClassName(c) << ": "
             << report.cycleFraction(c) * 100.0 << "% of cycles, mem util "
-            << report.memUtilization(c) * 100.0 << "%, VSA util "
+            << report.memUtilization(c) * 100.0 << "% (useful "
+            << report.usefulFraction(c) * 100.0 << "%), VSA util "
             << report.vsaUtilization(c) * 100.0 << "% (" << s.kernels
             << " kernels)\n";
     }

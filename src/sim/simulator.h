@@ -58,6 +58,13 @@ struct SimReport
     double memUtilization(KernelClass c) const;
 
     /**
+     * Fraction of bus traffic that carried useful data for class @p c
+     * (useful bytes / bus bytes; 1.0 for perfectly sequential streams,
+     * lower when request rounding or scatter access wastes bandwidth).
+     */
+    double usefulFraction(KernelClass c) const;
+
+    /**
      * VSA utilization while kernels of class @p c run (compute demand /
      * available VSA cycles) -- Table 4.
      */

@@ -3,6 +3,7 @@
 #include "common/bits.h"
 #include "common/thread_pool.h"
 #include "ntt/ntt.h"
+#include "obs/obs.h"
 #include "poly/polynomial.h"
 
 namespace unizk {
@@ -98,6 +99,7 @@ starkProve(const StarkAir &air,
            const std::vector<std::vector<Fp>> &columns,
            const FriConfig &cfg, const ProverContext &ctx)
 {
+    UNIZK_SPAN("stark/prove");
     const size_t cols = air.numColumns();
     unizk_assert(columns.size() == cols, "trace column count mismatch");
     const size_t n = columns[0].size();
@@ -140,6 +142,7 @@ starkProve(const StarkAir &air,
 
     std::vector<Fp> combined(big, Fp::zero());
     {
+        UNIZK_SPAN("stark/quotient");
         ScopedKernelTimer ntt_timer(ctx.breakdown, KernelClass::Ntt);
         std::vector<std::vector<Fp>> lde(cols);
         // Independent trace columns: one coset LDE per column.
@@ -227,6 +230,7 @@ starkProve(const StarkAir &air,
 
     {
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::Ntt);
+        UNIZK_SPAN("stark/quotient-intt");
         cosetInttNN(combined, shift);
     }
     ctx.record(NttKernel{log2Exact(big), 1, true, true, false,
@@ -257,6 +261,7 @@ starkProve(const StarkAir &air,
     proof.openings.resize(points.size());
     {
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::Polynomial);
+        UNIZK_SPAN("stark/openings");
         for (size_t j = 0; j < points.size(); ++j) {
             for (const auto *batch : batches)
                 for (const Fp2 &v : batch->evalAllExt(points[j]))

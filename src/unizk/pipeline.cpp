@@ -1,5 +1,8 @@
 #include "unizk/pipeline.h"
 
+#include "obs/obs.h"
+#include "serialize/proof_io.h"
+
 namespace unizk {
 
 AppRunResult
@@ -7,6 +10,7 @@ runPlonky2App(AppId app, size_t rows, size_t repetitions,
               const FriConfig &cfg, const HardwareConfig &hw,
               bool verify_proof)
 {
+    UNIZK_SPAN("pipeline/plonky2-app");
     AppRunResult result;
     result.app = appName(app);
     result.repetitions = repetitions;
@@ -33,9 +37,13 @@ runPlonky2App(AppId app, size_t rows, size_t repetitions,
     result.trace = recorder.takeTrace();
     result.sim = simulateTrace(result.trace, hw);
     result.proofBytes = proof.byteSize();
-    result.verified =
-        !verify_proof ||
-        plonkVerify(key.constants->cap(), proof, cfg);
+    result.proofBlob = serializePlonkProof(proof);
+    {
+        UNIZK_SPAN("pipeline/verify");
+        result.verified =
+            !verify_proof ||
+            plonkVerify(key.constants->cap(), proof, cfg);
+    }
     return result;
 }
 
@@ -43,6 +51,7 @@ AppRunResult
 runStarkyApp(AppId app, size_t rows, const FriConfig &cfg,
              const HardwareConfig &hw, bool verify_proof)
 {
+    UNIZK_SPAN("pipeline/starky-app");
     AppRunResult result;
     result.app = appName(app);
 
@@ -62,9 +71,31 @@ runStarkyApp(AppId app, size_t rows, const FriConfig &cfg,
     result.trace = recorder.takeTrace();
     result.sim = simulateTrace(result.trace, hw);
     result.proofBytes = proof.byteSize();
-    result.verified =
-        !verify_proof || starkVerify(*instance.air, proof, cfg);
+    result.proofBlob = serializeStarkProof(proof);
+    {
+        UNIZK_SPAN("pipeline/verify");
+        result.verified =
+            !verify_proof || starkVerify(*instance.air, proof, cfg);
+    }
     return result;
+}
+
+obs::RunStats
+toRunStats(const AppRunResult &result, const std::string &protocol,
+           unsigned threads)
+{
+    obs::RunStats stats;
+    stats.app = result.app;
+    stats.protocol = protocol;
+    stats.rows = result.rows;
+    stats.repetitions = result.repetitions;
+    stats.threads = threads;
+    stats.cpuSeconds = result.cpuSeconds;
+    stats.cpuBreakdown = result.cpuBreakdown;
+    stats.sim = result.sim;
+    stats.proofBytes = result.proofBytes;
+    stats.verified = result.verified;
+    return stats;
 }
 
 } // namespace unizk

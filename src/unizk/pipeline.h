@@ -10,9 +10,12 @@
 #ifndef UNIZK_UNIZK_PIPELINE_H
 #define UNIZK_UNIZK_PIPELINE_H
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fri/fri_config.h"
+#include "obs/stats_export.h"
 #include "plonk/plonk.h"
 #include "sim/simulator.h"
 #include "stark/stark.h"
@@ -42,6 +45,12 @@ struct AppRunResult
     size_t proofBytes = 0;
     bool verified = false;
 
+    /**
+     * Canonical serialized proof. Byte-identical across thread counts
+     * and with observability on or off (determinism tests compare it).
+     */
+    std::vector<uint8_t> proofBlob;
+
     /** UniZK speedup over the measured single-thread CPU. */
     double
     speedupVsCpu() const
@@ -68,6 +77,13 @@ AppRunResult runPlonky2App(AppId app, size_t rows, size_t repetitions,
 AppRunResult runStarkyApp(AppId app, size_t rows, const FriConfig &cfg,
                           const HardwareConfig &hw,
                           bool verify_proof = true);
+
+/**
+ * Package a run for the stats exporter. @p protocol is "plonky2" or
+ * "starky"; @p threads the thread count the run used.
+ */
+obs::RunStats toRunStats(const AppRunResult &result,
+                         const std::string &protocol, unsigned threads);
 
 } // namespace unizk
 

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Tests for the observability subsystem: span recording (nesting,
+ * thread attribution, drain semantics), the named-counter registry
+ * (cross-thread merge, disabled no-op), the thread-safe
+ * KernelTimeBreakdown accumulator (exercised under TSAN in CI), the
+ * stats / Chrome-trace JSON schemas, and the end-to-end guarantees --
+ * stats JSON matches the SimReport exactly and proofs are
+ * byte-identical with observability on or off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "obs/obs.h"
+#include "obs/trace_export.h"
+#include "unizk/pipeline.h"
+
+namespace unizk {
+namespace {
+
+#if defined(UNIZK_OBS_DISABLE)
+#define SKIP_IF_OBS_DISABLED()                                            \
+    GTEST_SKIP() << "observability compiled out (UNIZK_DISABLE_OBS)"
+#else
+#define SKIP_IF_OBS_DISABLED() (void)0
+#endif
+
+/** Every test starts from a clean, enabled capture window and leaves
+ *  observability off so other binaries' behaviour is unaffected. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::setEnabled(true);
+        obs::resetAll();
+    }
+    void
+    TearDown() override
+    {
+        obs::setEnabled(false);
+        obs::resetAll();
+    }
+};
+
+TEST_F(ObsTest, SpanNestingOnOneThread)
+{
+    {
+        obs::Span outer("outer");
+        {
+            obs::Span inner("inner");
+        }
+    }
+    const std::vector<obs::SpanEvent> spans = obs::drainSpans();
+    ASSERT_EQ(spans.size(), 2u);
+    // Sorted by (threadId, startNs): the outer span opened first.
+    EXPECT_STREQ(spans[0].name, "outer");
+    EXPECT_STREQ(spans[1].name, "inner");
+    EXPECT_EQ(spans[0].depth, 0u);
+    EXPECT_EQ(spans[1].depth, 1u);
+    EXPECT_EQ(spans[0].threadId, spans[1].threadId);
+    // The child interval nests inside the parent interval.
+    EXPECT_LE(spans[0].startNs, spans[1].startNs);
+    EXPECT_GE(spans[0].endNs, spans[1].endNs);
+    EXPECT_LE(spans[1].startNs, spans[1].endNs);
+    // Draining moved the events out.
+    EXPECT_TRUE(obs::drainSpans().empty());
+}
+
+TEST_F(ObsTest, SpansAttributeToDistinctThreads)
+{
+    constexpr unsigned kThreads = 4;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] { obs::Span span("worker"); });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    const std::vector<obs::SpanEvent> spans = obs::drainSpans();
+    ASSERT_EQ(spans.size(), kThreads);
+    std::set<uint32_t> tids;
+    for (const obs::SpanEvent &s : spans) {
+        EXPECT_STREQ(s.name, "worker");
+        tids.insert(s.threadId);
+    }
+    // Each raw thread owns its own buffer and id.
+    EXPECT_EQ(tids.size(), kThreads);
+}
+
+TEST_F(ObsTest, SpansRecordedInsideParallelFor)
+{
+    SKIP_IF_OBS_DISABLED();
+    setGlobalThreadCount(4);
+    constexpr size_t kItems = 32;
+    std::atomic<size_t> visited{0};
+    parallelFor(0, kItems, 1, [&](size_t lo, size_t hi) {
+        UNIZK_SPAN("pool-chunk");
+        visited.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(visited.load(), kItems);
+    // One span per executed chunk, none lost to races.
+    const std::vector<obs::SpanEvent> spans = obs::drainSpans();
+    EXPECT_GT(spans.size(), 1u);
+    for (const obs::SpanEvent &s : spans)
+        EXPECT_STREQ(s.name, "pool-chunk");
+}
+
+TEST_F(ObsTest, DisabledRecordsNothing)
+{
+    SKIP_IF_OBS_DISABLED();
+    obs::setEnabled(false);
+    {
+        obs::Span span("invisible");
+        UNIZK_COUNTER_ADD("test.obs.disabled", 17);
+    }
+    EXPECT_TRUE(obs::drainSpans().empty());
+    const auto counters = obs::counterSnapshot();
+    const auto it = counters.find("test.obs.disabled");
+    if (it != counters.end()) {
+        EXPECT_EQ(it->second, 0u);
+    }
+}
+
+TEST_F(ObsTest, CountersMergeAcrossThreads)
+{
+    SKIP_IF_OBS_DISABLED();
+    constexpr unsigned kThreads = 8;
+    constexpr uint64_t kPerThread = 1000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                UNIZK_COUNTER_ADD("test.obs.merge", 1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const auto counters = obs::counterSnapshot();
+    const auto it = counters.find("test.obs.merge");
+    ASSERT_NE(it, counters.end());
+    EXPECT_EQ(it->second, kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, ResetClearsCounters)
+{
+    SKIP_IF_OBS_DISABLED();
+    UNIZK_COUNTER_ADD("test.obs.reset", 5);
+    obs::resetAll();
+    const auto counters = obs::counterSnapshot();
+    const auto it = counters.find("test.obs.reset");
+    ASSERT_NE(it, counters.end());
+    EXPECT_EQ(it->second, 0u);
+}
+
+TEST(KernelTimeBreakdown, ConcurrentAddIsExact)
+{
+    // Regression for the data race ScopedKernelTimer used to cause when
+    // worker threads timed kernels concurrently; run under TSAN in CI.
+    KernelTimeBreakdown b;
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kAdds = 1000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&b] {
+            for (unsigned i = 0; i < kAdds; ++i)
+                b.add(KernelClass::Ntt, 0.001);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    // 8000 adds of exactly 1e6 ns each: no update may be lost.
+    EXPECT_DOUBLE_EQ(b.seconds(KernelClass::Ntt), 8.0);
+    EXPECT_DOUBLE_EQ(b.total(), 8.0);
+}
+
+TEST(KernelTimeBreakdown, CopyAndScaleStillWork)
+{
+    KernelTimeBreakdown b;
+    b.add(KernelClass::MerkleTree, 2.0);
+    b.add(KernelClass::Ntt, 1.0);
+    const KernelTimeBreakdown copy = b;
+    EXPECT_DOUBLE_EQ(copy.seconds(KernelClass::MerkleTree), 2.0);
+    const KernelTimeBreakdown half = b.scaledBy(0.5);
+    EXPECT_DOUBLE_EQ(half.seconds(KernelClass::Ntt), 0.5);
+    KernelTimeBreakdown sum;
+    sum += b;
+    sum += half;
+    EXPECT_DOUBLE_EQ(sum.total(), 3.0 + 1.5);
+}
+
+TEST(ObsExport, StatsJsonGoldenSchema)
+{
+    obs::RunStats run;
+    run.app = "fibonacci";
+    run.protocol = "plonky2";
+    run.rows = 128;
+    run.repetitions = 2;
+    run.threads = 4;
+    run.cpuSeconds = 1.25;
+    run.proofBytes = 4096;
+    run.verified = true;
+    const std::string json =
+        obs::statsToJson({run}, {{"test.counter", 42}});
+
+    for (const char *needle :
+         {"\"schema\": \"unizk-stats-v1\"", "\"runs\": [",
+          "\"app\": \"fibonacci\"", "\"protocol\": \"plonky2\"",
+          "\"rows\": 128", "\"repetitions\": 2", "\"threads\": 4",
+          "\"cpu\": {", "\"totalSeconds\": 1.25", "\"breakdown\": {",
+          "\"proof\": {", "\"bytes\": 4096", "\"verified\": true",
+          "\"sim\": {", "\"perClass\": {", "\"busBytes\"",
+          "\"usefulBytes\"", "\"memUtilization\"", "\"usefulFraction\"",
+          "\"counters\": {", "\"test.counter\": 42"}) {
+        EXPECT_NE(json.find(needle), std::string::npos)
+            << "missing " << needle;
+    }
+}
+
+TEST(ObsExport, ChromeTraceGoldenSchema)
+{
+    obs::SpanEvent span;
+    span.name = "plonk/prove";
+    span.startNs = 1000;
+    span.endNs = 51000;
+    span.threadId = 0;
+    span.depth = 0;
+
+    KernelTrace trace;
+    trace.ops.push_back({HashKernel{256}, "pow"});
+
+    obs::ChromeTraceBuilder builder;
+    builder.addSpans({span});
+    builder.addSimLane("unizk", trace, HardwareConfig::paperDefault());
+    const std::string json = builder.build();
+
+    for (const char *needle :
+         {"\"traceEvents\": [", "\"ph\": \"M\"",
+          "\"name\": \"process_name\"", "\"name\": \"cpu prover\"",
+          "\"name\": \"sim: unizk\"", "\"ph\": \"X\"",
+          "\"name\": \"plonk/prove\"", "\"cat\": \"cpu\"",
+          "\"name\": \"pow\"", "\"cycles\":", "\"dur\": 50"}) {
+        EXPECT_NE(json.find(needle), std::string::npos)
+            << "missing " << needle;
+    }
+}
+
+TEST_F(ObsTest, StatsJsonMatchesSimReport)
+{
+    const FriConfig cfg = FriConfig::testing();
+    const HardwareConfig hw = HardwareConfig::paperDefault();
+    const AppRunResult r =
+        runPlonky2App(AppId::Fibonacci, 128, 2, cfg, hw);
+    ASSERT_TRUE(r.verified);
+
+    const obs::RunStats stats = toRunStats(r, "plonky2", 1);
+    const std::string json =
+        obs::statsToJson({stats}, obs::counterSnapshot());
+
+    // The numbers in the JSON are exactly the SimReport / run values.
+    const std::vector<std::string> needles = {
+        "\"totalCycles\": " + std::to_string(r.sim.totalCycles),
+        "\"readRequests\": " + std::to_string(r.sim.totalReadRequests()),
+        "\"writeRequests\": " +
+            std::to_string(r.sim.totalWriteRequests()),
+        "\"bytes\": " + std::to_string(r.proofBytes),
+        "\"rows\": 128",
+        "\"verified\": true",
+        "\"kernels\": " +
+            std::to_string(r.sim.classStats(KernelClass::Ntt).kernels),
+        "\"busBytes\": " +
+            std::to_string(r.sim.classStats(KernelClass::Ntt).busBytes),
+    };
+    for (const std::string &needle : needles)
+        EXPECT_NE(json.find(needle), std::string::npos)
+            << "missing " << needle;
+
+#if !defined(UNIZK_OBS_DISABLE)
+    // Instrumented code paths ran, so the standard counters are live.
+    // (With UNIZK_DISABLE_OBS the macros compile out and nothing is
+    // ever registered.)
+    const auto counters = obs::counterSnapshot();
+    for (const char *name : {"ntt.transforms", "merkle.trees",
+                             "challenger.permutations",
+                             "sim.kernel_ops"}) {
+        const auto it = counters.find(name);
+        ASSERT_NE(it, counters.end()) << name;
+        EXPECT_GT(it->second, 0u) << name;
+    }
+#endif
+}
+
+TEST_F(ObsTest, ProofBytesIdenticalWithObsOnAndOff)
+{
+    const FriConfig cfg = FriConfig::testing();
+    const HardwareConfig hw = HardwareConfig::paperDefault();
+
+    obs::setEnabled(false);
+    obs::resetAll();
+    const AppRunResult off =
+        runPlonky2App(AppId::Factorial, 128, 2, cfg, hw);
+
+    obs::setEnabled(true);
+    obs::resetAll();
+    const AppRunResult on =
+        runPlonky2App(AppId::Factorial, 128, 2, cfg, hw);
+
+    ASSERT_FALSE(off.proofBlob.empty());
+    EXPECT_EQ(off.proofBlob, on.proofBlob);
+    EXPECT_TRUE(off.verified);
+    EXPECT_TRUE(on.verified);
+}
+
+} // namespace
+} // namespace unizk

@@ -62,6 +62,31 @@ TEST(Dram, ZeroBytesFree)
     EXPECT_EQ(r.cycles, 0u);
 }
 
+TEST(Dram, PartialRunBilledByActualLength)
+{
+    // Regression: a stream whose byte count is not a multiple of its
+    // run length used to bill the trailing partial run as a full run.
+    // 1000 bytes in 384-byte runs = 2 full runs (6 requests each) plus
+    // a 232-byte tail (4 requests), not 3 full runs (18 requests).
+    const HardwareConfig cfg = defaultHw();
+    ASSERT_EQ(cfg.memRequestBytes, 64u);
+    DramModel dram(cfg);
+    const DramResult r = dram.access({1000, 384, false});
+    EXPECT_EQ(r.readRequests, 16u);
+    EXPECT_EQ(r.readBytes, 16u * 64u);
+    EXPECT_EQ(r.usefulBytes, 1000u);
+}
+
+TEST(Dram, TailShorterThanOneRequest)
+{
+    // 130 bytes in 64-byte runs: two full runs plus a 2-byte tail that
+    // still occupies one whole request.
+    DramModel dram(defaultHw());
+    const DramResult r = dram.access({130, 64, false});
+    EXPECT_EQ(r.readRequests, 3u);
+    EXPECT_EQ(r.usefulBytes, 130u);
+}
+
 TEST(Dram, BandwidthScaleKnob)
 {
     HardwareConfig cfg = defaultHw();
@@ -196,6 +221,54 @@ TEST(Simulator, UtilizationShapesMatchTable4)
     EXPECT_GT(r.vsaUtilization(KernelClass::MerkleTree), 0.8);
     EXPECT_LT(r.memUtilization(KernelClass::MerkleTree), 0.5);
     EXPECT_LT(r.vsaUtilization(KernelClass::Polynomial), 0.2);
+}
+
+TEST(Simulator, MemUtilizationCountsBusBytes)
+{
+    // Utilization measures bandwidth *occupied* (bus bytes moved), so a
+    // scattered-access kernel whose small runs waste request granularity
+    // must report mem utilization from bus bytes, with the useful-payload
+    // ratio exposed separately via usefulFraction().
+    KernelTrace trace;
+    trace.ops.push_back({VecOpKernel{1 << 16, 4, 1, 8, 24}, "gates"});
+    const HardwareConfig cfg = defaultHw();
+    const SimReport r = simulateTrace(trace, cfg);
+    const ClassStats &s = r.classStats(KernelClass::Polynomial);
+    ASSERT_GT(s.cycles, 0u);
+    ASSERT_GT(s.busBytes, s.usefulBytes);
+
+    const double capacity = cfg.effectivePeakBytesPerCycle() *
+                            static_cast<double>(s.cycles);
+    EXPECT_NEAR(r.memUtilization(KernelClass::Polynomial),
+                static_cast<double>(s.busBytes) / capacity, 1e-12);
+    EXPECT_NEAR(r.usefulFraction(KernelClass::Polynomial),
+                static_cast<double>(s.usefulBytes) /
+                    static_cast<double>(s.busBytes),
+                1e-12);
+    EXPECT_LT(r.usefulFraction(KernelClass::Polynomial), 1.0);
+    // Bus-byte utilization strictly exceeds the useful-bytes-only view.
+    EXPECT_GT(r.memUtilization(KernelClass::Polynomial),
+              static_cast<double>(s.usefulBytes) / capacity);
+}
+
+TEST(Simulator, UsefulFractionSequentialStreamIsOne)
+{
+    // A fully sequential NTT moves no wasted bytes (runs are multiples
+    // of the request size), so every bus byte is payload.
+    KernelTrace trace;
+    trace.ops.push_back(
+        {NttKernel{16, 4, false, false, false, PolyLayout::PolyMajor},
+         "ntt"});
+    const SimReport r = simulateTrace(trace, defaultHw());
+    EXPECT_NEAR(r.usefulFraction(KernelClass::Ntt), 1.0, 1e-12);
+}
+
+TEST(Simulator, UsefulFractionZeroWithoutTraffic)
+{
+    KernelTrace trace;
+    const SimReport r = simulateTrace(trace, defaultHw());
+    EXPECT_EQ(r.usefulFraction(KernelClass::Ntt), 0.0);
+    EXPECT_EQ(r.memUtilization(KernelClass::Ntt), 0.0);
 }
 
 TEST(Simulator, SecondsUsesClock)

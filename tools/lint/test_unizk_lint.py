@@ -274,6 +274,62 @@ class TestFloatInCore(LintHarness):
         )
 
 
+class TestRawChrono(LintHarness):
+    def test_steady_clock_in_plonk_triggers(self):
+        self.assert_rules(
+            "src/plonk/timing.cpp",
+            "auto t0 = std::chrono::steady_clock::now();\n",
+            ["raw-chrono"],
+        )
+
+    def test_chrono_include_in_ntt_triggers(self):
+        self.assert_rules(
+            "src/ntt/bench_helper.h",
+            "#include <chrono>\n",
+            ["raw-chrono"],
+        )
+
+    def test_high_resolution_clock_in_fri_triggers(self):
+        self.assert_rules(
+            "src/fri/prof.cpp",
+            "using clk = high_resolution_clock;\n",
+            ["raw-chrono"],
+        )
+
+    def test_chrono_in_cli_pipeline_triggers(self):
+        self.assert_rules(
+            "src/unizk/profile.cpp",
+            "std::chrono::milliseconds budget(100);\n",
+            ["raw-chrono"],
+        )
+
+    def test_chrono_in_stats_layer_is_fine(self):
+        self.assert_clean(
+            "src/common/stats2.h",
+            "#include <chrono>\n"
+            "auto t = std::chrono::steady_clock::now();\n",
+        )
+
+    def test_chrono_in_obs_is_fine(self):
+        self.assert_clean(
+            "src/obs/clock.cpp",
+            "auto t = std::chrono::steady_clock::now();\n",
+        )
+
+    def test_sanctioned_timers_are_fine(self):
+        self.assert_clean(
+            "src/plonk/timing.cpp",
+            "Stopwatch sw;\n"
+            "ScopedKernelTimer timer(breakdown, KernelClass::Ntt);\n",
+        )
+
+    def test_chrono_in_comment_is_fine(self):
+        self.assert_clean(
+            "src/fri/doc.cpp",
+            "// used to use std::chrono here\nint x = 0;\n",
+        )
+
+
 class TestSuppressions(LintHarness):
     SNIPPET = "size_t n = 1 << log_n;"
 

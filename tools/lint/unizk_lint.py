@@ -27,6 +27,11 @@ codebase's proof-soundness and determinism contracts:
   float-in-core     No float/double in src/field, src/ntt, src/hash:
                     field arithmetic is exact; a stray floating-point
                     intermediate destroys soundness silently.
+  raw-chrono        No raw std::chrono timing in prover/kernel paths:
+                    all timing goes through common/stats.h (Stopwatch /
+                    ScopedKernelTimer) or obs spans (UNIZK_SPAN), so
+                    instrumentation stays centralized, thread-safe, and
+                    can be compiled out (UNIZK_DISABLE_OBS).
 
 Suppressions (per line, per rule):
 
@@ -69,6 +74,15 @@ PROVER_PATHS = (
 
 # Directories where floating point is banned outright.
 EXACT_ARITHMETIC_PATHS = ("src/field/", "src/ntt/", "src/hash/")
+
+# Prover/kernel directories where ad-hoc std::chrono timing is banned;
+# the sanctioned timing layers are common/stats.h and src/obs/.
+TIMED_KERNEL_PATHS = PROVER_PATHS + (
+    "src/ntt/",
+    "src/poly/",
+    "src/sumcheck/",
+    "src/unizk/",
+)
 
 SUPPRESS_LINE_RE = re.compile(r"unizk-lint:\s*disable=([\w,-]+)")
 SUPPRESS_NEXT_RE = re.compile(r"unizk-lint:\s*disable-next-line=([\w,-]+)")
@@ -305,6 +319,22 @@ RULES: Tuple[Rule, ...] = (
         ),
         pattern=re.compile(r"\b(?:float|double|long\s+double)\b"),
         include=EXACT_ARITHMETIC_PATHS,
+    ),
+    Rule(
+        name="raw-chrono",
+        summary="raw std::chrono timing in prover/kernel paths",
+        message=(
+            "raw std::chrono timing in a prover/kernel path; time through "
+            "Stopwatch/ScopedKernelTimer (common/stats.h) or obs spans "
+            "(UNIZK_SPAN from obs/obs.h) so timing stays centralized, "
+            "thread-safe, and compilable-out"
+        ),
+        pattern=re.compile(
+            r"\bstd::chrono\b"
+            r"|\b(?:steady|system|high_resolution)_clock\b"
+            r"|#\s*include\s*<chrono>"
+        ),
+        include=TIMED_KERNEL_PATHS,
     ),
 )
 

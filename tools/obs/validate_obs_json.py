@@ -1,0 +1,279 @@
+#!/usr/bin/env python3
+"""Schema validator for the UniZK observability JSON artifacts.
+
+Validates the two documents the instrumented binaries emit:
+
+  stats   the "unizk-stats-v1" document written by --stats-json
+          (unizk_cli and every bench harness): per-run CPU breakdown,
+          simulator report with per-class bus/useful byte accounting,
+          proof metadata, and the merged obs counters.
+  trace   the Chrome trace_event document written by --trace-json:
+          "M" process_name metadata events plus "X" complete events
+          (CPU span lanes under pid 1, simulated kernel lanes under
+          pid >= 2). Loadable in Perfetto / chrome://tracing.
+
+The C++ emitters live in src/obs/stats_export.cpp and
+src/obs/trace_export.cpp; update this validator and those together.
+
+Usage:
+    python3 tools/obs/validate_obs_json.py --kind stats FILE...
+    python3 tools/obs/validate_obs_json.py --kind trace FILE...
+    python3 tools/obs/validate_obs_json.py --kind auto FILE...
+
+Exit status is nonzero iff any file fails validation.
+Stdlib-only by design; runs anywhere python3 exists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, List
+
+KERNEL_CLASSES = (
+    "Polynomial",
+    "NTT",
+    "MerkleTree",
+    "OtherHash",
+    "LayoutTransform",
+)
+
+STATS_SCHEMA = "unizk-stats-v1"
+
+
+class ValidationError(Exception):
+    pass
+
+
+def _fail(path: str, message: str) -> None:
+    raise ValidationError(f"{path}: {message}")
+
+
+def _expect(cond: bool, path: str, message: str) -> None:
+    if not cond:
+        _fail(path, message)
+
+
+def _expect_keys(obj: Any, keys: tuple, path: str) -> None:
+    _expect(isinstance(obj, dict), path, f"expected object, got {type(obj).__name__}")
+    missing = [k for k in keys if k not in obj]
+    _expect(not missing, path, f"missing keys: {', '.join(missing)}")
+
+
+def _expect_number(obj: dict, key: str, path: str, minimum: float = 0.0) -> None:
+    v = obj.get(key)
+    _expect(
+        isinstance(v, (int, float)) and not isinstance(v, bool),
+        path,
+        f"'{key}' must be a number, got {type(v).__name__}",
+    )
+    _expect(v >= minimum, path, f"'{key}' must be >= {minimum}, got {v}")
+
+
+def _expect_fraction(obj: dict, key: str, path: str) -> None:
+    _expect_number(obj, key, path)
+    _expect(obj[key] <= 1.0 + 1e-9, path, f"'{key}' must be <= 1, got {obj[key]}")
+
+
+# --------------------------------------------------------------------------
+# Stats schema.
+# --------------------------------------------------------------------------
+
+def validate_breakdown(b: Any, path: str) -> None:
+    _expect_keys(b, ("totalSeconds",) + KERNEL_CLASSES, path)
+    _expect_number(b, "totalSeconds", path)
+    total = sum(b[c] for c in KERNEL_CLASSES)
+    _expect(
+        abs(total - b["totalSeconds"]) <= max(1e-6, 1e-6 * total),
+        path,
+        f"class seconds sum to {total}, totalSeconds says {b['totalSeconds']}",
+    )
+
+
+def validate_sim(sim: Any, path: str) -> None:
+    _expect_keys(
+        sim,
+        ("totalCycles", "seconds", "readRequests", "writeRequests",
+         "config", "perClass"),
+        path,
+    )
+    for key in ("totalCycles", "seconds", "readRequests", "writeRequests"):
+        _expect_number(sim, key, path)
+
+    cfg = sim["config"]
+    _expect_keys(cfg, ("numVsas", "clockGhz", "peakMemBytesPerCycle"),
+                 f"{path}.config")
+    for key in ("numVsas", "clockGhz", "peakMemBytesPerCycle"):
+        _expect_number(cfg, key, f"{path}.config")
+
+    per_class = sim["perClass"]
+    _expect_keys(per_class, KERNEL_CLASSES, f"{path}.perClass")
+    cycle_sum = 0
+    for cls in KERNEL_CLASSES:
+        cpath = f"{path}.perClass.{cls}"
+        stats = per_class[cls]
+        _expect_keys(
+            stats,
+            ("cycles", "computeCycles", "memCycles", "busBytes",
+             "usefulBytes", "readRequests", "writeRequests", "kernels",
+             "cycleFraction", "memUtilization", "usefulFraction",
+             "vsaUtilization"),
+            cpath,
+        )
+        for key in ("cycles", "computeCycles", "memCycles", "busBytes",
+                    "usefulBytes", "readRequests", "writeRequests",
+                    "kernels"):
+            _expect_number(stats, key, cpath)
+        for key in ("cycleFraction", "memUtilization", "usefulFraction",
+                    "vsaUtilization"):
+            _expect_fraction(stats, key, cpath)
+        # Bus bytes include granularity waste, so they bound the payload.
+        _expect(
+            stats["busBytes"] >= stats["usefulBytes"],
+            cpath,
+            f"busBytes ({stats['busBytes']}) < usefulBytes "
+            f"({stats['usefulBytes']})",
+        )
+        cycle_sum += stats["cycles"]
+    _expect(
+        cycle_sum == sim["totalCycles"],
+        path,
+        f"per-class cycles sum to {cycle_sum}, totalCycles says "
+        f"{sim['totalCycles']}",
+    )
+
+
+def validate_stats(doc: Any, path: str) -> None:
+    _expect_keys(doc, ("schema", "runs", "counters"), path)
+    _expect(
+        doc["schema"] == STATS_SCHEMA,
+        path,
+        f"schema is {doc['schema']!r}, expected {STATS_SCHEMA!r}",
+    )
+    _expect(isinstance(doc["runs"], list), path, "'runs' must be an array")
+    _expect(doc["runs"], path, "'runs' must not be empty")
+    for i, run in enumerate(doc["runs"]):
+        rpath = f"{path}.runs[{i}]"
+        _expect_keys(
+            run,
+            ("app", "protocol", "rows", "repetitions", "threads", "cpu",
+             "proof", "sim"),
+            rpath,
+        )
+        _expect(isinstance(run["app"], str) and run["app"], rpath,
+                "'app' must be a non-empty string")
+        _expect(run["protocol"] in ("plonky2", "starky"), rpath,
+                f"unknown protocol {run['protocol']!r}")
+        for key in ("rows", "repetitions", "threads"):
+            _expect_number(run, key, rpath)
+        _expect(run["threads"] >= 1, rpath, "'threads' must be >= 1")
+
+        _expect_keys(run["cpu"], ("totalSeconds", "breakdown"),
+                     f"{rpath}.cpu")
+        _expect_number(run["cpu"], "totalSeconds", f"{rpath}.cpu")
+        validate_breakdown(run["cpu"]["breakdown"], f"{rpath}.cpu.breakdown")
+
+        _expect_keys(run["proof"], ("bytes", "verified"), f"{rpath}.proof")
+        _expect_number(run["proof"], "bytes", f"{rpath}.proof")
+        _expect(isinstance(run["proof"]["verified"], bool), f"{rpath}.proof",
+                "'verified' must be a boolean")
+
+        validate_sim(run["sim"], f"{rpath}.sim")
+
+    counters = doc["counters"]
+    _expect(isinstance(counters, dict), path, "'counters' must be an object")
+    for name, value in counters.items():
+        _expect(
+            isinstance(value, int) and not isinstance(value, bool)
+            and value >= 0,
+            path,
+            f"counter {name!r} must be a non-negative integer, got {value!r}",
+        )
+
+
+# --------------------------------------------------------------------------
+# Chrome trace schema.
+# --------------------------------------------------------------------------
+
+def validate_trace(doc: Any, path: str) -> None:
+    _expect_keys(doc, ("traceEvents",), path)
+    events = doc["traceEvents"]
+    _expect(isinstance(events, list), path, "'traceEvents' must be an array")
+    _expect(events, path, "'traceEvents' must not be empty")
+
+    named_pids = set()
+    complete_pids = set()
+    for i, e in enumerate(events):
+        epath = f"{path}.traceEvents[{i}]"
+        _expect_keys(e, ("name", "ph", "pid", "tid"), epath)
+        ph = e["ph"]
+        if ph == "M":
+            _expect(e["name"] == "process_name", epath,
+                    f"metadata event named {e['name']!r}")
+            _expect_keys(e.get("args"), ("name",), f"{epath}.args")
+            named_pids.add(e["pid"])
+        elif ph == "X":
+            _expect_keys(e, ("cat", "ts", "dur"), epath)
+            _expect_number(e, "ts", epath)
+            _expect_number(e, "dur", epath)
+            complete_pids.add(e["pid"])
+        else:
+            _fail(epath, f"unexpected phase {ph!r} (only M and X emitted)")
+    unnamed = complete_pids - named_pids
+    _expect(not unnamed, path,
+            f"events on pids without process_name metadata: {sorted(unnamed)}")
+
+
+# --------------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------------
+
+def detect_kind(doc: Any) -> str:
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return "trace"
+    return "stats"
+
+
+def validate_file(filename: str, kind: str) -> List[str]:
+    try:
+        with open(filename, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{filename}: {e}"]
+    actual_kind = detect_kind(doc) if kind == "auto" else kind
+    try:
+        if actual_kind == "stats":
+            validate_stats(doc, filename)
+        else:
+            validate_trace(doc, filename)
+    except ValidationError as e:
+        return [str(e)]
+    return []
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="validate_obs_json",
+        description="validate UniZK stats / Chrome-trace JSON artifacts",
+    )
+    parser.add_argument("--kind", choices=("stats", "trace", "auto"),
+                        default="auto",
+                        help="document kind (default: detect per file)")
+    parser.add_argument("files", nargs="+", help="JSON files to validate")
+    args = parser.parse_args(argv)
+
+    errors: List[str] = []
+    for filename in args.files:
+        errors.extend(validate_file(filename, args.kind))
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        print(f"validate_obs_json: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print(f"validate_obs_json: {len(args.files)} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
