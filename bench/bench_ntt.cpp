@@ -1,0 +1,221 @@
+/**
+ * @file
+ * NTT engine benchmark: the twiddle-cached, pool-parallel engine against
+ * the seed-era scalar path (per-call root recomputation, sequential
+ * `w *= w_len` twiddle chains) across transform sizes 2^12..2^22, at one
+ * thread and at the full pool width. The LDE rows are the FRI commit
+ * workload (coset NTT^NR with blowup 8), sized by output domain so the
+ * "2^20 LDE" row matches the acceptance criterion directly.
+ *
+ * Flags:
+ *   --min-log N / --max-log N  sweep bounds on the transform size
+ *                              (default 12..22)
+ *   --threads N                pool width for the NT columns (default:
+ *                              auto)
+ *   --smoke                    tiny sweep (2^12..2^14, one reading) used
+ *                              as the ctest smoke leg
+ *   --stats-json PATH          write a unizk-ntt-bench-v1 JSON artifact
+ *                              with every timing plus the obs counters
+ */
+
+#include <algorithm>
+#include <functional>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "ntt/ntt.h"
+
+using namespace unizk;
+using namespace unizk::bench;
+
+namespace {
+
+/** Temporarily pin the pool width (restores the previous width). */
+struct ThreadCountGuard
+{
+    unsigned saved;
+
+    explicit ThreadCountGuard(unsigned threads)
+        : saved(globalThreadCount())
+    {
+        setGlobalThreadCount(threads);
+    }
+    ~ThreadCountGuard() { setGlobalThreadCount(saved); }
+};
+
+std::vector<Fp>
+randomVector(size_t n, uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    std::vector<Fp> v(n);
+    for (auto &x : v)
+        x = randomFp(rng);
+    return v;
+}
+
+/**
+ * Best-of-reps wall time of fn() on a fresh copy of @p input, after one
+ * untimed warmup that absorbs first-touch twiddle construction (the
+ * one-time build cost is reported separately via the
+ * `ntt.twiddle_builds` counter in the JSON artifact).
+ */
+double
+timeTransform(const std::vector<Fp> &input, unsigned reps,
+              const std::function<void(std::vector<Fp> &)> &fn)
+{
+    {
+        auto warm = input;
+        fn(warm);
+    }
+    double best = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+        auto work = input;
+        const Stopwatch watch;
+        fn(work);
+        const double s = watch.elapsedSeconds();
+        if (r == 0 || s < best)
+            best = s;
+    }
+    return best;
+}
+
+struct Row
+{
+    std::string kernel;
+    uint32_t logSize = 0;
+    unsigned threads = 1;
+    double scalarSeconds = 0; ///< seed path (always 1 thread)
+    double engine1tSeconds = 0;
+    double engineNtSeconds = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions cli(argc, argv);
+    const bool smoke = cli.has("smoke");
+    const uint32_t min_log =
+        static_cast<uint32_t>(cli.getUint("min-log", 12));
+    const uint32_t max_log = static_cast<uint32_t>(
+        cli.getUint("max-log", smoke ? 14 : 22));
+    const std::string stats_path = cli.getString("stats-json", "");
+    applyGlobalCliOptions(cli);
+    const unsigned threads = globalThreadCount();
+    constexpr uint32_t lde_blowup_bits = 3;
+    constexpr uint32_t lde_blowup = 8; // FRI commit shape
+
+    obs::setEnabled(true);
+    obs::resetAll();
+
+    std::printf("=== NTT engine vs seed scalar path (%u threads) ===\n\n",
+                threads);
+    printRow({"Kernel", "Size", "Seed 1T (ms)", "Engine 1T (ms)",
+              "Engine NT (ms)", "1T gain", "NT gain"});
+
+    std::vector<Row> rows;
+    for (uint32_t log = min_log; log <= max_log; ++log) {
+        const size_t n = size_t{1} << log;
+        // Keep every reading above timer noise without letting small
+        // sizes dominate wall time.
+        const unsigned reps =
+            smoke ? 1 : std::max(2u, static_cast<unsigned>(24 - log));
+        const Fp shift = defaultCosetShift();
+
+        // Forward NTT^NR on the full domain.
+        {
+            const auto input = randomVector(n, log);
+            Row row;
+            row.kernel = "ntt-nr";
+            row.logSize = log;
+            row.threads = threads;
+            row.scalarSeconds =
+                timeTransform(input, reps, [](std::vector<Fp> &a) {
+                    scalarNttNR(a);
+                });
+            {
+                ThreadCountGuard guard(1);
+                row.engine1tSeconds =
+                    timeTransform(input, reps, [](std::vector<Fp> &a) {
+                        nttNR(a);
+                    });
+            }
+            row.engineNtSeconds =
+                timeTransform(input, reps, [](std::vector<Fp> &a) {
+                    nttNR(a);
+                });
+            rows.push_back(row);
+        }
+
+        // Coset LDE with output domain 2^log (the FRI commit kernel).
+        if (log > lde_blowup_bits) {
+            const auto coeffs =
+                randomVector(n >> lde_blowup_bits, 77 + log);
+            Row row;
+            row.kernel = "lde";
+            row.logSize = log;
+            row.threads = threads;
+            row.scalarSeconds =
+                timeTransform(coeffs, reps, [&](std::vector<Fp> &a) {
+                    a = scalarLowDegreeExtension(
+                        a, lde_blowup, shift);
+                });
+            {
+                ThreadCountGuard guard(1);
+                row.engine1tSeconds =
+                    timeTransform(coeffs, reps, [&](std::vector<Fp> &a) {
+                        a = lowDegreeExtension(
+                            a, lde_blowup, shift);
+                    });
+            }
+            row.engineNtSeconds =
+                timeTransform(coeffs, reps, [&](std::vector<Fp> &a) {
+                    a = lowDegreeExtension(a, lde_blowup,
+                                           shift);
+                });
+            rows.push_back(row);
+        }
+    }
+
+    for (const auto &r : rows) {
+        printRow({r.kernel, "2^" + std::to_string(r.logSize),
+                  fmt(r.scalarSeconds * 1e3, 3),
+                  fmt(r.engine1tSeconds * 1e3, 3),
+                  fmt(r.engineNtSeconds * 1e3, 3),
+                  fmtX(r.scalarSeconds / r.engine1tSeconds),
+                  fmtX(r.scalarSeconds / r.engineNtSeconds)});
+    }
+
+    if (!stats_path.empty()) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.kv("schema", "unizk-ntt-bench-v1");
+        w.kv("threads", static_cast<uint64_t>(threads));
+        w.kv("smoke", smoke);
+        w.key("rows").beginArray();
+        for (const auto &r : rows) {
+            w.beginObject();
+            w.kv("kernel", r.kernel);
+            w.kv("log_size", static_cast<uint64_t>(r.logSize));
+            w.kv("threads", static_cast<uint64_t>(r.threads));
+            w.kv("seed_scalar_seconds", r.scalarSeconds);
+            w.kv("engine_1t_seconds", r.engine1tSeconds);
+            w.kv("engine_nt_seconds", r.engineNtSeconds);
+            w.kv("speedup_1t", r.scalarSeconds / r.engine1tSeconds);
+            w.kv("speedup_nt", r.scalarSeconds / r.engineNtSeconds);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("counters").beginObject();
+        for (const auto &[name, count] : obs::counterSnapshot())
+            w.kv(name, count);
+        w.endObject();
+        w.endObject();
+        if (!obs::writeFile(stats_path, w.str()))
+            unizk_fatal("cannot write ", stats_path);
+        std::printf("\nwrote stats JSON: %s\n", stats_path.c_str());
+    }
+    return 0;
+}

@@ -1,5 +1,6 @@
 #include "common/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string_view>
 
@@ -7,6 +8,31 @@
 #include "common/thread_pool.h"
 
 namespace unizk {
+
+namespace {
+
+/**
+ * Reject anything strtoull/strtod would quietly mangle: trailing
+ * garbage ("8x"), no digits at all ("foo"), out-of-range values, and --
+ * for the unsigned parse -- negative numbers, which strtoull happily
+ * wraps to huge positives.
+ */
+void
+checkNumericParse(const std::string &key, const std::string &text,
+                  const char *end, bool negative_ok)
+{
+    if (errno == ERANGE)
+        unizk_fatal("--", key, ": value '", text, "' is out of range");
+    if (end == text.c_str() || *end != '\0')
+        unizk_fatal("--", key, ": expected a number, got '", text, "'");
+    if (!negative_ok &&
+        text.find('-') != std::string::npos) {
+        unizk_fatal("--", key, ": expected a non-negative number, got '",
+                    text, "'");
+    }
+}
+
+} // namespace
 
 CliOptions::CliOptions(int argc, char **argv)
 {
@@ -32,7 +58,11 @@ CliOptions::getUint(const std::string &key, uint64_t def) const
     auto it = values.find(key);
     if (it == values.end() || it->second.empty())
         return def;
-    return std::strtoull(it->second.c_str(), nullptr, 0);
+    errno = 0;
+    char *end = nullptr;
+    const uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    checkNumericParse(key, it->second, end, /*negative_ok=*/false);
+    return v;
 }
 
 double
@@ -41,7 +71,11 @@ CliOptions::getDouble(const std::string &key, double def) const
     auto it = values.find(key);
     if (it == values.end() || it->second.empty())
         return def;
-    return std::strtod(it->second.c_str(), nullptr);
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    checkNumericParse(key, it->second, end, /*negative_ok=*/true);
+    return v;
 }
 
 std::string

@@ -92,6 +92,39 @@ static_assert(Fp::primitiveRootOfUnity(15) ==
                   Fp::primitiveRootOfUnity(16).squared(),
               "root tower is inconsistent: w_15 != w_16^2");
 
+// --- Branchless primitives agree with the operators on every carry -------
+// --- pattern (no wrap, 2^64 wrap, >= p, borrow). The NTT butterflies ------
+// --- run exclusively on these, so a divergence would silently corrupt -----
+// --- every proof. ---------------------------------------------------------
+constexpr bool
+branchlessOpsMatchOperators()
+{
+    const Fp cases[] = {Fp::zero(),
+                        Fp::one(),
+                        Fp(2),
+                        Fp(0xFFFFFFFFULL),          // 2^32 - 1
+                        Fp(0x100000000ULL),         // 2^32
+                        Fp(Fp::modulus - 1),        // -1
+                        Fp(Fp::modulus - 0xFFFFFFFFULL),
+                        Fp(0x123456789ABCDEFULL),
+                        Fp(Fp::modulus / 2),
+                        Fp(Fp::modulus / 2 + 1)};
+    for (const Fp a : cases) {
+        for (const Fp b : cases) {
+            if (Fp::addBranchless(a, b) != a + b)
+                return false;
+            if (Fp::subBranchless(a, b) != a - b)
+                return false;
+            if (Fp::mulBranchless(a, b) != a * b)
+                return false;
+        }
+    }
+    return true;
+}
+
+static_assert(branchlessOpsMatchOperators(),
+              "branchless field primitives diverge from the operators");
+
 // --- Field arithmetic spot checks (exercised at compile time). ------------
 static_assert((Fp(7).inverse() * Fp(7)).isOne(), "inverse(7)*7 != 1");
 static_assert(Fp(Fp::modulus - 1) * Fp(Fp::modulus - 1) == Fp::one(),

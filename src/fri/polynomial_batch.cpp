@@ -18,16 +18,7 @@ PolynomialBatch::fromValues(std::vector<std::vector<Fp>> values,
     {
         ScopedKernelTimer timer(ctx.breakdown, KernelClass::Ntt);
         UNIZK_SPAN("commit/values-intt");
-        // Independent columns: one iNTT per polynomial.
-        parallelFor(0, values.size(), /*grain=*/1,
-                    [&](size_t lo, size_t hi) {
-                        for (size_t p = lo; p < hi; ++p) {
-                            unizk_assert(values[p].size() == n,
-                                         "batch polynomials differ in "
-                                         "size");
-                            inttNN(values[p]);
-                        }
-                    });
+        inttBatchNN(values);
     }
     ctx.record(NttKernel{log2Exact(n), values.size(), /*inverse=*/true,
                          /*coset=*/false, /*bitrevOutput=*/false,
@@ -64,22 +55,11 @@ PolynomialBatch::PolynomialBatch(std::vector<std::vector<Fp>> coeffs,
             leaves[i].resize(num_polys);
     });
     {
-        std::vector<std::vector<Fp>> ldes(num_polys);
+        std::vector<std::vector<Fp>> ldes;
         {
             ScopedKernelTimer timer(ctx.breakdown, KernelClass::Ntt);
             UNIZK_SPAN("commit/lde");
-            // Independent columns: one coset LDE per polynomial.
-            parallelFor(0, num_polys, /*grain=*/1,
-                        [&](size_t lo, size_t hi) {
-                            for (size_t p = lo; p < hi; ++p) {
-                                unizk_assert(coeffs_[p].size() == n_,
-                                             "batch polynomials differ "
-                                             "in size");
-                                ldes[p] = lowDegreeExtension(
-                                    coeffs_[p], cfg_.blowup(),
-                                    cfg_.shift());
-                            }
-                        });
+            ldes = ldeBatch(coeffs_, cfg_.blowup(), cfg_.shift());
         }
         // Poly-major -> index-major transpose while forming leaves; on
         // the CPU this is real work (Table 1's Layout Transform), on

@@ -1,6 +1,9 @@
 #include "ntt/ntt.h"
 
+#include <type_traits>
+
 #include "common/bits.h"
+#include "common/thread_pool.h"
 #include "field/field_checks.h"
 #include "obs/obs.h"
 
@@ -26,92 +29,281 @@ static_assert((Fp::primitiveRootOfUnity(16).inverse() *
               "inverse twiddle root is wrong");
 
 /**
- * Decimation-in-frequency butterfly network (Gentleman-Sande): natural
- * input order, bit-reversed output order.
- * @param root a primitive n-th root of unity (or its inverse for iNTT).
+ * Cache-block size for the four-step decomposition: once the leading
+ * stages have peeled the transform into independent sub-transforms of
+ * this many elements (64 KiB of Fp), each sub-transform runs serially
+ * inside one pool chunk and stays resident in L1/L2.
  */
-void
-difCore(std::vector<Fp> &a, Fp root)
+constexpr uint32_t block_log = 13;
+
+/** Transforms below this size never leave the calling thread. */
+constexpr size_t par_min_size = size_t{1} << 15;
+
+/** Chunk grain for stage-parallel butterfly sweeps and scaling passes. */
+constexpr size_t stage_grain = size_t{1} << 12;
+
+/**
+ * One DIF (Gentleman-Sande) butterfly. The Fp instantiation uses the
+ * branchless field primitives: butterfly inputs are effectively random
+ * field elements, so the operators' carry branches are ~50/50 and the
+ * mispredictions roughly halve inner-loop throughput (measured ~11 ->
+ * ~5 ns/butterfly on the bench machine). Same canonical values either
+ * way. The generic path serves Fp2 (short FRI final polynomials only).
+ */
+template <typename T>
+inline void
+difButterfly(T &lo, T &hi, Fp w)
 {
-    // Transforms run inside pool workers, so this span gives the trace
-    // a per-thread NTT lane.
-    UNIZK_SPAN("ntt/dif");
-    UNIZK_COUNTER_ADD("ntt.transforms", 1);
-    const size_t n = a.size();
-    unizk_assert(isPowerOfTwo(n), "NTT size must be a power of two");
-    Fp w_len = root;
-    for (size_t len = n; len >= 2; len >>= 1) {
-        const size_t half = len / 2;
-        for (size_t start = 0; start < n; start += len) {
-            Fp w = Fp::one();
-            for (size_t j = 0; j < half; ++j) {
-                const Fp u = a[start + j];
-                const Fp v = a[start + j + half];
-                a[start + j] = u + v;
-                a[start + j + half] = (u - v) * w;
-                w *= w_len;
-            }
-        }
-        w_len = w_len.squared();
+    const T u = lo;
+    const T v = hi;
+    if constexpr (std::is_same<T, Fp>::value) {
+        lo = Fp::addBranchless(u, v);
+        hi = Fp::mulBranchless(Fp::subBranchless(u, v), w);
+    } else {
+        lo = u + v;
+        hi = (u - v) * w;
+    }
+}
+
+/** One DIT (Cooley-Tukey) butterfly; see difButterfly. */
+template <typename T>
+inline void
+ditButterfly(T &lo, T &hi, Fp w)
+{
+    const T u = lo;
+    T v;
+    if constexpr (std::is_same<T, Fp>::value) {
+        v = Fp::mulBranchless(hi, w);
+        lo = Fp::addBranchless(u, v);
+        hi = Fp::subBranchless(u, v);
+    } else {
+        v = hi * w;
+        lo = u + v;
+        hi = u - v;
     }
 }
 
 /**
- * Decimation-in-time butterfly network (Cooley-Tukey): bit-reversed input
- * order, natural output order.
+ * Table-driven decimation-in-frequency butterfly network
+ * (Gentleman-Sande): natural input order, bit-reversed output order.
+ *
+ * @param tw    twiddle table with tw[j] = root^j for a transform of
+ *              size n * stride0 (stride0 = 1 when the table matches n).
+ * @param stride0 table stride of the size-n stage: the stage with block
+ *              length `len` reads tw[j * stride0 * (n/len)].
+ *
+ * No loop-carried dependency: every butterfly reads its twiddle straight
+ * from the table, so the compiler can pipeline the inner loop and
+ * callers can run disjoint (block, j) chunks concurrently.
+ */
+template <typename T>
+void
+difTabled(T *a, size_t n, const Fp *tw, size_t stride0)
+{
+    size_t step = stride0;
+    for (size_t len = n; len >= 2; len >>= 1) {
+        const size_t half = len / 2;
+        for (size_t start = 0; start < n; start += len) {
+            T *lo = a + start;
+            T *hi = lo + half;
+            for (size_t j = 0; j < half; ++j)
+                difButterfly(lo[j], hi[j], tw[j * step]);
+        }
+        step <<= 1;
+    }
+}
+
+/**
+ * Table-driven decimation-in-time butterfly network (Cooley-Tukey):
+ * bit-reversed input order, natural output order. Same table layout as
+ * difTabled.
+ */
+template <typename T>
+void
+ditTabled(T *a, size_t n, const Fp *tw, size_t stride0)
+{
+    size_t step = stride0 * (n / 2);
+    for (size_t len = 2; len <= n; len <<= 1) {
+        const size_t half = len / 2;
+        for (size_t start = 0; start < n; start += len) {
+            T *lo = a + start;
+            T *hi = lo + half;
+            for (size_t j = 0; j < half; ++j)
+                ditButterfly(lo[j], hi[j], tw[j * step]);
+        }
+        step >>= 1;
+    }
+}
+
+/** True when this transform should engage the pool. */
+bool
+runParallel(size_t n, bool allow_parallel)
+{
+    return allow_parallel && n >= par_min_size && globalThreadCount() > 1;
+}
+
+/**
+ * Pool-parallel DIF via the cache-blocked four-step decomposition: the
+ * leading stages (each a full sweep of independent butterflies — the
+ * column NTTs fused with the inter-dimension twiddle multiplications of
+ * the four-step scheme) run stage-by-stage across the pool; the
+ * remaining stages form n/2^block_log independent contiguous
+ * sub-transforms (the row NTTs) that run one per chunk with twiddles
+ * read at stride from the same table. Identical butterflies and twiddle
+ * values to the serial core, so results are thread-count invariant.
  */
 void
-ditCore(std::vector<Fp> &a, Fp root)
+difRun(Fp *data, size_t n, const Fp *tw, bool allow_parallel)
+{
+    UNIZK_SPAN("ntt/dif");
+    UNIZK_COUNTER_ADD("ntt.transforms", 1);
+    if (n < 2)
+        return;
+    if (!runParallel(n, allow_parallel)) {
+        difTabled(data, n, tw, 1);
+        return;
+    }
+    size_t len = n;
+    size_t step = 1;
+    const size_t block = size_t{1} << block_log;
+    while (len > block) {
+        const size_t half = len / 2;
+        const size_t cur_len = len;
+        const size_t cur_step = step;
+        parallelFor(0, n / 2, stage_grain, [&](size_t lo, size_t hi) {
+            // Decode (block, offset) once per chunk, then step
+            // incrementally: a divide per butterfly would dominate the
+            // branchless butterfly itself.
+            size_t b = lo / half;
+            size_t j = lo - b * half;
+            for (size_t idx = lo; idx < hi; ++idx) {
+                Fp *base = data + b * cur_len;
+                difButterfly(base[j], base[j + half], tw[j * cur_step]);
+                if (++j == half) {
+                    j = 0;
+                    ++b;
+                }
+            }
+        });
+        len >>= 1;
+        step <<= 1;
+    }
+    const size_t sub = len;
+    const size_t sub_stride = step;
+    parallelFor(0, n / sub, /*grain=*/1, [&](size_t lo, size_t hi) {
+        for (size_t b = lo; b < hi; ++b)
+            difTabled(data + b * sub, sub, tw, sub_stride);
+    });
+}
+
+/** Pool-parallel DIT; the mirror image of difRun (blocks first). */
+void
+ditRun(Fp *data, size_t n, const Fp *tw, bool allow_parallel)
 {
     UNIZK_SPAN("ntt/dit");
     UNIZK_COUNTER_ADD("ntt.transforms", 1);
-    const size_t n = a.size();
-    unizk_assert(isPowerOfTwo(n), "NTT size must be a power of two");
-    const uint32_t log_n = log2Exact(n);
-    // Twiddle for stage with block length `len` is root^(n/len); build
-    // them from the smallest upwards by repeated squaring of `root`.
-    std::vector<Fp> stage_root(log_n);
-    Fp r = root;
-    for (uint32_t s = log_n; s-- > 0;) {
-        stage_root[s] = r; // stage s handles len = 2^(log_n - s)... see below
-        r = r.squared();
+    if (n < 2)
+        return;
+    if (!runParallel(n, allow_parallel)) {
+        ditTabled(data, n, tw, 1);
+        return;
     }
-    // stage_root[0] = root^(n/2) (for len=2) up to
-    // stage_root[log_n-1] = root (for len=n).
-    uint32_t s = 0;
-    for (size_t len = 2; len <= n; len <<= 1, ++s) {
+    const size_t block = size_t{1} << block_log;
+    parallelFor(0, n / block, /*grain=*/1, [&](size_t lo, size_t hi) {
+        for (size_t b = lo; b < hi; ++b)
+            ditTabled(data + b * block, block, tw, n / block);
+    });
+    for (size_t len = 2 * block; len <= n; len <<= 1) {
         const size_t half = len / 2;
-        const Fp w_len = stage_root[s];
-        for (size_t start = 0; start < n; start += len) {
-            Fp w = Fp::one();
-            for (size_t j = 0; j < half; ++j) {
-                const Fp u = a[start + j];
-                const Fp v = a[start + j + half] * w;
-                a[start + j] = u + v;
-                a[start + j + half] = u - v;
-                w *= w_len;
+        const size_t cur_step = n / len;
+        parallelFor(0, n / 2, stage_grain, [&](size_t lo, size_t hi) {
+            size_t b = lo / half;
+            size_t j = lo - b * half;
+            for (size_t idx = lo; idx < hi; ++idx) {
+                Fp *base = data + b * len;
+                ditButterfly(base[j], base[j + half], tw[j * cur_step]);
+                if (++j == half) {
+                    j = 0;
+                    ++b;
+                }
+            }
+        });
+    }
+}
+
+/** Multiply every element by the same constant (pool-chunked). */
+void
+scaleAll(std::vector<Fp> &a, Fp c, bool allow_parallel)
+{
+    if (!runParallel(a.size(), allow_parallel)) {
+        for (auto &x : a)
+            x = Fp::mulBranchless(x, c);
+        return;
+    }
+    Fp *data = a.data();
+    parallelFor(0, a.size(), stage_grain, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            data[i] = Fp::mulBranchless(data[i], c);
+    });
+}
+
+/**
+ * Multiply element i by extra * shift^i. Uses the cached coset-power
+ * table when @p shift is the standard coset shift and the table covers
+ * this size; otherwise each chunk seeds its power chain with a pow()
+ * jump. Field arithmetic is exact, so both paths (and any chunking)
+ * produce identical canonical values.
+ */
+void
+applyCosetScale(std::vector<Fp> &a, Fp shift, Fp extra,
+                const std::vector<Fp> &table, bool allow_parallel)
+{
+    const size_t n = a.size();
+    Fp *data = a.data();
+    const Fp *pows =
+        table.size() == n && !table.empty() ? table.data() : nullptr;
+    const bool par = runParallel(n, allow_parallel);
+
+    auto chunk = [&](size_t lo, size_t hi) {
+        if (pows) {
+            for (size_t i = lo; i < hi; ++i) {
+                data[i] = Fp::mulBranchless(
+                    data[i], Fp::mulBranchless(pows[i], extra));
+            }
+        } else {
+            Fp p = shift.pow(lo) * extra;
+            for (size_t i = lo; i < hi; ++i) {
+                data[i] = Fp::mulBranchless(data[i], p);
+                p *= shift;
             }
         }
-    }
+    };
+    if (par)
+        parallelFor(0, n, stage_grain, chunk);
+    else
+        chunk(0, n);
 }
 
-/** Multiply every element by the same constant. */
+/** Bit-reverse permutation, pool-chunked: each swap pair (i, rev(i)) is
+ *  touched exactly once, by the chunk owning its smaller index. */
+template <typename T>
 void
-scaleAll(std::vector<Fp> &a, Fp c)
+bitrevPermute(std::vector<T> &v, bool allow_parallel)
 {
-    for (auto &x : a)
-        x *= c;
-}
-
-/** Multiply element i by shift^i. */
-void
-scaleByCosetPowers(std::vector<Fp> &a, Fp shift)
-{
-    Fp p = Fp::one();
-    for (auto &x : a) {
-        x *= p;
-        p *= shift;
+    const size_t n = v.size();
+    if (!runParallel(n, allow_parallel)) {
+        bitReversePermute(v);
+        return;
     }
+    const uint32_t bits = log2Exact(n);
+    T *data = v.data();
+    parallelFor(0, n, stage_grain, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+            const size_t j = reverseBits(i, bits);
+            if (j > i)
+                std::swap(data[i], data[j]);
+        }
+    });
 }
 
 Fp
@@ -126,12 +318,6 @@ inverseRoot(size_t n)
     return forwardRoot(n).inverse();
 }
 
-Fp
-sizeInverse(size_t n)
-{
-    return Fp(static_cast<uint64_t>(n)).inverse();
-}
-
 /**
  * Guard every public transform entry point against degenerate sizes
  * with a clear message (log2Exact(0) would otherwise fire a confusing
@@ -144,93 +330,326 @@ checkTransformSize(size_t n)
     unizk_assert(isPowerOfTwo(n), "NTT size must be a power of two");
 }
 
+// ---- Table-threaded internal entry points. The public API acquires a
+// table once and forwards here; the batch API shares one acquisition
+// across every polynomial.
+
+void
+nttNRImpl(std::vector<Fp> &a, const TwiddleTable &t, bool par)
+{
+    difRun(a.data(), a.size(), t.fwd.data(), par);
+}
+
+void
+nttRNImpl(std::vector<Fp> &a, const TwiddleTable &t, bool par)
+{
+    ditRun(a.data(), a.size(), t.fwd.data(), par);
+}
+
+void
+nttNNImpl(std::vector<Fp> &a, const TwiddleTable &t, bool par)
+{
+    difRun(a.data(), a.size(), t.fwd.data(), par);
+    bitrevPermute(a, par);
+}
+
+void
+inttNNImpl(std::vector<Fp> &a, const TwiddleTable &t, bool par)
+{
+    difRun(a.data(), a.size(), t.inv.data(), par);
+    bitrevPermute(a, par);
+    scaleAll(a, t.sizeInv, par);
+}
+
+void
+cosetNttNRImpl(std::vector<Fp> &a, Fp shift, const TwiddleTable &t,
+               bool par)
+{
+    const bool standard = shift == defaultCosetShift();
+    applyCosetScale(a, shift, Fp::one(),
+                    standard ? t.cosetFwd : std::vector<Fp>{}, par);
+    difRun(a.data(), a.size(), t.fwd.data(), par);
+}
+
+void
+cosetNttNNImpl(std::vector<Fp> &a, Fp shift, const TwiddleTable &t,
+               bool par)
+{
+    const bool standard = shift == defaultCosetShift();
+    applyCosetScale(a, shift, Fp::one(),
+                    standard ? t.cosetFwd : std::vector<Fp>{}, par);
+    difRun(a.data(), a.size(), t.fwd.data(), par);
+    bitrevPermute(a, par);
+}
+
 } // namespace
 
 void
 nttNR(std::vector<Fp> &a)
 {
     checkTransformSize(a.size());
-    difCore(a, forwardRoot(a.size()));
+    nttNRImpl(a, *acquireTwiddles(log2Exact(a.size())), true);
 }
 
 void
 nttRN(std::vector<Fp> &a)
 {
     checkTransformSize(a.size());
-    ditCore(a, forwardRoot(a.size()));
+    nttRNImpl(a, *acquireTwiddles(log2Exact(a.size())), true);
 }
 
 void
 nttNN(std::vector<Fp> &a)
 {
     checkTransformSize(a.size());
-    difCore(a, forwardRoot(a.size()));
-    bitReversePermute(a);
+    nttNNImpl(a, *acquireTwiddles(log2Exact(a.size())), true);
 }
 
 void
 inttNN(std::vector<Fp> &a)
 {
     checkTransformSize(a.size());
-    difCore(a, inverseRoot(a.size()));
-    bitReversePermute(a);
-    scaleAll(a, sizeInverse(a.size()));
+    inttNNImpl(a, *acquireTwiddles(log2Exact(a.size())), true);
 }
 
 void
 inttRN(std::vector<Fp> &a)
 {
     checkTransformSize(a.size());
-    ditCore(a, inverseRoot(a.size()));
-    scaleAll(a, sizeInverse(a.size()));
+    const auto t = acquireTwiddles(log2Exact(a.size()));
+    ditRun(a.data(), a.size(), t->inv.data(), true);
+    scaleAll(a, t->sizeInv, true);
 }
 
 void
 inttNR(std::vector<Fp> &a)
 {
     checkTransformSize(a.size());
-    difCore(a, inverseRoot(a.size()));
-    scaleAll(a, sizeInverse(a.size()));
+    const auto t = acquireTwiddles(log2Exact(a.size()));
+    difRun(a.data(), a.size(), t->inv.data(), true);
+    scaleAll(a, t->sizeInv, true);
 }
 
 void
 cosetNttNN(std::vector<Fp> &a, Fp shift)
 {
-    scaleByCosetPowers(a, shift);
-    nttNN(a);
+    checkTransformSize(a.size());
+    cosetNttNNImpl(a, shift, *acquireTwiddles(log2Exact(a.size())), true);
 }
 
 void
 cosetNttNR(std::vector<Fp> &a, Fp shift)
 {
-    scaleByCosetPowers(a, shift);
-    nttNR(a);
+    checkTransformSize(a.size());
+    cosetNttNRImpl(a, shift, *acquireTwiddles(log2Exact(a.size())), true);
 }
 
 void
 cosetInttNN(std::vector<Fp> &a, Fp shift)
 {
-    inttNN(a);
-    scaleByCosetPowers(a, shift.inverse());
+    checkTransformSize(a.size());
+    const auto t = acquireTwiddles(log2Exact(a.size()));
+    difRun(a.data(), a.size(), t->inv.data(), true);
+    bitrevPermute(a, true);
+    // Fold the 1/n normalization into the inverse coset scaling pass.
+    const bool standard = shift == defaultCosetShift();
+    applyCosetScale(a, shift.inverse(), t->sizeInv,
+                    standard ? t->cosetInv : std::vector<Fp>{}, true);
 }
 
 void
 cosetInttRN(std::vector<Fp> &a, Fp shift)
 {
-    inttRN(a);
-    scaleByCosetPowers(a, shift.inverse());
+    checkTransformSize(a.size());
+    const auto t = acquireTwiddles(log2Exact(a.size()));
+    ditRun(a.data(), a.size(), t->inv.data(), true);
+    const bool standard = shift == defaultCosetShift();
+    applyCosetScale(a, shift.inverse(), t->sizeInv,
+                    standard ? t->cosetInv : std::vector<Fp>{}, true);
 }
+
+namespace {
+
+/**
+ * LDE by coset decomposition: instead of zero-padding the N coefficients
+ * to N*blowup and running one big transform (whose first log2(blowup)
+ * stages only shuffle zeros), split the target domain shift*H' into
+ * `blowup` cosets of the size-N subgroup,
+ *
+ *   x_t = shift * w_m^t,  t = c + blowup * j
+ *       = (shift * w_m^c) * (w_m^blowup)^j,
+ *
+ * and evaluate the *unpadded* coefficients over each coset with a size-N
+ * transform. Because the bit-reversal of t = c + blowup*j splits as
+ * rev(c) * N + rev(j), each sub-transform's NR output is exactly one
+ * contiguous slice of the big transform's NR output, so results are
+ * value-identical to the padded path. This removes the zero stages,
+ * keeps every sub-transform cache-sized, and parallelizes over cosets
+ * with no barriers.
+ *
+ * @param out  destination of the N*blowup NR-ordered evaluations; the
+ *             slice for coset c starts at rev(c) * N.
+ */
+void
+ldeNRInto(const std::vector<Fp> &coeffs, uint32_t blowup, Fp shift,
+          Fp *out, bool allow_parallel)
+{
+    const size_t n = coeffs.size();
+    const size_t m = n * blowup;
+    const uint32_t log_b = log2Exact(blowup);
+    const Fp w_m = Fp::primitiveRootOfUnity(log2Exact(m));
+    const auto t = acquireTwiddles(log2Exact(n));
+
+    auto oneCoset = [&](size_t c, bool par) {
+        Fp *slice = out + reverseBits(c, log_b) * n;
+        const Fp coset_shift = shift * w_m.pow(c);
+        // slice[i] = coeffs[i] * coset_shift^i, chunked power chains.
+        const Fp *src = coeffs.data();
+        auto scale = [&](size_t lo, size_t hi) {
+            Fp p = coset_shift.pow(lo);
+            for (size_t i = lo; i < hi; ++i) {
+                slice[i] = Fp::mulBranchless(src[i], p);
+                p *= coset_shift;
+            }
+        };
+        if (runParallel(n, par))
+            parallelFor(0, n, stage_grain, scale);
+        else
+            scale(0, n);
+        difRun(slice, n, t->fwd.data(), par);
+    };
+
+    if (allow_parallel && blowup > 1 && globalThreadCount() > 1) {
+        parallelFor(0, blowup, /*grain=*/1, [&](size_t lo, size_t hi) {
+            for (size_t c = lo; c < hi; ++c)
+                oneCoset(c, /*par=*/false);
+        });
+    } else {
+        for (size_t c = 0; c < blowup; ++c)
+            oneCoset(c, allow_parallel);
+    }
+}
+
+} // namespace
 
 std::vector<Fp>
 lowDegreeExtension(const std::vector<Fp> &coeffs, uint32_t blowup, Fp shift)
 {
     checkTransformSize(coeffs.size());
     unizk_assert(isPowerOfTwo(blowup), "blowup must be a power of two");
-    std::vector<Fp> ext(coeffs);
-    ext.resize(coeffs.size() * blowup, Fp::zero());
-    cosetNttNR(ext, shift);
+    std::vector<Fp> ext(coeffs.size() * blowup);
+    ldeNRInto(coeffs, blowup, shift, ext.data(), true);
     return ext;
 }
+
+// ---- Batch API -----------------------------------------------------------
+
+namespace {
+
+/**
+ * Pick the parallel axis for a batch: with enough polynomials to keep
+ * every worker busy (or transforms too small to split) spread polys
+ * across the pool and run each transform serially; otherwise run polys
+ * sequentially and let each transform fan out internally. Either way
+ * the per-element arithmetic is identical, so the choice cannot affect
+ * proof bytes.
+ */
+bool
+spreadAcrossPolys(size_t count, size_t n)
+{
+    const unsigned threads = globalThreadCount();
+    if (threads <= 1)
+        return true;
+    if (n < par_min_size)
+        return true;
+    return count >= threads;
+}
+
+void
+checkBatchSizes(const std::vector<std::vector<Fp>> &polys)
+{
+    unizk_assert(!polys.empty(), "empty polynomial batch");
+    checkTransformSize(polys[0].size());
+    for (const auto &p : polys) {
+        unizk_assert(p.size() == polys[0].size(),
+                     "batch polynomials differ in size");
+    }
+}
+
+template <typename Fn>
+void
+forEachPoly(size_t count, size_t n, const Fn &fn)
+{
+    if (spreadAcrossPolys(count, n)) {
+        parallelFor(0, count, /*grain=*/1, [&](size_t lo, size_t hi) {
+            for (size_t p = lo; p < hi; ++p)
+                fn(p, /*par=*/false);
+        });
+    } else {
+        for (size_t p = 0; p < count; ++p)
+            fn(p, /*par=*/true);
+    }
+}
+
+} // namespace
+
+void
+inttBatchNN(std::vector<std::vector<Fp>> &polys)
+{
+    checkBatchSizes(polys);
+    const size_t n = polys[0].size();
+    const auto t = acquireTwiddles(log2Exact(n));
+    forEachPoly(polys.size(), n, [&](size_t p, bool par) {
+        inttNNImpl(polys[p], *t, par);
+    });
+}
+
+void
+nttBatchNR(std::vector<std::vector<Fp>> &polys)
+{
+    checkBatchSizes(polys);
+    const size_t n = polys[0].size();
+    const auto t = acquireTwiddles(log2Exact(n));
+    forEachPoly(polys.size(), n, [&](size_t p, bool par) {
+        nttNRImpl(polys[p], *t, par);
+    });
+}
+
+std::vector<std::vector<Fp>>
+ldeBatch(const std::vector<std::vector<Fp>> &coeffs, uint32_t blowup,
+         Fp shift)
+{
+    checkBatchSizes(coeffs);
+    unizk_assert(isPowerOfTwo(blowup), "blowup must be a power of two");
+    const size_t n = coeffs[0].size();
+    const size_t m = n * blowup;
+    std::vector<std::vector<Fp>> out(coeffs.size());
+    forEachPoly(coeffs.size(), m, [&](size_t p, bool par) {
+        out[p].resize(m);
+        ldeNRInto(coeffs[p], blowup, shift, out[p].data(), par);
+    });
+    return out;
+}
+
+std::vector<std::vector<Fp>>
+ldeBatchNN(std::vector<std::vector<Fp>> coeffs, uint32_t blowup, Fp shift)
+{
+    checkBatchSizes(coeffs);
+    unizk_assert(isPowerOfTwo(blowup), "blowup must be a power of two");
+    const size_t n = coeffs[0].size();
+    const size_t m = n * blowup;
+    forEachPoly(coeffs.size(), m, [&](size_t p, bool par) {
+        // The coset split needs the coefficients intact while every
+        // slice is written, so evaluate into a fresh buffer and swap.
+        std::vector<Fp> nr(m);
+        ldeNRInto(coeffs[p], blowup, shift, nr.data(), par);
+        bitrevPermute(nr, par);
+        coeffs[p] = std::move(nr);
+    });
+    return coeffs;
+}
+
+// ---- Reference paths -----------------------------------------------------
 
 std::vector<Fp>
 naiveDft(const std::vector<Fp> &a, Fp shift)
@@ -258,7 +677,7 @@ naiveIdft(const std::vector<Fp> &a, Fp shift)
 {
     const size_t n = a.size();
     const Fp w_inv = inverseRoot(n);
-    const Fp n_inv = sizeInverse(n);
+    const Fp n_inv = Fp(static_cast<uint64_t>(n)).inverse();
     const Fp s_inv = shift.inverse();
     std::vector<Fp> out(n);
     for (size_t j = 0; j < n; ++j) {
@@ -271,20 +690,20 @@ naiveIdft(const std::vector<Fp> &a, Fp shift)
 }
 
 void
-inttNNExt(std::vector<Fp2> &a)
+scalarNttNR(std::vector<Fp> &a)
 {
+    checkTransformSize(a.size());
     const size_t n = a.size();
-    checkTransformSize(n);
-    // DIF core over Fp2 values with Fp twiddles, then bit-reverse and
-    // scale, mirroring inttNN.
-    Fp w_len = inverseRoot(n);
+    // The seed DIF core, verbatim: roots recomputed per call and the
+    // serial per-butterfly `w *= w_len` twiddle chain.
+    Fp w_len = forwardRoot(n);
     for (size_t len = n; len >= 2; len >>= 1) {
         const size_t half = len / 2;
         for (size_t start = 0; start < n; start += len) {
             Fp w = Fp::one();
             for (size_t j = 0; j < half; ++j) {
-                const Fp2 u = a[start + j];
-                const Fp2 v = a[start + j + half];
+                const Fp u = a[start + j];
+                const Fp v = a[start + j + half];
                 a[start + j] = u + v;
                 a[start + j + half] = (u - v) * w;
                 w *= w_len;
@@ -292,8 +711,41 @@ inttNNExt(std::vector<Fp2> &a)
         }
         w_len = w_len.squared();
     }
+}
+
+std::vector<Fp>
+scalarLowDegreeExtension(const std::vector<Fp> &coeffs, uint32_t blowup,
+                         Fp shift)
+{
+    checkTransformSize(coeffs.size());
+    unizk_assert(isPowerOfTwo(blowup), "blowup must be a power of two");
+    std::vector<Fp> ext(coeffs);
+    ext.resize(coeffs.size() * blowup, Fp::zero());
+    Fp p = Fp::one();
+    for (auto &x : ext) {
+        x *= p;
+        p *= shift;
+    }
+    scalarNttNR(ext);
+    return ext;
+}
+
+// ---- Extension-field transforms ------------------------------------------
+
+void
+inttNNExt(std::vector<Fp2> &a)
+{
+    const size_t n = a.size();
+    checkTransformSize(n);
+    if (n < 2)
+        return;
+    // Table-driven DIF core over Fp2 values with Fp twiddles, then
+    // bit-reverse and scale, mirroring inttNN. The FRI final polynomial
+    // is short, so this path stays serial.
+    const auto t = acquireTwiddles(log2Exact(n));
+    difTabled(a.data(), n, t->inv.data(), 1);
     bitReversePermute(a);
-    const Fp n_inv = sizeInverse(n);
+    const Fp n_inv = t->sizeInv;
     for (auto &x : a)
         x = x * n_inv;
 }
@@ -310,35 +762,44 @@ cosetInttNNExt(std::vector<Fp2> &a, Fp shift)
     }
 }
 
+// ---- Multi-dimensional decomposition -------------------------------------
+
 std::vector<uint32_t>
 decomposeNttDims(uint32_t log_size, uint32_t log_n_max)
 {
     unizk_assert(log_n_max >= 1, "dimension size must be at least 2");
-    std::vector<uint32_t> dims;
-    uint32_t remaining = log_size;
-    while (remaining > 0) {
-        const uint32_t d = std::min(remaining, log_n_max);
-        dims.push_back(d);
-        remaining -= d;
-    }
+    if (log_size == 0)
+        return {};
+    // Balanced split: the fewest dims that fit under 2^log_n_max, sized
+    // as evenly as possible (larger dims first / innermost).
+    const uint32_t k =
+        static_cast<uint32_t>(ceilDiv(log_size, log_n_max));
+    const uint32_t base = log_size / k;
+    const uint32_t rem = log_size % k;
+    std::vector<uint32_t> dims(k, base);
+    for (uint32_t i = 0; i < rem; ++i)
+        dims[i] += 1;
     return dims;
 }
 
+namespace {
+
+/** Recursive dataflow of the planned decomposition; dims[d] is the
+ *  innermost factor of the current (sub-)transform. */
 void
-multidimNttNN(std::vector<Fp> &a, uint32_t log_n_max)
+multidimNttImpl(std::vector<Fp> &a, const std::vector<uint32_t> &dims,
+                size_t d)
 {
     const size_t n = a.size();
-    checkTransformSize(n);
-    const uint32_t log_n = log2Exact(n);
-    if (log_n <= log_n_max) {
+    if (d + 1 >= dims.size()) {
         nttNN(a);
         return;
     }
 
-    // Split N = n1 * n2 with n1 the (innermost) hardware-sized factor.
-    const size_t n1 = size_t{1} << log_n_max;
+    // Split N = n1 * n2 with n1 the (innermost) dims[d]-sized factor.
+    const size_t n1 = size_t{1} << dims[d];
     const size_t n2 = n / n1;
-    const Fp w = forwardRoot(n);
+    const Fp w = Fp::primitiveRootOfUnity(log2Exact(n));
 
     // Inner DFTs along j2 for each fixed j1 (stride-n1 subsequences),
     // then inter-dimension twiddles w^(j1*k2) -- the element-wise
@@ -348,7 +809,7 @@ multidimNttNN(std::vector<Fp> &a, uint32_t log_n_max)
     for (size_t j1 = 0; j1 < n1; ++j1) {
         for (size_t j2 = 0; j2 < n2; ++j2)
             col[j2] = a[n1 * j2 + j1];
-        multidimNttNN(col, log_n_max);
+        multidimNttImpl(col, dims, d + 1);
         Fp tw = Fp::one(); // w^(j1*k2)
         for (size_t k2 = 0; k2 < n2; ++k2) {
             a[n1 * k2 + j1] = col[k2] * tw;
@@ -369,6 +830,22 @@ multidimNttNN(std::vector<Fp> &a, uint32_t log_n_max)
             out[n2 * k1 + k2] = row[k1];
     }
     a = std::move(out);
+}
+
+} // namespace
+
+void
+multidimNttNN(std::vector<Fp> &a, uint32_t log_n_max)
+{
+    const size_t n = a.size();
+    checkTransformSize(n);
+    const uint32_t log_n = log2Exact(n);
+    if (log_n <= log_n_max) {
+        nttNN(a);
+        return;
+    }
+    const auto dims = decomposeNttDims(log_n, log_n_max);
+    multidimNttImpl(a, dims, 0);
 }
 
 } // namespace unizk

@@ -14,6 +14,26 @@
  * coefficient form, and coset-NTT^NR for the low-degree extension (LDE)
  * inside FRI, exactly the two variants highlighted in Figure 1 of the
  * paper.
+ *
+ * Engine (this PR's shape, mirroring SZKP/zkPHIRE twiddle datapaths):
+ * every transform consumes precomputed twiddle tables from the registry
+ * in ntt/twiddles.h, so butterflies are table lookups with no
+ * loop-carried `w *= w_len` dependency. Large transforms run
+ * pool-parallel through a cache-blocked four-step decomposition: the
+ * leading radix-2 stages (the "column NTTs plus inter-dimension
+ * twiddles" of the four-step scheme, executed stage by stage across the
+ * whole pool) peel the transform into independent contiguous cache-sized
+ * sub-transforms (the "row NTTs"), which then run one-per-chunk on the
+ * pool with twiddles read at stride from the same table. Every element
+ * sees the same butterflies with the same twiddle values regardless of
+ * thread count or cache setting, so proofs stay byte-identical.
+ *
+ * The batch entry points (inttBatchNN / nttBatchNR / ldeBatch /
+ * ldeBatchNN) commit a whole set of polynomials with one twiddle
+ * acquisition and pick the parallel axis automatically: many small
+ * polynomials spread across the pool one-per-worker; the few huge ones
+ * recursion produces run sequentially, each transform itself
+ * pool-parallel.
  */
 
 #ifndef UNIZK_NTT_NTT_H
@@ -24,6 +44,7 @@
 
 #include "field/extension.h"
 #include "field/goldilocks.h"
+#include "ntt/twiddles.h"
 
 namespace unizk {
 
@@ -80,6 +101,36 @@ std::vector<Fp> lowDegreeExtension(const std::vector<Fp> &coeffs,
                                    uint32_t blowup, Fp shift);
 
 /**
+ * Batch API: transforms over a set of equally-sized polynomials with a
+ * single twiddle acquisition and automatic parallel-axis selection (see
+ * file docs). All variants require every polynomial to share one
+ * power-of-two size.
+ * @{
+ */
+
+/** In-place iNTT^NN of every polynomial (the commit-from-values step). */
+void inttBatchNN(std::vector<std::vector<Fp>> &polys);
+
+/** In-place NTT^NR of every polynomial. */
+void nttBatchNR(std::vector<std::vector<Fp>> &polys);
+
+/**
+ * Coset LDE of every coefficient vector, bit-reversed output (the
+ * commit step of FRI): out[p] = lowDegreeExtension(coeffs[p], ...).
+ */
+std::vector<std::vector<Fp>> ldeBatch(
+    const std::vector<std::vector<Fp>> &coeffs, uint32_t blowup, Fp shift);
+
+/**
+ * Coset LDE with natural-order output (the quotient-evaluation domain
+ * used by the Plonk/Stark constraint paths). Consumes @p coeffs.
+ */
+std::vector<std::vector<Fp>> ldeBatchNN(std::vector<std::vector<Fp>> coeffs,
+                                        uint32_t blowup, Fp shift);
+
+/** @} */
+
+/**
  * Reference quadratic-time DFT used by the test suite as ground truth.
  * Output is in natural order: out[i] = sum_j a[j] * (shift*w^i)^j.
  */
@@ -89,6 +140,19 @@ std::vector<Fp> naiveDft(const std::vector<Fp> &a, Fp shift);
 std::vector<Fp> naiveIdft(const std::vector<Fp> &a, Fp shift);
 
 /**
+ * Seed-era scalar reference path: single-thread butterfly cores with
+ * per-call root recomputation and the sequential twiddle chain. Kept
+ * (only) so bench_ntt can report the engine's speedup against the exact
+ * code the repository shipped before the twiddle-cached engine, and as
+ * an extra equivalence oracle cheaper than naiveDft.
+ * @{
+ */
+void scalarNttNR(std::vector<Fp> &a);
+std::vector<Fp> scalarLowDegreeExtension(const std::vector<Fp> &coeffs,
+                                         uint32_t blowup, Fp shift);
+/** @} */
+
+/**
  * Multi-dimensional NTT decomposition (the SAM scheme the UniZK NTT
  * mapper uses, Section 5.1): computes an NTT^NN of size N by decomposing
  * into dims of size at most 2^log_n_max, performing small NTTs along each
@@ -96,7 +160,9 @@ std::vector<Fp> naiveIdft(const std::vector<Fp> &a, Fp shift);
  *
  * Functionally identical to nttNN; exists to validate the hardware
  * mapping's dataflow and to let tests pin down the inter-dimension
- * twiddle math used by the simulator.
+ * twiddle math used by the simulator. Follows the decomposeNttDims plan
+ * exactly, so the software dataflow and the simulator's cycle estimates
+ * stay in lockstep.
  */
 void multidimNttNN(std::vector<Fp> &a, uint32_t log_n_max);
 
@@ -104,6 +170,12 @@ void multidimNttNN(std::vector<Fp> &a, uint32_t log_n_max);
  * Plan of a multi-dimensional decomposition: the log-sizes of each
  * dimension, innermost first. Shared between multidimNttNN and the
  * simulator's NTT mapper.
+ *
+ * Dimensions are balanced (sizes differ by at most one bit, larger dims
+ * first) rather than greedily filled: a greedy split of log 17 with max
+ * 8 would yield [8, 8, 1], whose degenerate trailing dimension skews
+ * the mapper's cycle estimates versus the paper's balanced splits; the
+ * balanced plan is [6, 6, 5].
  */
 std::vector<uint32_t> decomposeNttDims(uint32_t log_size,
                                        uint32_t log_n_max);

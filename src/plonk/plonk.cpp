@@ -13,19 +13,6 @@ namespace {
 /** Quotient-computation blowup: covers the degree-4n quotient. */
 constexpr uint32_t quotient_blowup_bits = 2;
 
-/**
- * Natural-order coset LDE of a coefficient vector at the quotient
- * blowup, used for pointwise quotient construction.
- */
-std::vector<Fp>
-quotientDomainLde(const std::vector<Fp> &coeffs, Fp shift)
-{
-    std::vector<Fp> ext(coeffs);
-    ext.resize(coeffs.size() << quotient_blowup_bits, Fp::zero());
-    cosetNttNN(ext, shift);
-    return ext;
-}
-
 /** The flattened number of committed polynomials. */
 size_t
 flatPolyCount(size_t repetitions)
@@ -287,28 +274,31 @@ plonkProve(const Circuit &circuit, const PlonkProvingKey &key,
         UNIZK_SPAN("plonk/quotient");
         ScopedKernelTimer ntt_timer(ctx.breakdown, KernelClass::Ntt);
         // LDEs of everything we need, natural order. All 8 + 4*reps
-        // source polynomials are independent: flatten them into one
-        // parallel batch.
+        // source polynomials are independent: gather them into one
+        // batch so the engine picks the parallel axis and builds the
+        // twiddle table once.
+        const size_t num_ldes = 8 + 4 * reps;
+        std::vector<std::vector<Fp>> batch(num_ldes);
+        for (size_t t = 0; t < 5; ++t)
+            batch[t] = key.constants->coefficients(t);
+        for (size_t t = 5; t < 8; ++t)
+            batch[t] = key.constants->coefficients(t);
+        for (size_t t = 0; t < 3 * reps; ++t)
+            batch[8 + t] = wires.coefficients(t);
+        for (size_t t = 0; t < reps; ++t)
+            batch[8 + 3 * reps + t] = z_batch.coefficients(t);
+        auto ldes = ldeBatchNN(std::move(batch),
+                               uint32_t{1} << quotient_blowup_bits, shift);
         std::vector<std::vector<Fp>> sel_lde(5), sig_lde(3);
         std::vector<std::vector<Fp>> wire_lde(3 * reps), z_lde(reps);
-        const size_t num_ldes = 8 + 4 * reps;
-        parallelFor(0, num_ldes, /*grain=*/1, [&](size_t lo, size_t hi) {
-            for (size_t t = lo; t < hi; ++t) {
-                if (t < 5) {
-                    sel_lde[t] = quotientDomainLde(
-                        key.constants->coefficients(t), shift);
-                } else if (t < 8) {
-                    sig_lde[t - 5] = quotientDomainLde(
-                        key.constants->coefficients(t), shift);
-                } else if (t < 8 + 3 * reps) {
-                    wire_lde[t - 8] = quotientDomainLde(
-                        wires.coefficients(t - 8), shift);
-                } else {
-                    z_lde[t - 8 - 3 * reps] = quotientDomainLde(
-                        z_batch.coefficients(t - 8 - 3 * reps), shift);
-                }
-            }
-        });
+        for (size_t t = 0; t < 5; ++t)
+            sel_lde[t] = std::move(ldes[t]);
+        for (size_t t = 0; t < 3; ++t)
+            sig_lde[t] = std::move(ldes[5 + t]);
+        for (size_t t = 0; t < 3 * reps; ++t)
+            wire_lde[t] = std::move(ldes[8 + t]);
+        for (size_t t = 0; t < reps; ++t)
+            z_lde[t] = std::move(ldes[8 + 3 * reps + t]);
         ctx.record(NttKernel{log2Exact(big),
                              8 + 4 * reps, false, true, false,
                              PolyLayout::PolyMajor},

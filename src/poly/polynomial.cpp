@@ -84,11 +84,14 @@ Polynomial::operator*(const Polynomial &o) const
     std::vector<Fp> a(coeffs_), b(o.coeffs_);
     a.resize(n, Fp::zero());
     b.resize(n, Fp::zero());
-    nttNN(a);
-    nttNN(b);
+    // NR/RN pairing: the pointwise product is order-agnostic, so using
+    // bit-reversed evaluations skips both permutation passes of the
+    // NN/NN round trip.
+    nttNR(a);
+    nttNR(b);
     for (size_t i = 0; i < n; ++i)
         a[i] *= b[i];
-    inttNN(a);
+    inttRN(a);
     a.resize(out_len);
     return Polynomial(std::move(a));
 }

@@ -76,6 +76,22 @@ class ByteReader
     /** True when every byte has been consumed (and no read failed). */
     bool exhausted() const { return ok() && pos == data.size(); }
 
+    /** Bytes left in the stream. */
+    size_t remaining() const { return failed ? 0 : data.size() - pos; }
+
+    /**
+     * True when the stream still holds @p count elements of
+     * @p elem_bytes each. Use before sizing containers from
+     * attacker-controlled length prefixes: a length that passes this
+     * check is bounded by the input size, so a malformed proof can
+     * never force an allocation larger than its own byte count.
+     */
+    bool
+    canRead(uint64_t count, uint64_t elem_bytes) const
+    {
+        return count <= remaining() / elem_bytes;
+    }
+
     uint64_t
     getU64()
     {
@@ -120,7 +136,9 @@ class ByteReader
     getFpVector(uint64_t max_len)
     {
         const uint64_t len = getU64();
-        if (len > max_len) {
+        // Bound by the bytes actually present before allocating: the
+        // length prefix is untrusted input.
+        if (len > max_len || !canRead(len, 8)) {
             failed = true;
             return {};
         }

@@ -9,6 +9,25 @@ namespace {
 // Generous structural bounds: anything beyond these is malformed.
 constexpr uint64_t max_vec = uint64_t{1} << 28;
 
+// Wire sizes of the composite elements length prefixes count.
+constexpr uint64_t hash_bytes = 32; // HashOut: 4 Fp limbs
+constexpr uint64_t fp2_bytes = 16;  // Fp2: 2 Fp limbs
+
+/**
+ * Read a length prefix bounded both by the structural limit @p max and
+ * by the bytes actually remaining in the stream (at @p elem_bytes per
+ * element). Returns false on violation so callers never resize a
+ * container from an unvalidated attacker-controlled length -- a
+ * malformed proof must not be able to force an allocation larger than
+ * its own size.
+ */
+bool
+readLen(ByteReader &r, uint64_t max, uint64_t elem_bytes, uint64_t &out)
+{
+    out = r.getU64();
+    return r.ok() && out <= max && r.canRead(out, elem_bytes);
+}
+
 void
 writeMerkleProof(ByteWriter &w, const MerkleProof &p)
 {
@@ -21,9 +40,9 @@ std::optional<MerkleProof>
 readMerkleProof(ByteReader &r)
 {
     MerkleProof p;
-    const uint64_t n = r.getU64();
-    if (n > 64)
-        return std::nullopt; // deeper than any 2^64-leaf tree
+    uint64_t n = 0;
+    if (!readLen(r, 64, hash_bytes, n))
+        return std::nullopt; // deeper than any 2^64-leaf tree, or truncated
     p.siblings.resize(n);
     for (auto &h : p.siblings)
         h = r.getHash();
@@ -44,8 +63,8 @@ std::optional<MerkleCap>
 readCap(ByteReader &r)
 {
     MerkleCap cap;
-    const uint64_t n = r.getU64();
-    if (n > (uint64_t{1} << 16))
+    uint64_t n = 0;
+    if (!readLen(r, uint64_t{1} << 16, hash_bytes, n))
         return std::nullopt;
     cap.resize(n);
     for (auto &h : cap)
@@ -94,8 +113,8 @@ readFri(ByteReader &r)
             return std::nullopt;
         proof.layerCaps.push_back(std::move(*cap));
     }
-    const uint64_t final_len = r.getU64();
-    if (final_len > max_vec)
+    uint64_t final_len = 0;
+    if (!readLen(r, max_vec, fp2_bytes, final_len))
         return std::nullopt;
     proof.finalPoly.resize(final_len);
     for (auto &c : proof.finalPoly)
@@ -158,8 +177,8 @@ readOpenings(ByteReader &r)
         return std::nullopt;
     openings.resize(rows);
     for (auto &row : openings) {
-        const uint64_t cols = r.getU64();
-        if (cols > max_vec)
+        uint64_t cols = 0;
+        if (!readLen(r, max_vec, fp2_bytes, cols))
             return std::nullopt;
         row.resize(cols);
         for (auto &v : row)
@@ -216,8 +235,9 @@ deserializePlonkProof(const std::vector<uint8_t> &bytes)
     proof.repetitions = r.getU64();
     if (proof.rows > max_vec || proof.repetitions > 4096)
         return std::nullopt;
-    const uint64_t pub_rows = r.getU64();
-    if (pub_rows > 4096)
+    // Each public-input row costs at least its 8-byte length prefix.
+    uint64_t pub_rows = 0;
+    if (!readLen(r, 4096, 8, pub_rows))
         return std::nullopt;
     proof.publicInputs.resize(pub_rows);
     for (auto &row : proof.publicInputs)
@@ -304,8 +324,8 @@ deserializeSumcheckProof(const std::vector<uint8_t> &bytes)
     ByteReader r(bytes);
     SumcheckProof proof;
     proof.claimedSum = r.getFp();
-    const uint64_t rounds = r.getU64();
-    if (rounds > 64)
+    uint64_t rounds = 0;
+    if (!readLen(r, 64, fp2_bytes, rounds))
         return std::nullopt;
     proof.rounds.resize(rounds);
     for (auto &round : proof.rounds) {

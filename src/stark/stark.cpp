@@ -144,15 +144,12 @@ starkProve(const StarkAir &air,
     {
         UNIZK_SPAN("stark/quotient");
         ScopedKernelTimer ntt_timer(ctx.breakdown, KernelClass::Ntt);
-        std::vector<std::vector<Fp>> lde(cols);
-        // Independent trace columns: one coset LDE per column.
-        parallelFor(0, cols, /*grain=*/1, [&](size_t lo, size_t hi) {
-            for (size_t c = lo; c < hi; ++c) {
-                lde[c] = trace.coefficients(c);
-                lde[c].resize(big, Fp::zero());
-                cosetNttNN(lde[c], shift);
-            }
-        });
+        std::vector<std::vector<Fp>> trace_coeffs(cols);
+        for (size_t c = 0; c < cols; ++c)
+            trace_coeffs[c] = trace.coefficients(c);
+        const auto lde =
+            ldeBatchNN(std::move(trace_coeffs),
+                       uint32_t{1} << q_blowup_bits, shift);
         ctx.record(NttKernel{log2Exact(big), cols, false, true, false,
                              PolyLayout::PolyMajor},
                    "quotient: trace coset LDEs");

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for CLI option parsing: happy-path value extraction plus the
+ * loud-failure paths for non-numeric, trailing-garbage, negative, and
+ * out-of-range values that strtoull/strtod used to mangle silently
+ * (`--threads foo` parsed as 0; `--blowup -4` wrapped to 2^64 - 4).
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cli.h"
+
+namespace unizk {
+namespace {
+
+/** Build CliOptions from a brace list, faking argv. */
+CliOptions
+parse(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    static std::string prog = "test";
+    argv.push_back(prog.data());
+    for (auto &a : args)
+        argv.push_back(a.data());
+    return CliOptions(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesKeyValuePairs)
+{
+    const auto cli = parse({"--rows", "4096", "--label", "fib"});
+    EXPECT_EQ(cli.getUint("rows", 0), 4096u);
+    EXPECT_EQ(cli.getString("label", ""), "fib");
+    EXPECT_TRUE(cli.has("rows"));
+    EXPECT_FALSE(cli.has("cols"));
+}
+
+TEST(Cli, DefaultsWhenAbsent)
+{
+    const auto cli = parse({});
+    EXPECT_EQ(cli.getUint("rows", 7), 7u);
+    EXPECT_EQ(cli.getDouble("scale", 1.5), 1.5);
+    EXPECT_EQ(cli.getString("label", "d"), "d");
+}
+
+TEST(Cli, BareFlagUsesDefault)
+{
+    const auto cli = parse({"--smoke", "--rows", "16"});
+    EXPECT_TRUE(cli.has("smoke"));
+    EXPECT_EQ(cli.getUint("smoke", 3), 3u); // empty value -> default
+    EXPECT_EQ(cli.getUint("rows", 0), 16u);
+}
+
+TEST(Cli, AcceptsHexAndDouble)
+{
+    const auto cli = parse({"--mask", "0x10", "--scale", "2.5"});
+    EXPECT_EQ(cli.getUint("mask", 0), 16u);
+    EXPECT_EQ(cli.getDouble("scale", 0), 2.5);
+}
+
+using CliDeathTest = ::testing::Test;
+
+TEST(CliDeathTest, NonNumericUintFailsLoudlyWithFlagName)
+{
+    const auto cli = parse({"--threads", "foo"});
+    EXPECT_EXIT(cli.getUint("threads", 0),
+                ::testing::ExitedWithCode(1), "threads");
+}
+
+TEST(CliDeathTest, TrailingGarbageRejected)
+{
+    const auto cli = parse({"--rows", "8x"});
+    EXPECT_EXIT(cli.getUint("rows", 0), ::testing::ExitedWithCode(1),
+                "rows");
+}
+
+TEST(CliDeathTest, NegativeUintRejectedInsteadOfWrapping)
+{
+    // strtoull would silently wrap "-4" to 2^64 - 4.
+    const auto cli = parse({"--blowup", "-4"});
+    EXPECT_EXIT(cli.getUint("blowup", 0), ::testing::ExitedWithCode(1),
+                "blowup");
+}
+
+TEST(CliDeathTest, OutOfRangeUintRejected)
+{
+    const auto cli = parse({"--rows", "99999999999999999999999"});
+    EXPECT_EXIT(cli.getUint("rows", 0), ::testing::ExitedWithCode(1),
+                "rows");
+}
+
+TEST(CliDeathTest, NonNumericDoubleRejected)
+{
+    const auto cli = parse({"--scale", "fast"});
+    EXPECT_EXIT(cli.getDouble("scale", 0), ::testing::ExitedWithCode(1),
+                "scale");
+}
+
+TEST(Cli, NegativeDoubleAllowed)
+{
+    const auto cli = parse({"--offset", "-2.5"});
+    EXPECT_EQ(cli.getDouble("offset", 0), -2.5);
+}
+
+} // namespace
+} // namespace unizk

@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "hash/challenger.h"
+#include "ntt/twiddles.h"
 #include "plonk/plonk.h"
 #include "serialize/bytes.h"
 #include "serialize/proof_io.h"
@@ -102,6 +104,29 @@ TEST(Determinism, PlonkProofBytesIdenticalAcrossSameSeedRuns)
     const std::vector<uint8_t> second = provePlonkSeeded(1234);
     ASSERT_FALSE(first.empty());
     EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, PlonkProofBytesInvariantToThreadsAndTwiddleCache)
+{
+    // The NTT engine's parallel decomposition and twiddle caching must
+    // be invisible in proof bytes: field arithmetic is exact, so any
+    // chunking or table reuse yields identical canonical values.
+    const unsigned saved_threads = globalThreadCount();
+    setGlobalThreadCount(1);
+    const std::vector<uint8_t> reference = provePlonkSeeded(777);
+    ASSERT_FALSE(reference.empty());
+
+    for (const unsigned threads : {2u, 8u}) {
+        setGlobalThreadCount(threads);
+        EXPECT_EQ(provePlonkSeeded(777), reference)
+            << "threads=" << threads;
+    }
+
+    setGlobalThreadCount(saved_threads);
+    setTwiddleCacheEnabled(false);
+    clearTwiddleCache();
+    EXPECT_EQ(provePlonkSeeded(777), reference) << "twiddle cache off";
+    setTwiddleCacheEnabled(true);
 }
 
 TEST(Determinism, SplitMix64IsPureStateMachine)

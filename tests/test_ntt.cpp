@@ -5,10 +5,13 @@
  * multi-dimensional decomposition used by the hardware mapper.
  */
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "common/bits.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "ntt/ntt.h"
 
 namespace unizk {
@@ -23,6 +26,24 @@ randomVector(size_t n, uint64_t seed)
         x = randomFp(rng);
     return v;
 }
+
+Fp
+randomShift(uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    Fp s = randomFp(rng);
+    return s.isZero() ? Fp(3) : s;
+}
+
+/** Restore auto thread count when a test forces a pool size. */
+struct ThreadCountGuard
+{
+    explicit ThreadCountGuard(unsigned threads)
+    {
+        setGlobalThreadCount(threads);
+    }
+    ~ThreadCountGuard() { setGlobalThreadCount(0); }
+};
 
 class NttSizes : public ::testing::TestWithParam<size_t>
 {};
@@ -166,6 +187,41 @@ TEST(Ntt, LdeAgreesWithNaiveCosetEvaluation)
     EXPECT_EQ(lde, expect);
 }
 
+TEST(Ntt, LdeCosetSplitMatchesPaddedTransform)
+{
+    // The engine evaluates LDEs coset-by-coset (blowup size-n
+    // sub-transforms) instead of one padded size-(n*blowup) transform.
+    // Pin value-identity against the padded formulation for every
+    // blowup, at the standard shift (cached coset table) and at random
+    // shifts (pow-chain scaling), single polys and batches.
+    for (const size_t n : {size_t{1}, size_t{2}, size_t{16}, size_t{64}}) {
+        for (const uint32_t blowup : {1u, 2u, 4u, 8u, 16u}) {
+            for (const Fp shift :
+                 {defaultCosetShift(), randomShift(n * 17 + blowup)}) {
+                const auto coeffs = randomVector(n, n * 31 + blowup);
+                auto padded = coeffs;
+                padded.resize(n * blowup, Fp::zero());
+                cosetNttNR(padded, shift);
+
+                EXPECT_EQ(lowDegreeExtension(coeffs, blowup, shift),
+                          padded)
+                    << "n=" << n << " blowup=" << blowup;
+
+                const std::vector<std::vector<Fp>> batch{coeffs, coeffs};
+                const auto nr = ldeBatch(batch, blowup, shift);
+                EXPECT_EQ(nr[0], padded);
+                EXPECT_EQ(nr[1], padded);
+
+                auto nn_expect = padded;
+                bitReversePermute(nn_expect);
+                const auto nn = ldeBatchNN(batch, blowup, shift);
+                EXPECT_EQ(nn[0], nn_expect);
+                EXPECT_EQ(nn[1], nn_expect);
+            }
+        }
+    }
+}
+
 TEST(Ntt, LdePreservesLowDegreeStructure)
 {
     // The LDE of a degree-(n-1) polynomial, restricted back via iNTT on
@@ -186,9 +242,57 @@ TEST(Ntt, LdePreservesLowDegreeStructure)
 TEST(Ntt, DecomposeDims)
 {
     EXPECT_EQ(decomposeNttDims(9, 3), (std::vector<uint32_t>{3, 3, 3}));
-    EXPECT_EQ(decomposeNttDims(10, 3), (std::vector<uint32_t>{3, 3, 3, 1}));
+    // Balanced, not greedy: the old greedy split gave {3, 3, 3, 1} with
+    // a degenerate size-2 trailing dimension.
+    EXPECT_EQ(decomposeNttDims(10, 3), (std::vector<uint32_t>{3, 3, 2, 2}));
     EXPECT_EQ(decomposeNttDims(5, 5), (std::vector<uint32_t>{5}));
     EXPECT_EQ(decomposeNttDims(2, 5), (std::vector<uint32_t>{2}));
+}
+
+TEST(Ntt, DecomposeDimsBalancedRegression)
+{
+    // Pin the splits the simulator's NTT mapper sees for the realistic
+    // range of transform sizes against the hardware dimension limit of
+    // 2^8 (the paper's SAM tile). The greedy splitter used to emit
+    // degenerate trailing dims, e.g. log 17 -> [8, 8, 1].
+    const std::vector<std::vector<uint32_t>> expect = {
+        {6, 6},       // log 12
+        {7, 6},       // log 13
+        {7, 7},       // log 14
+        {8, 7},       // log 15
+        {8, 8},       // log 16
+        {6, 6, 5},    // log 17 (greedy would say [8, 8, 1])
+        {6, 6, 6},    // log 18
+        {7, 6, 6},    // log 19
+        {7, 7, 6},    // log 20
+        {7, 7, 7},    // log 21
+        {8, 7, 7},    // log 22
+        {8, 8, 7},    // log 23
+        {8, 8, 8},    // log 24
+    };
+    for (uint32_t log = 12; log <= 24; ++log)
+        EXPECT_EQ(decomposeNttDims(log, 8), expect[log - 12])
+            << "log size " << log;
+
+    // Structural invariants across a wider sweep: dims sum to the log
+    // size, respect the limit, use the minimum count, and are balanced
+    // to within one bit with larger dims first.
+    for (uint32_t log = 1; log <= 28; ++log) {
+        for (uint32_t max = 1; max <= 10; ++max) {
+            const auto dims = decomposeNttDims(log, max);
+            ASSERT_EQ(dims.size(), ceilDiv(log, max));
+            uint32_t sum = 0;
+            for (size_t i = 0; i < dims.size(); ++i) {
+                sum += dims[i];
+                EXPECT_LE(dims[i], max);
+                EXPECT_GE(dims[i], 1u);
+                if (i > 0) {
+                    EXPECT_LE(dims[i - 1] - dims[i], 1u);
+                }
+            }
+            EXPECT_EQ(sum, log);
+        }
+    }
 }
 
 class MultidimSizes
@@ -264,6 +368,301 @@ TEST(NttDeathTest, NonPowerOfTwoPanics)
 {
     std::vector<Fp> a{Fp(1), Fp(2), Fp(3)};
     EXPECT_DEATH(nttNN(a), "power of two");
+}
+
+// ---- Exhaustive equivalence sweep: every order variant at every
+// power-of-two size 2^1..2^12 against the quadratic-time oracles, with
+// random (not just standard) coset shifts. nttNN anchors directly to
+// naiveDft; the other variants are checked against nttNN through exact
+// permutation/inversion identities, which keeps the sweep O(n log n)
+// per variant instead of O(n^2) each.
+
+TEST(NttExhaustive, AllVariantsAllSizesAgainstOracle)
+{
+    for (uint32_t log = 1; log <= 12; ++log) {
+        const size_t n = size_t{1} << log;
+        const Fp shift = randomShift(1000 + log);
+        const auto orig = randomVector(n, 2000 + log);
+
+        // Anchors: one forward and one coset evaluation per size paid
+        // at O(n^2).
+        const auto plain = naiveDft(orig, Fp::one());
+        const auto coset = naiveDft(orig, shift);
+
+        auto a = orig;
+        nttNN(a);
+        ASSERT_EQ(a, plain) << "nttNN size " << n;
+
+        a = orig;
+        nttNR(a);
+        bitReversePermute(a);
+        EXPECT_EQ(a, plain) << "nttNR size " << n;
+
+        a = orig;
+        bitReversePermute(a);
+        nttRN(a);
+        EXPECT_EQ(a, plain) << "nttRN size " << n;
+
+        a = plain;
+        inttNN(a);
+        EXPECT_EQ(a, orig) << "inttNN size " << n;
+
+        a = plain;
+        inttNR(a);
+        bitReversePermute(a);
+        EXPECT_EQ(a, orig) << "inttNR size " << n;
+
+        a = plain;
+        bitReversePermute(a);
+        inttRN(a);
+        EXPECT_EQ(a, orig) << "inttRN size " << n;
+
+        a = orig;
+        cosetNttNN(a, shift);
+        EXPECT_EQ(a, coset) << "cosetNttNN size " << n;
+
+        a = orig;
+        cosetNttNR(a, shift);
+        bitReversePermute(a);
+        EXPECT_EQ(a, coset) << "cosetNttNR size " << n;
+
+        a = coset;
+        cosetInttNN(a, shift);
+        EXPECT_EQ(a, orig) << "cosetInttNN size " << n;
+
+        a = coset;
+        bitReversePermute(a);
+        cosetInttRN(a, shift);
+        EXPECT_EQ(a, orig) << "cosetInttRN size " << n;
+
+        EXPECT_EQ(naiveIdft(coset, shift), orig)
+            << "naiveIdft size " << n;
+
+        // Seed-era scalar reference stays equivalent to the engine.
+        a = orig;
+        nttNR(a);
+        auto b = orig;
+        scalarNttNR(b);
+        EXPECT_EQ(a, b) << "scalarNttNR size " << n;
+    }
+}
+
+TEST(NttExhaustive, MultidimMatchesAtEveryMaxDim)
+{
+    for (uint32_t log = 1; log <= 10; ++log) {
+        const size_t n = size_t{1} << log;
+        for (uint32_t max = 1; max <= log; ++max) {
+            auto a = randomVector(n, 3000 + 31 * log + max);
+            auto b = a;
+            nttNN(a);
+            multidimNttNN(b, max);
+            EXPECT_EQ(a, b) << "size " << n << " max dim 2^" << max;
+        }
+    }
+}
+
+TEST(NttExhaustive, ExtensionFieldActsLimbwise)
+{
+    // Twiddles are base-field, so the Fp2 iNTT must equal two
+    // independent base-field iNTTs on the limbs.
+    for (uint32_t log = 1; log <= 10; ++log) {
+        const size_t n = size_t{1} << log;
+        const Fp shift = randomShift(4000 + log);
+        auto lo = randomVector(n, 5000 + log);
+        auto hi = randomVector(n, 6000 + log);
+        std::vector<Fp2> v(n);
+        for (size_t i = 0; i < n; ++i)
+            v[i] = Fp2(lo[i], hi[i]);
+
+        auto plain = v;
+        inttNNExt(plain);
+        auto coset = v;
+        cosetInttNNExt(coset, shift);
+
+        auto lo_coset = lo, hi_coset = hi;
+        inttNN(lo);
+        inttNN(hi);
+        cosetInttNN(lo_coset, shift);
+        cosetInttNN(hi_coset, shift);
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(plain[i], Fp2(lo[i], hi[i])) << "size " << n;
+            EXPECT_EQ(coset[i], Fp2(lo_coset[i], hi_coset[i]))
+                << "size " << n;
+        }
+    }
+}
+
+// ---- Batch API: identical values to the per-polynomial entry points,
+// whichever parallel axis the engine picks.
+
+TEST(NttBatch, MatchesPerPolyEntryPoints)
+{
+    const size_t n = 256;
+    const uint32_t blowup = 4;
+    const Fp shift = defaultCosetShift();
+    std::vector<std::vector<Fp>> polys(7);
+    for (size_t p = 0; p < polys.size(); ++p)
+        polys[p] = randomVector(n, 7000 + p);
+
+    auto batch = polys;
+    inttBatchNN(batch);
+    for (size_t p = 0; p < polys.size(); ++p) {
+        auto one = polys[p];
+        inttNN(one);
+        EXPECT_EQ(batch[p], one) << "inttBatchNN poly " << p;
+    }
+
+    batch = polys;
+    nttBatchNR(batch);
+    for (size_t p = 0; p < polys.size(); ++p) {
+        auto one = polys[p];
+        nttNR(one);
+        EXPECT_EQ(batch[p], one) << "nttBatchNR poly " << p;
+    }
+
+    const auto ldes = ldeBatch(polys, blowup, shift);
+    const auto ldes_nn = ldeBatchNN(polys, blowup, shift);
+    for (size_t p = 0; p < polys.size(); ++p) {
+        EXPECT_EQ(ldes[p], lowDegreeExtension(polys[p], blowup, shift))
+            << "ldeBatch poly " << p;
+        auto nn = polys[p];
+        nn.resize(n * blowup, Fp::zero());
+        cosetNttNN(nn, shift);
+        EXPECT_EQ(ldes_nn[p], nn) << "ldeBatchNN poly " << p;
+    }
+}
+
+// ---- Pool-parallel transforms: sizes past the four-step threshold
+// with an oversubscribed pool must match both the seed scalar path and
+// the single-thread engine exactly (proof byte-identity rests on this).
+
+TEST(NttParallel, LargeTransformsThreadCountInvariant)
+{
+    const size_t n = size_t{1} << 16;
+    const Fp shift = defaultCosetShift();
+    const auto orig = randomVector(n, 8001);
+
+    std::vector<Fp> serial_nr, serial_lde, serial_roundtrip;
+    {
+        ThreadCountGuard guard(1);
+        serial_nr = orig;
+        nttNR(serial_nr);
+        serial_lde = scalarLowDegreeExtension(orig, 2, shift);
+        serial_roundtrip = orig;
+        cosetNttNN(serial_roundtrip, shift);
+    }
+    auto scalar = orig;
+    scalarNttNR(scalar);
+    ASSERT_EQ(serial_nr, scalar);
+
+    for (unsigned threads : {2u, 4u, 8u}) {
+        ThreadCountGuard guard(threads);
+        auto a = orig;
+        nttNR(a);
+        EXPECT_EQ(a, serial_nr) << threads << " threads";
+
+        EXPECT_EQ(lowDegreeExtension(orig, 2, shift), serial_lde)
+            << threads << " threads";
+
+        a = orig;
+        cosetNttNN(a, shift);
+        EXPECT_EQ(a, serial_roundtrip) << threads << " threads";
+        cosetInttNN(a, shift);
+        EXPECT_EQ(a, orig) << threads << " threads";
+    }
+}
+
+// ---- Twiddle registry behaviour.
+
+TEST(NttTwiddles, CacheOnOffProducesIdenticalValues)
+{
+    const size_t n = 2048;
+    const auto orig = randomVector(n, 9001);
+    const Fp shift = defaultCosetShift();
+
+    setTwiddleCacheEnabled(true);
+    auto cached = orig;
+    cosetNttNR(cached, shift);
+
+    setTwiddleCacheEnabled(false);
+    EXPECT_FALSE(twiddleCacheEnabled());
+    auto uncached = orig;
+    cosetNttNR(uncached, shift);
+
+    setTwiddleCacheEnabled(true);
+    EXPECT_TRUE(twiddleCacheEnabled());
+    EXPECT_EQ(cached, uncached);
+}
+
+TEST(NttTwiddles, TableLayoutMatchesRootPowers)
+{
+    const uint32_t log = 10;
+    const size_t n = size_t{1} << log;
+    const auto t = acquireTwiddles(log);
+    const Fp w = Fp::primitiveRootOfUnity(log);
+    const Fp w_inv = w.inverse();
+    ASSERT_EQ(t->fwd.size(), n / 2);
+    ASSERT_EQ(t->inv.size(), n / 2);
+    Fp p = Fp::one(), q = Fp::one();
+    for (size_t j = 0; j < n / 2; ++j) {
+        EXPECT_EQ(t->fwd[j], p);
+        EXPECT_EQ(t->inv[j], q);
+        p *= w;
+        q *= w_inv;
+    }
+    ASSERT_EQ(t->cosetFwd.size(), n);
+    const Fp g = defaultCosetShift();
+    EXPECT_EQ(t->cosetFwd[1], g);
+    EXPECT_EQ(t->cosetInv[1], g.inverse());
+    EXPECT_EQ(t->sizeInv, Fp(static_cast<uint64_t>(n)).inverse());
+}
+
+TEST(NttTwiddles, ConcurrentFirstTouchIsSafe)
+{
+    // Many plain threads race on first touch of the same registry
+    // slots while running (sub-threshold, hence inline) transforms.
+    // Run under TSAN in CI to prove the registry's locking discipline.
+    clearTwiddleCache();
+    setTwiddleCacheEnabled(true);
+    constexpr unsigned num_threads = 8;
+    constexpr uint32_t min_log = 4, max_log = 12;
+    std::vector<std::vector<Fp>> results(num_threads);
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+        threads.emplace_back([t, &results] {
+            for (uint32_t log = min_log; log <= max_log; ++log) {
+                const auto table = acquireTwiddles(log);
+                unizk_assert(table->logSize == log, "wrong table");
+            }
+            auto v = randomVector(size_t{1} << max_log, 42);
+            nttNN(v);
+            inttNN(v);
+            results[t] = std::move(v);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    const auto expect = randomVector(size_t{1} << max_log, 42);
+    for (unsigned t = 0; t < num_threads; ++t)
+        EXPECT_EQ(results[t], expect) << "thread " << t;
+}
+
+TEST(NttTwiddles, RegistrySharesAndCachesTables)
+{
+    clearTwiddleCache();
+    setTwiddleCacheEnabled(true);
+    const auto a = acquireTwiddles(9);
+    const auto b = acquireTwiddles(9);
+    EXPECT_EQ(a.get(), b.get()); // cached: same table served twice
+
+    setTwiddleCacheEnabled(false);
+    const auto c = acquireTwiddles(9);
+    const auto d = acquireTwiddles(9);
+    EXPECT_NE(c.get(), d.get()); // disabled: fresh builds per call
+    EXPECT_EQ(c->fwd, d->fwd);   // ...with identical contents
+    EXPECT_EQ(a->fwd, c->fwd);
+    setTwiddleCacheEnabled(true);
 }
 
 TEST(Ntt, LinearityProperty)

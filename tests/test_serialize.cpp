@@ -66,6 +66,38 @@ TEST(Bytes, FpVectorBounded)
     EXPECT_FALSE(r.ok());
 }
 
+TEST(Bytes, FpVectorLengthBoundedByRemainingBytes)
+{
+    // A length prefix within the structural limit but beyond the bytes
+    // actually present must fail before sizing the vector -- this is
+    // what stops a tiny input from forcing a huge allocation even when
+    // the caller's structural bound is generous.
+    ByteWriter w;
+    w.putU64(uint64_t{1} << 28); // claims 2^28 elements, provides none
+    ByteReader r(w.bytes());
+    const auto v = r.getFpVector(uint64_t{1} << 28);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(Bytes, RemainingAndCanRead)
+{
+    ByteWriter w;
+    w.putU64(1);
+    w.putU64(2);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.remaining(), 16u);
+    EXPECT_TRUE(r.canRead(2, 8));
+    EXPECT_FALSE(r.canRead(3, 8));
+    EXPECT_FALSE(r.canRead(uint64_t{1} << 60, 8)); // no overflow trap
+    r.getU64();
+    EXPECT_EQ(r.remaining(), 8u);
+    r.getU64();
+    r.getU64(); // fails
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_FALSE(r.canRead(1, 8));
+}
+
 /** Build a small verified Plonk proof once for the suite. */
 struct PlonkProofFixture
 {
@@ -106,6 +138,95 @@ TEST(ProofIo, PlonkTruncatedRejected)
         EXPECT_FALSE(deserializePlonkProof(cut).has_value())
             << "kept " << keep;
     }
+}
+
+// ---- DoS regressions: crafted headers whose length prefixes claim
+// enormous vectors must be rejected up front. Before the remaining-bytes
+// bound, each of these forced the deserializer to resize() gigabytes
+// from a few dozen input bytes.
+
+TEST(ProofIo, HugeFinalPolyClaimRejected)
+{
+    ByteWriter w;
+    w.putU64(0);                 // no layer caps
+    w.putU64(uint64_t{1} << 28); // finalPoly claims 2^28 Fp2 = 4 GiB
+    const auto bytes = w.take();
+    EXPECT_LT(bytes.size(), 64u);
+    EXPECT_FALSE(deserializeFriProof(bytes).has_value());
+}
+
+TEST(ProofIo, HugeCapClaimRejected)
+{
+    ByteWriter w;
+    w.putU64(1);                 // one layer cap...
+    w.putU64(uint64_t{1} << 16); // ...claiming 2^16 hashes = 2 MiB
+    const auto bytes = w.take();
+    EXPECT_LT(bytes.size(), 64u);
+    EXPECT_FALSE(deserializeFriProof(bytes).has_value());
+}
+
+TEST(ProofIo, HugeOpeningsClaimRejected)
+{
+    ByteWriter w;
+    w.putU64(16);                // rows
+    w.putU64(1);                 // columns
+    w.putU64(1);                 // quotient chunks
+    w.putU64(0);                 // trace cap (empty)
+    w.putU64(0);                 // quotient cap (empty)
+    w.putU64(1);                 // one openings row...
+    w.putU64(uint64_t{1} << 28); // ...claiming 2^28 Fp2 values
+    const auto bytes = w.take();
+    EXPECT_LT(bytes.size(), 64u);
+    EXPECT_FALSE(deserializeStarkProof(bytes).has_value());
+}
+
+TEST(ProofIo, HugeQueryVectorClaimRejected)
+{
+    ByteWriter w;
+    w.putU64(0);                 // no layer caps
+    w.putU64(0);                 // empty final poly
+    w.putU64(7);                 // pow nonce
+    w.putU64(1);                 // one query round
+    w.putU64(1);                 // one initial opening...
+    w.putU64(uint64_t{1} << 28); // ...whose values claim 2^28 Fp
+    const auto bytes = w.take();
+    EXPECT_LT(bytes.size(), 80u);
+    EXPECT_FALSE(deserializeFriProof(bytes).has_value());
+}
+
+TEST(ProofIo, HugeMerkleProofClaimRejected)
+{
+    ByteWriter w;
+    w.putU64(0); // no layer caps
+    w.putU64(0); // empty final poly
+    w.putU64(7); // pow nonce
+    w.putU64(1); // one query round
+    w.putU64(1); // one initial opening
+    w.putU64(0); // empty values vector
+    w.putU64(64); // merkle proof claims 64 siblings, provides none
+    const auto bytes = w.take();
+    EXPECT_LT(bytes.size(), 80u);
+    EXPECT_FALSE(deserializeFriProof(bytes).has_value());
+}
+
+TEST(ProofIo, HugePublicInputRowsClaimRejected)
+{
+    ByteWriter w;
+    w.putU64(64);   // rows
+    w.putU64(2);    // repetitions
+    w.putU64(4096); // public-input rows claimed, none present
+    const auto bytes = w.take();
+    EXPECT_LT(bytes.size(), 64u);
+    EXPECT_FALSE(deserializePlonkProof(bytes).has_value());
+}
+
+TEST(ProofIo, TruncatedSumcheckRoundsRejected)
+{
+    ByteWriter w;
+    w.putFp(Fp(1)); // claimed sum
+    w.putU64(64);   // claims 64 rounds, provides none
+    const auto bytes = w.take();
+    EXPECT_FALSE(deserializeSumcheckProof(bytes).has_value());
 }
 
 TEST(ProofIo, PlonkTrailingGarbageRejected)

@@ -238,6 +238,50 @@ class TestUnguardedShift(LintHarness):
         )
 
 
+class TestNttCoreOutside(LintHarness):
+    def test_w_len_chain_in_prover_path_triggers(self):
+        self.assert_rules(
+            "src/fri/fold.cpp",
+            "Fp w_len = Fp::primitiveRootOfUnity(log2Exact(n));\n"
+            "for (size_t j = 0; j < half; ++j) { w *= w_len; }\n",
+            ["ntt-core-outside"],
+        )
+
+    def test_core_call_outside_ntt_triggers(self):
+        self.assert_rules(
+            "src/poly/fast_eval.cpp",
+            "difTabled(a.data(), n, tw, 1);\n",
+            ["ntt-core-outside"],
+        )
+
+    def test_butterfly_call_in_tests_triggers(self):
+        self.assert_rules(
+            "tests/test_custom.cpp",
+            "ditButterfly(lo[j], hi[j], tw[j]);\n",
+            ["ntt-core-outside"],
+        )
+
+    def test_allowed_inside_ntt_dir(self):
+        self.assert_clean(
+            "src/ntt/ntt_extra.cpp",
+            "Fp w_len = forwardRoot(n);\n"
+            "difTabled(a.data(), n, tw, 1);\n",
+        )
+
+    def test_entry_point_calls_are_fine(self):
+        self.assert_clean(
+            "src/fri/fri_extra.cpp",
+            "nttNR(values);\n"
+            "auto lde = lowDegreeExtension(coeffs, blowup, shift);\n",
+        )
+
+    def test_word_containing_w_len_is_fine(self):
+        self.assert_clean(
+            "src/plonk/gates.cpp",
+            "size_t row_length = table.row_len();\n",
+        )
+
+
 class TestFloatInCore(LintHarness):
     def test_double_in_field_triggers(self):
         self.assert_rules(

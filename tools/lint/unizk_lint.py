@@ -310,6 +310,23 @@ RULES: Tuple[Rule, ...] = (
         ),
     ),
     Rule(
+        name="ntt-core-outside",
+        summary="hand-rolled NTT butterfly core outside src/ntt/",
+        message=(
+            "inline NTT butterfly core (difTabled/ditTabled call or a "
+            "sequential `w_len` twiddle chain) outside src/ntt/; per-call "
+            "root recomputation forfeits the twiddle cache and the "
+            "pool-parallel decomposition. Call the src/ntt/ntt.h entry "
+            "points (nttNR, inttNN, lowDegreeExtension, the batch API) "
+            "instead"
+        ),
+        pattern=re.compile(
+            r"\b(?:difTabled|ditTabled|difButterfly|ditButterfly)\s*\("
+            r"|\bw_len\b"
+        ),
+        exclude=("src/ntt/",),
+    ),
+    Rule(
         name="float-in-core",
         summary="float/double in exact-arithmetic directories",
         message=(
