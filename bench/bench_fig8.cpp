@@ -18,7 +18,7 @@ main(int argc, char **argv)
 {
     const HarnessOptions opt = parseHarnessOptions(argc, argv);
     const FriConfig cfg = opt.plonky2Config();
-    const HardwareConfig hw = HardwareConfig::paperDefault();
+    const HardwareConfig hw = opt.paperHw();
 
     std::printf("=== Figure 8: UniZK time breakdown by kernel type "
                 "===\n");

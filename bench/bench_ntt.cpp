@@ -14,12 +14,14 @@
  *                              auto)
  *   --smoke                    tiny sweep (2^12..2^14, one reading) used
  *                              as the ctest smoke leg
- *   --stats-json PATH          write a unizk-ntt-bench-v1 JSON artifact
+ *   --stats-json PATH          write a unizk-ntt-bench-v2 JSON artifact
  *                              with every timing plus the obs counters
+ *                              (measured and warmup pools kept apart)
  */
 
 #include <algorithm>
 #include <functional>
+#include <map>
 
 #include "bench_util.h"
 #include "common/rng.h"
@@ -55,10 +57,27 @@ randomVector(size_t n, uint64_t seed)
 }
 
 /**
+ * Warmup and measured counters are kept apart so warmup work (e.g.
+ * first-touch twiddle construction, visible as `ntt.twiddle_builds`
+ * under "warmupCounters") cannot bleed into the measured numbers.
+ */
+std::map<std::string, uint64_t> g_warmup_counters;
+std::map<std::string, uint64_t> g_measured_counters;
+
+/** Fold the live obs counters into @p into, then clear them. */
+void
+harvestCounters(std::map<std::string, uint64_t> &into)
+{
+    for (const auto &[name, count] : obs::counterSnapshot())
+        into[name] += count;
+    obs::resetForMeasurement();
+}
+
+/**
  * Best-of-reps wall time of fn() on a fresh copy of @p input, after one
- * untimed warmup that absorbs first-touch twiddle construction (the
- * one-time build cost is reported separately via the
- * `ntt.twiddle_builds` counter in the JSON artifact).
+ * untimed warmup that absorbs first-touch twiddle construction. The obs
+ * counters are harvested at the warmup/measured boundary so each pool
+ * only contains its own work.
  */
 double
 timeTransform(const std::vector<Fp> &input, unsigned reps,
@@ -68,6 +87,7 @@ timeTransform(const std::vector<Fp> &input, unsigned reps,
         auto warm = input;
         fn(warm);
     }
+    harvestCounters(g_warmup_counters);
     double best = 0;
     for (unsigned r = 0; r < reps; ++r) {
         auto work = input;
@@ -77,6 +97,7 @@ timeTransform(const std::vector<Fp> &input, unsigned reps,
         if (r == 0 || s < best)
             best = s;
     }
+    harvestCounters(g_measured_counters);
     return best;
 }
 
@@ -108,7 +129,7 @@ main(int argc, char **argv)
     constexpr uint32_t lde_blowup = 8; // FRI commit shape
 
     obs::setEnabled(true);
-    obs::resetAll();
+    obs::resetForMeasurement();
 
     std::printf("=== NTT engine vs seed scalar path (%u threads) ===\n\n",
                 threads);
@@ -191,7 +212,7 @@ main(int argc, char **argv)
     if (!stats_path.empty()) {
         obs::JsonWriter w;
         w.beginObject();
-        w.kv("schema", "unizk-ntt-bench-v1");
+        w.kv("schema", "unizk-ntt-bench-v2");
         w.kv("threads", static_cast<uint64_t>(threads));
         w.kv("smoke", smoke);
         w.key("rows").beginArray();
@@ -209,7 +230,11 @@ main(int argc, char **argv)
         }
         w.endArray();
         w.key("counters").beginObject();
-        for (const auto &[name, count] : obs::counterSnapshot())
+        for (const auto &[name, count] : g_measured_counters)
+            w.kv(name, count);
+        w.endObject();
+        w.key("warmupCounters").beginObject();
+        for (const auto &[name, count] : g_warmup_counters)
             w.kv(name, count);
         w.endObject();
         w.endObject();

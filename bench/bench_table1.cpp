@@ -21,7 +21,7 @@ main(int argc, char **argv)
 {
     const HarnessOptions opt = parseHarnessOptions(argc, argv);
     const FriConfig cfg = opt.plonky2Config();
-    const HardwareConfig hw = HardwareConfig::paperDefault();
+    const HardwareConfig hw = opt.paperHw();
     const unsigned nt = opt.threads;
 
     std::printf("=== Table 1: Plonky2 CPU proof-generation time "

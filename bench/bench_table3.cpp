@@ -24,7 +24,7 @@ main(int argc, char **argv)
 {
     const HarnessOptions opt = parseHarnessOptions(argc, argv);
     const FriConfig cfg = opt.plonky2Config();
-    const HardwareConfig hw = HardwareConfig::paperDefault();
+    const HardwareConfig hw = opt.paperHw();
 
     // With a real thread count (> 1) the CPU baseline is measured
     // directly; single-threaded runs fall back to the paper's modeled

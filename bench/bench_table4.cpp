@@ -18,7 +18,7 @@ main(int argc, char **argv)
 {
     const HarnessOptions opt = parseHarnessOptions(argc, argv);
     const FriConfig cfg = opt.plonky2Config();
-    const HardwareConfig hw = HardwareConfig::paperDefault();
+    const HardwareConfig hw = opt.paperHw();
 
     std::printf("=== Table 4: memory and VSA utilization in UniZK ===\n");
     std::printf("paper: NTT 47-56%% / 4-5%%, Poly 13-25%% / 2-9%%, "

@@ -68,14 +68,25 @@ struct HarnessOptions
     uint32_t repsOverride = 0; ///< 0 = per-app default
     bool fast = false;         ///< reduced security params for quick runs
     unsigned threads = 1;      ///< resolved prover thread count (>= 1)
-    std::string statsJsonPath; ///< --stats-json: unizk-stats-v1 output
+    std::string statsJsonPath; ///< --stats-json: unizk-stats-v2 output
     std::string traceJsonPath; ///< --trace-json: Chrome trace output
+    uint64_t timelinePeriod = 0; ///< --timeline-period: sample cycles
+                                 ///< (0 = auto, ~256 samples)
 
     /** True when any machine-readable artifact was requested. */
     bool
     wantsObs() const
     {
         return !statsJsonPath.empty() || !traceJsonPath.empty();
+    }
+
+    /** Paper-default hardware with the timeline knob applied. */
+    HardwareConfig
+    paperHw() const
+    {
+        HardwareConfig hw = HardwareConfig::paperDefault();
+        hw.timelineSamplePeriod = timelinePeriod;
+        return hw;
     }
 
     FriConfig
@@ -111,13 +122,16 @@ parseHarnessOptions(int argc, char **argv)
     opt.fast = cli.has("fast");
     opt.statsJsonPath = cli.getString("stats-json", "");
     opt.traceJsonPath = cli.getString("trace-json", "");
+    opt.timelinePeriod = cli.getUint("timeline-period", 0);
     // Routes --threads to the global pool (0/absent = auto:
     // UNIZK_THREADS, else hardware concurrency).
     applyGlobalCliOptions(cli);
     opt.threads = globalThreadCount();
     if (opt.wantsObs()) {
         obs::setEnabled(true);
-        obs::resetAll();
+        // Everything before here (pool spin-up, option handling) is
+        // setup, not measurement; start the capture window clean.
+        obs::resetForMeasurement();
     }
     return opt;
 }
@@ -148,7 +162,8 @@ class ObsArtifacts
     {
         if (!opt_.statsJsonPath.empty()) {
             const std::string doc =
-                obs::statsToJson(runs_, obs::counterSnapshot());
+                obs::statsToJson(runs_, obs::counterSnapshot(),
+                                 obs::histogramSnapshot());
             if (!obs::writeFile(opt_.statsJsonPath, doc))
                 unizk_fatal("cannot write ", opt_.statsJsonPath);
             std::printf("wrote stats JSON: %s\n",

@@ -1,0 +1,69 @@
+#include "obs/folded_export.h"
+
+#include <algorithm>
+#include <map>
+
+namespace unizk {
+namespace obs {
+
+std::string
+spansToFolded(const std::vector<SpanEvent> &spans)
+{
+    std::vector<SpanEvent> sorted = spans;
+    // Parents start no later than their children and sit at a smaller
+    // depth, so (threadId, startNs, depth) order visits every ancestor
+    // before its descendants even when the clock ties.
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SpanEvent &a, const SpanEvent &b) {
+                  if (a.threadId != b.threadId)
+                      return a.threadId < b.threadId;
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  return a.depth < b.depth;
+              });
+
+    std::vector<int64_t> self_ns(sorted.size());
+    std::vector<std::string> paths(sorted.size());
+    std::vector<size_t> stack; // index of the live span per depth
+    uint32_t stack_thread = 0;
+
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        const SpanEvent &e = sorted[i];
+        if (i == 0 || e.threadId != stack_thread) {
+            stack.clear();
+            stack_thread = e.threadId;
+        }
+        // Spans deeper than or at our depth have closed by now.
+        const size_t depth =
+            std::min<size_t>(e.depth, stack.size());
+        stack.resize(depth);
+
+        const int64_t dur =
+            static_cast<int64_t>(e.endNs - e.startNs);
+        self_ns[i] = dur;
+        if (!stack.empty()) {
+            const size_t parent = stack.back();
+            self_ns[parent] -= dur;
+            paths[i] = paths[parent] + ";" + e.name;
+        } else {
+            paths[i] = e.name;
+        }
+        stack.push_back(i);
+    }
+
+    std::map<std::string, int64_t> folded;
+    for (size_t i = 0; i < sorted.size(); ++i)
+        folded[paths[i]] += std::max<int64_t>(self_ns[i], 0);
+
+    std::string out;
+    for (const auto &[path, ns] : folded) {
+        out += path;
+        out += ' ';
+        out += std::to_string(ns);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace unizk

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Collapsed-stack ("folded") exporter: turns recorded obs spans into
+ * the `parent;child;grandchild <value>` line format consumed by
+ * flamegraph.pl, inferno, and speedscope. One line per distinct span
+ * stack; the value is the stack's *self* time in nanoseconds (span
+ * durations minus the durations of their direct children), so the
+ * flamegraph's box widths add up to real wall time per thread.
+ */
+
+#ifndef UNIZK_OBS_FOLDED_EXPORT_H
+#define UNIZK_OBS_FOLDED_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace unizk {
+namespace obs {
+
+/**
+ * Render spans (from drainSpans(); any order) as folded stacks, merged
+ * across threads and sorted lexicographically for deterministic output.
+ * Stacks are rebuilt from each thread's (startNs, depth) ordering, so
+ * the result is exact even for recursive span names.
+ */
+std::string spansToFolded(const std::vector<SpanEvent> &spans);
+
+} // namespace obs
+} // namespace unizk
+
+#endif // UNIZK_OBS_FOLDED_EXPORT_H

@@ -1,5 +1,6 @@
 #include "obs/json_writer.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -124,6 +125,12 @@ JsonWriter &
 JsonWriter::value(double v)
 {
     beforeValue();
+    // JSON has no NaN/Infinity literals; "%g" would emit "nan"/"inf"
+    // and corrupt the document (e.g. a utilization dividing by zero).
+    if (!std::isfinite(v)) {
+        out_ += "null";
+        return *this;
+    }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     std::string text(buf);

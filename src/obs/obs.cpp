@@ -15,6 +15,7 @@ namespace obs {
 namespace {
 
 constexpr size_t kMaxCounters = 128;
+constexpr size_t kMaxHistograms = 64;
 
 std::atomic<bool> g_enabled{false};
 
@@ -35,11 +36,32 @@ struct CounterBlock
     std::array<std::atomic<uint64_t>, kMaxCounters> values{};
 };
 
+/**
+ * Per-thread histogram block: one bucket array plus sum/count/min/max
+ * per registered histogram. Same ownership discipline as CounterBlock
+ * (owning thread writes relaxed, snapshot readers load relaxed).
+ */
+struct HistoSlot
+{
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+};
+
+struct HistoBlock
+{
+    std::array<HistoSlot, kMaxHistograms> slots{};
+};
+
 /** Guards the registries (buffer/block lists and counter names). */
 std::mutex g_registry_mutex;
 std::vector<std::unique_ptr<SpanBuffer>> g_span_buffers;
 std::vector<std::unique_ptr<CounterBlock>> g_counter_blocks;
+std::vector<std::unique_ptr<HistoBlock>> g_histo_blocks;
 std::vector<std::string> g_counter_names;
+std::vector<std::string> g_histogram_names;
 std::atomic<uint32_t> g_next_thread_id{0};
 
 std::chrono::steady_clock::time_point g_epoch =
@@ -47,7 +69,9 @@ std::chrono::steady_clock::time_point g_epoch =
 
 thread_local SpanBuffer *tl_span_buffer = nullptr;
 thread_local CounterBlock *tl_counter_block = nullptr;
-thread_local uint32_t tl_depth = 0;
+thread_local HistoBlock *tl_histo_block = nullptr;
+/** Names of the spans currently open on this thread, outermost first. */
+thread_local std::vector<const char *> tl_span_stack;
 
 SpanBuffer &
 threadSpanBuffer()
@@ -73,6 +97,51 @@ threadCounterBlock()
         g_counter_blocks.push_back(std::move(block));
     }
     return *tl_counter_block;
+}
+
+HistoBlock &
+threadHistoBlock()
+{
+    if (tl_histo_block == nullptr) {
+        auto block = std::make_unique<HistoBlock>();
+        std::lock_guard<std::mutex> lock(g_registry_mutex);
+        tl_histo_block = block.get();
+        g_histo_blocks.push_back(std::move(block));
+    }
+    return *tl_histo_block;
+}
+
+/** log2 bucket of @p value: 0 for 0, else the value's bit width. */
+size_t
+bucketIndex(uint64_t value)
+{
+    size_t width = 0;
+    while (value != 0) {
+        ++width;
+        value >>= 1;
+    }
+    return width;
+}
+
+/** Relaxed atomic min/max updates (owning thread only, uncontended). */
+void
+storeMin(std::atomic<uint64_t> &slot, uint64_t value)
+{
+    uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !slot.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+storeMax(std::atomic<uint64_t> &slot, uint64_t value)
+{
+    uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !slot.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
 }
 
 } // namespace
@@ -130,6 +199,33 @@ counterSnapshot()
     return out;
 }
 
+std::map<std::string, HistogramData>
+histogramSnapshot()
+{
+    std::map<std::string, HistogramData> out;
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    for (size_t i = 0; i < g_histogram_names.size(); ++i) {
+        HistogramData data;
+        uint64_t min_seen = UINT64_MAX;
+        for (const auto &block : g_histo_blocks) {
+            const HistoSlot &slot = block->slots[i];
+            data.count += slot.count.load(std::memory_order_relaxed);
+            data.sum += slot.sum.load(std::memory_order_relaxed);
+            min_seen = std::min(
+                min_seen, slot.min.load(std::memory_order_relaxed));
+            data.max = std::max(
+                data.max, slot.max.load(std::memory_order_relaxed));
+            for (size_t b = 0; b < kHistogramBuckets; ++b) {
+                data.buckets[b] +=
+                    slot.buckets[b].load(std::memory_order_relaxed);
+            }
+        }
+        data.min = data.count == 0 ? 0 : min_seen;
+        out[g_histogram_names[i]] = data;
+    }
+    return out;
+}
+
 void
 resetAll()
 {
@@ -140,7 +236,25 @@ resetAll()
         for (auto &v : block->values)
             v.store(0, std::memory_order_relaxed);
     }
+    for (auto &block : g_histo_blocks) {
+        for (auto &slot : block->slots) {
+            for (auto &b : slot.buckets)
+                b.store(0, std::memory_order_relaxed);
+            slot.count.store(0, std::memory_order_relaxed);
+            slot.sum.store(0, std::memory_order_relaxed);
+            slot.min.store(UINT64_MAX, std::memory_order_relaxed);
+            slot.max.store(0, std::memory_order_relaxed);
+        }
+    }
     g_epoch = std::chrono::steady_clock::now();
+}
+
+void
+resetForMeasurement()
+{
+    if (!enabled())
+        return;
+    resetAll();
 }
 
 Span::Span(const char *name)
@@ -148,18 +262,26 @@ Span::Span(const char *name)
     if (!g_enabled.load(std::memory_order_relaxed))
         return;
     name_ = name;
+    parent_ = tl_span_stack.empty() ? nullptr : tl_span_stack.back();
+    depth_ = static_cast<uint32_t>(tl_span_stack.size());
+    tl_span_stack.push_back(name);
     start_ns_ = nowNs();
-    depth_ = tl_depth++;
 }
 
 Span::~Span()
 {
     if (name_ == nullptr)
         return;
-    --tl_depth;
+    const uint64_t end_ns = nowNs();
+    // Pop unconditionally: destructors run in reverse construction
+    // order even during exception unwinding, so the top of the stack
+    // is always this span.
+    tl_span_stack.pop_back();
     SpanBuffer &buf = threadSpanBuffer();
     buf.events.push_back(
-        {name_, start_ns_, nowNs(), buf.threadId, depth_});
+        {name_, parent_, start_ns_, end_ns, buf.threadId, depth_});
+    static Histogram duration_histo("obs.span_duration_ns");
+    duration_histo.record(end_ns - start_ns_);
 }
 
 Counter::Counter(const char *name) : id_(0)
@@ -184,6 +306,35 @@ Counter::add(uint64_t delta)
         return;
     threadCounterBlock().values[id_].fetch_add(
         delta, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(const char *name) : id_(0)
+{
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    for (size_t i = 0; i < g_histogram_names.size(); ++i) {
+        if (g_histogram_names[i] == name) {
+            id_ = i;
+            return;
+        }
+    }
+    if (g_histogram_names.size() >= kMaxHistograms)
+        unizk_panic("obs histogram registry full: ", name);
+    id_ = g_histogram_names.size();
+    g_histogram_names.emplace_back(name);
+}
+
+void
+Histogram::record(uint64_t value)
+{
+    if (!g_enabled.load(std::memory_order_relaxed))
+        return;
+    HistoSlot &slot = threadHistoBlock().slots[id_];
+    slot.buckets[bucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+    slot.sum.fetch_add(value, std::memory_order_relaxed);
+    storeMin(slot.min, value);
+    storeMax(slot.max, value);
 }
 
 } // namespace obs

@@ -1,8 +1,9 @@
 /**
  * @file
  * Observability core: RAII span tracer with per-thread lock-free
- * buffers (safe inside parallelFor workers) and a named-counter
- * registry with per-thread accumulator blocks.
+ * buffers (safe inside parallelFor workers), a named-counter registry
+ * with per-thread accumulator blocks, and log2-bucket histograms for
+ * duration / size distributions.
  *
  * Design goals (see DESIGN.md section 6.4):
  *  - Zero overhead when disabled: one relaxed atomic load per span /
@@ -22,6 +23,7 @@
 #ifndef UNIZK_OBS_OBS_H
 #define UNIZK_OBS_OBS_H
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -35,6 +37,12 @@ namespace obs {
 struct SpanEvent
 {
     const char *name = nullptr; ///< static string (never freed)
+    /**
+     * Name of the innermost span open on the same thread when this one
+     * started (nullptr for roots). Together with depth this lets
+     * exporters rebuild the full per-thread call stack.
+     */
+    const char *parent = nullptr;
     uint64_t startNs = 0;
     uint64_t endNs = 0;
     uint32_t threadId = 0; ///< small stable per-thread id
@@ -62,13 +70,49 @@ std::vector<SpanEvent> drainSpans();
 /** Merged name -> value view of every registered counter. */
 std::map<std::string, uint64_t> counterSnapshot();
 
-/** Clear spans and counters and restart the epoch clock. */
+/** Number of log2 buckets: bucket i counts values of bit-width i
+ *  (bucket 0 holds the value 0, bucket i >= 1 the range
+ *  [2^(i-1), 2^i - 1]). */
+constexpr size_t kHistogramBuckets = 65;
+
+/** Merged view of one named histogram. */
+struct HistogramData
+{
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0; ///< 0 when count == 0
+    uint64_t max = 0;
+    std::array<uint64_t, kHistogramBuckets> buckets{};
+};
+
+/**
+ * Merged name -> data view of every registered histogram. Like
+ * counterSnapshot(), safe to call concurrently with recording; exact
+ * only at quiescent points.
+ */
+std::map<std::string, HistogramData> histogramSnapshot();
+
+/** Clear spans, counters and histograms; restart the epoch clock. */
 void resetAll();
+
+/**
+ * Mark the warmup -> measured boundary: discard everything recorded so
+ * far (spans, counters, histograms) so setup and warmup work cannot
+ * bleed into exported artifacts. No-op when obs is disabled. Like
+ * drainSpans(), call only at a quiescent point.
+ */
+void resetForMeasurement();
 
 /**
  * RAII span. Construct via the UNIZK_SPAN macro with a static string;
  * the constructor samples the clock only when tracing is enabled, and
  * the destructor appends one SpanEvent to the calling thread's buffer.
+ *
+ * Open spans form a per-thread stack: the constructor pushes, the
+ * destructor pops (including during exception unwinding, since spans
+ * are scoped), so every recorded event carries its parent's name and
+ * its depth on the stack. Closing also feeds the built-in
+ * "obs.span_duration_ns" histogram.
  */
 class Span
 {
@@ -81,6 +125,7 @@ class Span
 
   private:
     const char *name_ = nullptr; ///< nullptr when tracing was disabled
+    const char *parent_ = nullptr;
     uint64_t start_ns_ = 0;
     uint32_t depth_ = 0;
 };
@@ -102,6 +147,23 @@ class Counter
     size_t id_;
 };
 
+/**
+ * Handle to one named log2-bucket histogram. Registration takes a
+ * mutex; record() touches only the calling thread's block (relaxed
+ * atomics), so it is safe inside parallelFor workers. Intended use is
+ * one function-local static per call site (see UNIZK_OBS_HISTO).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(const char *name);
+
+    void record(uint64_t value);
+
+  private:
+    size_t id_;
+};
+
 } // namespace obs
 } // namespace unizk
 
@@ -111,6 +173,9 @@ class Counter
     do {                                                                  \
     } while (false)
 #define UNIZK_COUNTER_ADD(name, delta)                                    \
+    do {                                                                  \
+    } while (false)
+#define UNIZK_OBS_HISTO(name, value)                                      \
     do {                                                                  \
     } while (false)
 
@@ -131,6 +196,15 @@ class Counter
                                                       __LINE__)(name);    \
         UNIZK_OBS_CONCAT(unizk_obs_ctr_, __LINE__)                        \
             .add(static_cast<uint64_t>(delta));                           \
+    } while (false)
+
+/** Record @p value into the named log2-bucket histogram. */
+#define UNIZK_OBS_HISTO(name, value)                                      \
+    do {                                                                  \
+        static ::unizk::obs::Histogram UNIZK_OBS_CONCAT(                  \
+            unizk_obs_histo_, __LINE__)(name);                            \
+        UNIZK_OBS_CONCAT(unizk_obs_histo_, __LINE__)                      \
+            .record(static_cast<uint64_t>(value));                        \
     } while (false)
 
 #endif // UNIZK_OBS_DISABLE

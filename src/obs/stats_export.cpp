@@ -1,5 +1,7 @@
 #include "obs/stats_export.h"
 
+#include <utility>
+
 #include "obs/json_writer.h"
 
 namespace unizk {
@@ -17,6 +19,72 @@ writeBreakdown(JsonWriter &w, const KernelTimeBreakdown &b)
         const auto c = static_cast<KernelClass>(i);
         w.kv(kernelClassName(c), b.seconds(c));
     }
+    w.endObject();
+}
+
+void
+writeHwCounters(JsonWriter &w, const HwCounters &hw)
+{
+    w.beginObject();
+
+    w.key("vsa").beginObject();
+    uint64_t total_busy = 0, total_stall = 0, total_idle = 0;
+    w.key("busyCycles").beginArray();
+    for (const VsaCycles &v : hw.perVsa) {
+        w.value(v.busy);
+        total_busy += v.busy;
+    }
+    w.endArray();
+    w.key("stallCycles").beginArray();
+    for (const VsaCycles &v : hw.perVsa) {
+        w.value(v.stall);
+        total_stall += v.stall;
+    }
+    w.endArray();
+    w.key("idleCycles").beginArray();
+    for (const VsaCycles &v : hw.perVsa) {
+        w.value(v.idle);
+        total_idle += v.idle;
+    }
+    w.endArray();
+    w.kv("totalBusy", total_busy);
+    w.kv("totalStall", total_stall);
+    w.kv("totalIdle", total_idle);
+    w.endObject();
+
+    w.key("dram").beginObject();
+    w.kv("rowHits", hw.dramRowHits);
+    w.kv("rowMisses", hw.dramRowMisses);
+    w.kv("bankConflicts", hw.dramBankConflicts);
+    w.key("bankBytes").beginArray();
+    for (const uint64_t b : hw.dramBankBytes)
+        w.value(b);
+    w.endArray();
+    w.endObject();
+
+    w.key("scratchpad").beginObject();
+    w.kv("highWaterBytes", hw.scratchpadHighWaterBytes);
+    w.kv("evictions", hw.scratchpadEvictions);
+    w.endObject();
+
+    w.endObject();
+}
+
+void
+writeTimeline(JsonWriter &w, const SimReport &sim)
+{
+    w.beginObject();
+    w.kv("samplePeriodCycles", sim.timelineSamplePeriod);
+    w.key("samples").beginArray();
+    for (const TimelineSample &s : sim.timeline) {
+        w.beginObject();
+        w.kv("cycle", s.cycle);
+        w.kv("vsasBusy", static_cast<uint64_t>(s.vsasBusy));
+        w.kv("queueDepth", s.queueDepth);
+        w.kv("class", kernelClassName(s.cls));
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
 }
 
@@ -58,18 +126,37 @@ writeSimReport(JsonWriter &w, const SimReport &sim)
     }
     w.endObject();
 
+    w.key("hwCounters");
+    writeHwCounters(w, sim.hw);
+
+    w.key("timeline");
+    writeTimeline(w, sim);
+
     w.endObject();
+}
+
+/** Inclusive value range of log2 bucket @p i. */
+std::pair<uint64_t, uint64_t>
+bucketRange(size_t i)
+{
+    if (i == 0)
+        return {0, 0};
+    const uint64_t lo = uint64_t{1} << (i - 1);
+    const uint64_t hi =
+        i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1;
+    return {lo, hi};
 }
 
 } // namespace
 
 std::string
 statsToJson(const std::vector<RunStats> &runs,
-            const std::map<std::string, uint64_t> &counters)
+            const std::map<std::string, uint64_t> &counters,
+            const std::map<std::string, HistogramData> &histograms)
 {
     JsonWriter w;
     w.beginObject();
-    w.kv("schema", "unizk-stats-v1");
+    w.kv("schema", "unizk-stats-v2");
 
     w.key("runs").beginArray();
     for (const RunStats &r : runs) {
@@ -101,6 +188,29 @@ statsToJson(const std::vector<RunStats> &runs,
     w.key("counters").beginObject();
     for (const auto &[name, value] : counters)
         w.kv(name, value);
+    w.endObject();
+
+    w.key("histograms").beginObject();
+    for (const auto &[name, data] : histograms) {
+        w.key(name).beginObject();
+        w.kv("count", data.count);
+        w.kv("sum", data.sum);
+        w.kv("min", data.min);
+        w.kv("max", data.max);
+        w.key("buckets").beginArray();
+        for (size_t i = 0; i < kHistogramBuckets; ++i) {
+            if (data.buckets[i] == 0)
+                continue;
+            const auto [lo, hi] = bucketRange(i);
+            w.beginObject();
+            w.kv("lo", lo);
+            w.kv("hi", hi);
+            w.kv("count", data.buckets[i]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
     w.endObject();
 
     w.endObject();

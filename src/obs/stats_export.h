@@ -1,9 +1,13 @@
 /**
  * @file
- * Stable machine-readable stats schema ("unizk-stats-v1"): per run, the
+ * Stable machine-readable stats schema ("unizk-stats-v2"): per run, the
  * CPU kernel-time breakdown (Table 1), the full simulator report with
- * per-class cycles / bus vs useful bytes / requests (Tables 3-4), proof
- * size, and the merged obs counters.
+ * per-class cycles / bus vs useful bytes / requests (Tables 3-4), the
+ * hardware counters (per-VSA busy/stall/idle, DRAM row-buffer and
+ * per-bank traffic, scratchpad pressure) with the occupancy timeline,
+ * proof size, and the merged obs counters and histograms. v1 documents
+ * (no hwCounters / timeline / histograms) remain valid per the
+ * validator; the emitters write v2.
  */
 
 #ifndef UNIZK_OBS_STATS_EXPORT_H
@@ -15,6 +19,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 
 namespace unizk {
@@ -36,12 +41,14 @@ struct RunStats
 };
 
 /**
- * Render runs (plus a counter snapshot) as a "unizk-stats-v1" JSON
- * document. The schema is validated by tools/obs/validate_obs_json.py;
- * update both together.
+ * Render runs (plus counter and histogram snapshots) as a
+ * "unizk-stats-v2" JSON document. The schema is validated by
+ * tools/obs/validate_obs_json.py; update both together.
  */
-std::string statsToJson(const std::vector<RunStats> &runs,
-                        const std::map<std::string, uint64_t> &counters);
+std::string
+statsToJson(const std::vector<RunStats> &runs,
+            const std::map<std::string, uint64_t> &counters,
+            const std::map<std::string, HistogramData> &histograms = {});
 
 } // namespace obs
 } // namespace unizk

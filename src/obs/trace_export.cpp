@@ -1,10 +1,25 @@
 #include "obs/trace_export.h"
 
+#include <algorithm>
+
 #include "obs/json_writer.h"
 #include "sim/mappers.h"
 
 namespace unizk {
 namespace obs {
+
+void
+ChromeTraceBuilder::nameThread(uint32_t pid, uint32_t tid,
+                               const std::string &name)
+{
+    const bool seen = std::any_of(
+        thread_names_.begin(), thread_names_.end(),
+        [&](const ThreadName &t) {
+            return t.pid == pid && t.tid == tid;
+        });
+    if (!seen)
+        thread_names_.push_back({pid, tid, name});
+}
 
 void
 ChromeTraceBuilder::addSpans(const std::vector<SpanEvent> &spans)
@@ -17,6 +32,8 @@ ChromeTraceBuilder::addSpans(const std::vector<SpanEvent> &spans)
                               {1, "cpu prover"});
     }
     for (const SpanEvent &s : spans) {
+        nameThread(1, s.threadId,
+                   "cpu thread " + std::to_string(s.threadId));
         Event e;
         e.name = s.name;
         e.category = "cpu";
@@ -36,22 +53,38 @@ ChromeTraceBuilder::addSimLane(const std::string &lane_name,
 {
     const uint32_t pid = next_sim_pid_++;
     process_names_.push_back({pid, "sim: " + lane_name});
+    nameThread(pid, 0, "kernels");
 
     uint64_t cursor_cycles = 0;
-    for (const KernelOp &op : trace.ops) {
+    for (size_t i = 0; i < trace.ops.size(); ++i) {
+        const KernelOp &op = trace.ops[i];
         const KernelSim sim = mapKernel(op.payload, cfg);
+        const double ts = cfg.cyclesToSeconds(cursor_cycles) * 1e6;
         Event e;
         e.name = op.label.empty() ? kernelPayloadName(op.payload)
                                   : op.label;
         e.category = kernelClassName(sim.cls);
-        e.tsMicros = cfg.cyclesToSeconds(cursor_cycles) * 1e6;
+        e.tsMicros = ts;
         e.durMicros = cfg.cyclesToSeconds(sim.cycles) * 1e6;
         e.pid = pid;
         e.tid = 0;
         e.simCycles = sim.cycles;
         events_.push_back(std::move(e));
+
+        // Counter lanes: sample VSA occupancy and outstanding-kernel
+        // queue depth at every kernel boundary.
+        counter_events_.push_back(
+            {"vsa occupancy", ts, pid,
+             std::min<uint64_t>(sim.vsasUsed, cfg.numVsas)});
+        counter_events_.push_back(
+            {"queue depth", ts, pid,
+             static_cast<uint64_t>(trace.ops.size() - i)});
         cursor_cycles += sim.cycles;
     }
+    // Close both counter tracks at end of lane.
+    const double end_ts = cfg.cyclesToSeconds(cursor_cycles) * 1e6;
+    counter_events_.push_back({"vsa occupancy", end_ts, pid, 0});
+    counter_events_.push_back({"queue depth", end_ts, pid, 0});
 }
 
 std::string
@@ -69,6 +102,31 @@ ChromeTraceBuilder::build() const
         w.kv("tid", static_cast<uint64_t>(0));
         w.key("args").beginObject();
         w.kv("name", name);
+        w.endObject();
+        w.endObject();
+    }
+
+    for (const ThreadName &t : thread_names_) {
+        w.beginObject();
+        w.kv("name", "thread_name");
+        w.kv("ph", "M");
+        w.kv("pid", static_cast<uint64_t>(t.pid));
+        w.kv("tid", static_cast<uint64_t>(t.tid));
+        w.key("args").beginObject();
+        w.kv("name", t.name);
+        w.endObject();
+        w.endObject();
+    }
+
+    for (const CounterEvent &c : counter_events_) {
+        w.beginObject();
+        w.kv("name", c.name);
+        w.kv("ph", "C");
+        w.kv("ts", c.tsMicros);
+        w.kv("pid", static_cast<uint64_t>(c.pid));
+        w.kv("tid", static_cast<uint64_t>(0));
+        w.key("args").beginObject();
+        w.kv("value", c.value);
         w.endObject();
         w.endObject();
     }

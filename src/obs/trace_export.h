@@ -3,7 +3,10 @@
  * Chrome trace_event exporter: turns recorded obs spans into "X"
  * (complete) events on per-thread CPU lanes, and reconstructs a
  * simulated-timeline lane from a KernelTrace by replaying each kernel
- * op through the simulator's mappers. Open the output in Perfetto
+ * op through the simulator's mappers. Every lane carries
+ * process_name/thread_name "M" metadata so Perfetto labels it, and the
+ * sim lanes add "C" counter series (VSA occupancy, kernel queue depth)
+ * above the kernel track. Open the output in Perfetto
  * (https://ui.perfetto.dev) or chrome://tracing.
  */
 
@@ -54,8 +57,30 @@ class ChromeTraceBuilder
         uint64_t simCycles = 0; ///< sim lanes only (0 on CPU spans)
     };
 
+    /** One "C" (counter) sample on a sim lane. */
+    struct CounterEvent
+    {
+        std::string name;
+        double tsMicros = 0.0;
+        uint32_t pid = 0;
+        uint64_t value = 0;
+    };
+
+    /** One "M" thread_name record (pid, tid, display name). */
+    struct ThreadName
+    {
+        uint32_t pid = 0;
+        uint32_t tid = 0;
+        std::string name;
+    };
+
+    void nameThread(uint32_t pid, uint32_t tid,
+                    const std::string &name);
+
     std::vector<Event> events_;
+    std::vector<CounterEvent> counter_events_;
     std::vector<std::pair<uint32_t, std::string>> process_names_;
+    std::vector<ThreadName> thread_names_;
     uint32_t next_sim_pid_ = 2;
 };
 

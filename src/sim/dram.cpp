@@ -6,6 +6,26 @@
 
 namespace unizk {
 
+void
+DramResult::accumulate(const DramResult &other)
+{
+    cycles += other.cycles;
+    readRequests += other.readRequests;
+    writeRequests += other.writeRequests;
+    readBytes += other.readBytes;
+    writeBytes += other.writeBytes;
+    usefulBytes += other.usefulBytes;
+    rowHits += other.rowHits;
+    rowMisses += other.rowMisses;
+    bankConflicts += other.bankConflicts;
+    if (!other.bankBytes.empty()) {
+        if (bankBytes.size() < other.bankBytes.size())
+            bankBytes.resize(other.bankBytes.size());
+        for (size_t b = 0; b < other.bankBytes.size(); ++b)
+            bankBytes[b] += other.bankBytes[b];
+    }
+}
+
 DramResult
 DramModel::access(const MemStream &stream) const
 {
@@ -52,6 +72,26 @@ DramModel::access(const MemStream &stream) const
         res.readRequests = requests;
         res.readBytes = bus_bytes;
     }
+
+    // Row-buffer accounting: one activate (miss) per row touched, the
+    // other requests of each run stream from the open row. Requests
+    // are 64 B and rows 1 KiB, so requests >= rows_touched always.
+    res.rowMisses = rows_touched;
+    res.rowHits = requests - rows_touched;
+    // Activates beyond one full rotation over the banks evict a live
+    // row from some bank's buffer: a bank conflict.
+    res.bankConflicts =
+        rows_touched > cfg.memBanks ? rows_touched - cfg.memBanks : 0;
+
+    // Per-bank traffic with requests striped round-robin (the address
+    // interleaving the channel controllers use for streams).
+    res.bankBytes.assign(cfg.memBanks, 0);
+    const uint64_t per_bank = requests / cfg.memBanks;
+    const uint64_t extra = requests % cfg.memBanks;
+    for (uint32_t b = 0; b < cfg.memBanks; ++b) {
+        res.bankBytes[b] =
+            (per_bank + (b < extra ? 1 : 0)) * req;
+    }
     return res;
 }
 
@@ -64,13 +104,7 @@ DramModel::accessAll(const std::vector<MemStream> &streams) const
     DramResult total;
     bool has_read = false, has_write = false;
     for (const auto &s : streams) {
-        const DramResult r = access(s);
-        total.cycles += r.cycles;
-        total.readRequests += r.readRequests;
-        total.writeRequests += r.writeRequests;
-        total.readBytes += r.readBytes;
-        total.writeBytes += r.writeBytes;
-        total.usefulBytes += r.usefulBytes;
+        total.accumulate(access(s));
         has_read |= !s.write;
         has_write |= s.write;
     }

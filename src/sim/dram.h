@@ -50,6 +50,26 @@ struct DramResult
     uint64_t readBytes = 0;  ///< bus bytes moved (>= useful bytes)
     uint64_t writeBytes = 0;
     uint64_t usefulBytes = 0; ///< payload bytes (utilization numerator)
+
+    /**
+     * Row-buffer outcome counters. Every row touched costs one
+     * activate (a miss); the remaining requests of a run stream from
+     * the open row (hits). Conflicts count activates that land on a
+     * bank whose row buffer already holds a different live row --
+     * i.e. rows touched beyond one full rotation over the banks.
+     */
+    uint64_t rowHits = 0;
+    uint64_t rowMisses = 0;
+    uint64_t bankConflicts = 0;
+
+    /**
+     * Bus bytes per bank (requests striped round-robin across banks).
+     * Sized cfg.memBanks on first access; empty when no traffic.
+     */
+    std::vector<uint64_t> bankBytes;
+
+    /** Fold @p other's counters into this result (cycles add too). */
+    void accumulate(const DramResult &other);
 };
 
 class DramModel

@@ -61,6 +61,14 @@ struct HardwareConfig
     uint32_t kernelLaunchOverhead = 200;
 
     /**
+     * Cycles between samples of the simulator's occupancy/queue-depth
+     * timeline (exported in unizk-stats-v2 and as Chrome trace counter
+     * lanes). 0 = auto: pick a period giving ~256 samples per run.
+     * Sample counts are capped at 65536 regardless.
+     */
+    uint64_t timelineSamplePeriod = 0;
+
+    /**
      * DRAM efficiency knobs (calibration constants, see DESIGN.md):
      * sustained fraction of peak for a pure stream (refresh, scheduling
      * slack), the extra penalty when read and write streams interleave

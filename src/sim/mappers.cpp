@@ -16,6 +16,30 @@ finalize(KernelSim &sim, const HardwareConfig &cfg)
                  cfg.kernelLaunchOverhead;
 }
 
+/** VSAs occupied by a kernel exposing @p units parallel work units. */
+uint32_t
+vsasForUnits(uint64_t units, const HardwareConfig &cfg)
+{
+    if (units >= cfg.numVsas)
+        return cfg.numVsas;
+    return units == 0 ? 1 : static_cast<uint32_t>(units);
+}
+
+/**
+ * Scratchpad accounting for a kernel whose working set streams through
+ * once: occupancy saturates at the tile capacity, and each tile beyond
+ * the first capacity-full is an eviction.
+ */
+void
+chargeScratchpad(KernelSim &sim, uint64_t working_bytes,
+                 const HardwareConfig &cfg)
+{
+    const uint64_t cap = cfg.tileCapacityBytes();
+    sim.scratchpadBytesUsed = std::min(working_bytes, cap);
+    sim.scratchpadEvictions =
+        working_bytes > cap ? ceilDiv(working_bytes, cap) - 1 : 0;
+}
+
 /**
  * Poseidon permutation throughput of the whole chip: each VSA streams
  * states through `poseidonPassesPerPermutation` pipelined passes at one
@@ -93,6 +117,19 @@ mapNtt(const NttKernel &k, const HardwareConfig &cfg)
         streams.push_back({data_bytes, run_out, true});
     }
     sim.mem = DramModel(cfg).accessAll(streams);
+
+    // Each VSA row feeds on 2 elements/cycle: a kernel with fewer
+    // elements than the chip consumes per cycle leaves VSAs unused.
+    sim.vsasUsed = vsasForUnits(
+        ceilDiv(total_elems,
+                static_cast<uint64_t>(cfg.vsaDim) * 2),
+        cfg);
+    // Tiles restream once per DRAM trip; all trips but the last evict
+    // their tile set (the final write-back is output, not an eviction).
+    const uint64_t tiles = ceilDiv(data_bytes, cfg.tileCapacityBytes());
+    sim.scratchpadBytesUsed =
+        std::min(data_bytes, cfg.tileCapacityBytes());
+    sim.scratchpadEvictions = (dram_trips - 1) * tiles;
     finalize(sim, cfg);
     return sim;
 }
@@ -118,6 +155,8 @@ mapMerkle(const MerkleKernel &k, const HardwareConfig &cfg)
         {node_bytes, 0, true},
     };
     sim.mem = DramModel(cfg).accessAll(streams);
+    sim.vsasUsed = vsasForUnits(perms, cfg);
+    chargeScratchpad(sim, leaf_bytes + node_bytes, cfg);
     finalize(sim, cfg);
     return sim;
 }
@@ -128,7 +167,11 @@ mapHash(const HashKernel &k, const HardwareConfig &cfg)
     KernelSim sim;
     sim.cls = KernelClass::OtherHash;
     sim.computeCycles = permutationComputeCycles(k.permutations, cfg);
-    // Transcript state lives on-chip; negligible DRAM traffic.
+    // Transcript state lives on-chip; negligible DRAM traffic. The
+    // sponge state is 12 elements (96 B) per in-flight permutation.
+    sim.vsasUsed = vsasForUnits(k.permutations, cfg);
+    chargeScratchpad(
+        sim, std::min<uint64_t>(k.permutations, cfg.numVsas) * 96, cfg);
     finalize(sim, cfg);
     return sim;
 }
@@ -156,6 +199,12 @@ mapVecOp(const VecOpKernel &k, const HardwareConfig &cfg)
         streams.push_back({vec_bytes, 0, true,
                            cfg.vecOpStreamEfficiency});
     sim.mem = DramModel(cfg).accessAll(streams);
+    sim.vsasUsed = vsasForUnits(
+        ceilDiv(k.length,
+                static_cast<uint64_t>(cfg.vsaDim) * cfg.vsaDim),
+        cfg);
+    chargeScratchpad(
+        sim, vec_bytes * (k.inputVectors + k.outputVectors), cfg);
     finalize(sim, cfg);
     return sim;
 }
@@ -183,6 +232,11 @@ mapPartialProduct(const PartialProductKernel &k, const HardwareConfig &cfg)
         {(k.length / k.chunkSize) * 8, 0, true},
     };
     sim.mem = DramModel(cfg).accessAll(streams);
+    sim.vsasUsed = vsasForUnits(
+        ceilDiv(k.length,
+                static_cast<uint64_t>(cfg.vsaDim) * cfg.vsaDim),
+        cfg);
+    chargeScratchpad(sim, k.length * 8 + h_len * 8, cfg);
     finalize(sim, cfg);
     return sim;
 }
@@ -201,10 +255,12 @@ mapTranspose(const TransposeKernel &k, const HardwareConfig &cfg)
         return sim;
     }
     // Ablation: an explicit transpose pass with element-granular
-    // writes (8-byte scattered runs).
+    // writes (8-byte scattered runs). Pure data movement: the VSAs
+    // idle while the tiles stream through the scratchpad.
     const uint64_t bytes = k.rows * k.cols * 8;
     std::vector<MemStream> streams{{bytes, 0, false}, {bytes, 8, true}};
     sim.mem = DramModel(cfg).accessAll(streams);
+    chargeScratchpad(sim, bytes, cfg);
     finalize(sim, cfg);
     return sim;
 }
@@ -228,16 +284,24 @@ mapSumCheck(const SumCheckKernel &k, const HardwareConfig &cfg)
     // until the working set fits in the scratchpad.
     std::vector<MemStream> streams;
     uint64_t bytes = table * 8;
+    uint64_t spilled_rounds = 0;
     while (bytes > cfg.tileCapacityBytes()) {
         streams.push_back({bytes, 0, false,
                            cfg.vecOpStreamEfficiency});
         streams.push_back({bytes / 2, 0, true,
                            cfg.vecOpStreamEfficiency});
         bytes /= 2;
+        ++spilled_rounds;
     }
     if (streams.empty())
         streams.push_back({bytes, 0, false, cfg.vecOpStreamEfficiency});
     sim.mem = DramModel(cfg).accessAll(streams);
+    sim.vsasUsed = vsasForUnits(
+        ceilDiv(table, static_cast<uint64_t>(cfg.vsaDim) * cfg.vsaDim),
+        cfg);
+    sim.scratchpadBytesUsed =
+        std::min(table * 8, cfg.tileCapacityBytes());
+    sim.scratchpadEvictions = spilled_rounds;
     finalize(sim, cfg);
     return sim;
 }

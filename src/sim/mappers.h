@@ -42,6 +42,23 @@ struct KernelSim
 
     /** Kernel class for Table-1/Fig-8 style aggregation. */
     KernelClass cls = KernelClass::Polynomial;
+
+    /**
+     * VSAs the mapping occupies: all of them once the kernel exposes
+     * at least numVsas parallel work units, fewer for small kernels.
+     * VSAs beyond this count idle for the kernel's full latency in the
+     * per-VSA cycle accounting.
+     */
+    uint32_t vsasUsed = 0;
+
+    /** Scratchpad high-water occupancy of this kernel (bytes). */
+    uint64_t scratchpadBytesUsed = 0;
+
+    /**
+     * Tile evictions: working-set tiles written back to DRAM because
+     * the kernel's data exceeds the (half, double-buffered) scratchpad.
+     */
+    uint64_t scratchpadEvictions = 0;
 };
 
 /**

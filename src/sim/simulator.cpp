@@ -64,6 +64,13 @@ SimReport::totalWriteRequests() const
     return total;
 }
 
+namespace {
+
+/** Hard cap on timeline length so tiny explicit periods stay bounded. */
+constexpr size_t kMaxTimelineSamples = 65536;
+
+} // namespace
+
 SimReport
 simulateTrace(const KernelTrace &trace, const HardwareConfig &cfg)
 {
@@ -71,9 +78,23 @@ simulateTrace(const KernelTrace &trace, const HardwareConfig &cfg)
     UNIZK_COUNTER_ADD("sim.kernel_ops", trace.ops.size());
     SimReport report;
     report.config = cfg;
-    for (const KernelOp &op : trace.ops) {
-        const KernelSim sim = mapKernel(op.payload, cfg);
-        report.totalCycles += sim.cycles;
+    report.hw.perVsa.assign(cfg.numVsas, VsaCycles{});
+    report.hw.dramBankBytes.assign(cfg.memBanks, 0);
+
+    /** One retired kernel on the end-to-end timeline. */
+    struct Segment
+    {
+        uint64_t start = 0;
+        uint64_t cycles = 0;
+        uint32_t vsas = 0;
+        size_t opIndex = 0;
+        KernelClass cls = KernelClass::Polynomial;
+    };
+    std::vector<Segment> segments;
+    segments.reserve(trace.ops.size());
+
+    for (size_t i = 0; i < trace.ops.size(); ++i) {
+        const KernelSim sim = mapKernel(trace.ops[i].payload, cfg);
         ClassStats &s = report.perClass[static_cast<size_t>(sim.cls)];
         s.cycles += sim.cycles;
         s.computeCycles += sim.computeCycles;
@@ -83,6 +104,72 @@ simulateTrace(const KernelTrace &trace, const HardwareConfig &cfg)
         s.readRequests += sim.mem.readRequests;
         s.writeRequests += sim.mem.writeRequests;
         s.kernels += 1;
+
+        // DRAM row-buffer and per-bank counters.
+        report.hw.dramRowHits += sim.mem.rowHits;
+        report.hw.dramRowMisses += sim.mem.rowMisses;
+        report.hw.dramBankConflicts += sim.mem.bankConflicts;
+        for (size_t b = 0; b < sim.mem.bankBytes.size() &&
+                           b < report.hw.dramBankBytes.size();
+             ++b) {
+            report.hw.dramBankBytes[b] += sim.mem.bankBytes[b];
+        }
+
+        // Scratchpad pressure.
+        report.hw.scratchpadHighWaterBytes =
+            std::max(report.hw.scratchpadHighWaterBytes,
+                     sim.scratchpadBytesUsed);
+        report.hw.scratchpadEvictions += sim.scratchpadEvictions;
+
+        // Per-VSA cycle split: occupied VSAs compute for the kernel's
+        // compute demand, wait on DRAM for the rest of the latency
+        // (memory-bound kernels), and idle through launch overhead;
+        // unoccupied VSAs idle for the whole kernel.
+        const uint32_t used = std::min(sim.vsasUsed, cfg.numVsas);
+        const uint64_t busy = std::min(sim.computeCycles, sim.cycles);
+        const uint64_t overhead = std::min<uint64_t>(
+            cfg.kernelLaunchOverhead, sim.cycles - busy);
+        const uint64_t stall = sim.cycles - busy - overhead;
+        for (uint32_t v = 0; v < cfg.numVsas; ++v) {
+            VsaCycles &vc = report.hw.perVsa[v];
+            if (v < used) {
+                vc.busy += busy;
+                vc.stall += stall;
+                vc.idle += overhead;
+            } else {
+                vc.idle += sim.cycles;
+            }
+        }
+
+        if (sim.cycles > 0) {
+            segments.push_back(
+                {report.totalCycles, sim.cycles, used, i, sim.cls});
+        }
+        report.totalCycles += sim.cycles;
+    }
+
+    // Epoch-sampled occupancy timeline over the end-to-end schedule.
+    uint64_t period = cfg.timelineSamplePeriod;
+    if (period == 0)
+        period = std::max<uint64_t>(1, report.totalCycles / 256);
+    period = std::max(period, std::max<uint64_t>(
+                                  1, report.totalCycles /
+                                         kMaxTimelineSamples));
+    report.timelineSamplePeriod = period;
+    size_t seg = 0;
+    for (uint64_t t = 0; t < report.totalCycles &&
+                         report.timeline.size() < kMaxTimelineSamples;
+         t += period) {
+        while (seg < segments.size() &&
+               segments[seg].start + segments[seg].cycles <= t)
+            ++seg;
+        if (seg >= segments.size())
+            break;
+        report.timeline.push_back(
+            {t, segments[seg].vsas,
+             static_cast<uint64_t>(trace.ops.size() -
+                                   segments[seg].opIndex),
+             segments[seg].cls});
     }
     return report;
 }

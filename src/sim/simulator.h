@@ -30,6 +30,47 @@ struct ClassStats
     uint64_t kernels = 0;
 };
 
+/** Cycle breakdown of one VSA over a whole simulated run. */
+struct VsaCycles
+{
+    uint64_t busy = 0;  ///< executing compute for the active kernel
+    uint64_t stall = 0; ///< waiting on DRAM (memory-bound kernels)
+    uint64_t idle = 0;  ///< launch overhead, or unused by the kernel
+};
+
+/**
+ * Hardware-level performance counters aggregated over a run: the
+ * utilization-level evidence behind Tables 4 and 6 and Figure 10
+ * (why a kernel class under-utilizes, not just that it does).
+ */
+struct HwCounters
+{
+    /** Per-VSA busy/stall/idle cycles (size = config.numVsas). */
+    std::vector<VsaCycles> perVsa;
+
+    uint64_t dramRowHits = 0;
+    uint64_t dramRowMisses = 0;
+    uint64_t dramBankConflicts = 0;
+
+    /** Bus bytes per DRAM bank (size = config.memBanks). */
+    std::vector<uint64_t> dramBankBytes;
+
+    /** Largest scratchpad occupancy any kernel reached (bytes). */
+    uint64_t scratchpadHighWaterBytes = 0;
+
+    /** Total tile evictions caused by capacity pressure. */
+    uint64_t scratchpadEvictions = 0;
+};
+
+/** One epoch sample of the simulated machine's occupancy. */
+struct TimelineSample
+{
+    uint64_t cycle = 0;
+    uint32_t vsasBusy = 0;   ///< VSAs occupied by the active kernel
+    uint64_t queueDepth = 0; ///< kernels not yet retired (incl. active)
+    KernelClass cls = KernelClass::Polynomial; ///< active kernel class
+};
+
 /** Result of simulating one proof-generation trace. */
 struct SimReport
 {
@@ -38,6 +79,15 @@ struct SimReport
                static_cast<size_t>(KernelClass::NumClasses)>
         perClass{};
     HardwareConfig config;
+
+    /** Hardware counters (v2 stats: per-VSA, DRAM rows, scratchpad). */
+    HwCounters hw;
+
+    /** Occupancy timeline sampled every timelineSamplePeriod cycles. */
+    std::vector<TimelineSample> timeline;
+
+    /** The sample period actually used (resolved from config). */
+    uint64_t timelineSamplePeriod = 0;
 
     const ClassStats &
     classStats(KernelClass c) const

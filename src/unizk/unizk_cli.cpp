@@ -5,7 +5,7 @@
  *
  *   unizk_cli --protocol plonky2 --app factorial --rows 8192 --fast \
  *             --stats-json stats.json --trace-json trace.json \
- *             --proof-out proof.bin
+ *             --folded spans.folded --proof-out proof.bin
  *
  * Options:
  *   --protocol plonky2|starky   proof system (default plonky2)
@@ -17,9 +17,14 @@
  *   --fast                      reduced FRI security for quick runs
  *   --threads N                 prover thread count (0 = auto)
  *   --no-verify                 skip proof verification
- *   --stats-json PATH           write unizk-stats-v1 JSON
+ *   --stats-json PATH           write unizk-stats-v2 JSON (hardware
+ *                               counters, timeline, histograms)
  *   --trace-json PATH           write Chrome trace_event JSON
  *                               (Perfetto / chrome://tracing)
+ *   --folded PATH               write collapsed-stack span profile
+ *                               (flamegraph.pl / speedscope input)
+ *   --timeline-period N         sim timeline sample period in cycles
+ *                               (0 = auto, ~256 samples)
  *   --proof-out PATH            write the serialized proof bytes
  */
 
@@ -29,6 +34,7 @@
 #include "common/cli.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/folded_export.h"
 #include "obs/json_writer.h"
 #include "obs/obs.h"
 #include "obs/stats_export.h"
@@ -93,10 +99,11 @@ main(int argc, char **argv)
 
     const std::string stats_path = cli.getString("stats-json", "");
     const std::string trace_path = cli.getString("trace-json", "");
+    const std::string folded_path = cli.getString("folded", "");
     const std::string proof_path = cli.getString("proof-out", "");
-    if (!stats_path.empty() || !trace_path.empty()) {
+    if (!stats_path.empty() || !trace_path.empty() ||
+        !folded_path.empty()) {
         obs::setEnabled(true);
-        obs::resetAll();
     }
 
     FriConfig cfg = protocol == "plonky2" ? FriConfig::plonky2()
@@ -105,10 +112,15 @@ main(int argc, char **argv)
         cfg.powBits = 8;
         cfg.numQueries = protocol == "plonky2" ? 8 : 16;
     }
-    const HardwareConfig hw = HardwareConfig::paperDefault();
+    HardwareConfig hw = HardwareConfig::paperDefault();
+    hw.timelineSamplePeriod = cli.getUint("timeline-period", 0);
 
     if (protocol == "starky" && !hasStarkImplementation(app))
         unizk_fatal("no Starky implementation for ", appName(app));
+
+    // Everything above is setup; only the proof run itself belongs in
+    // the exported artifacts.
+    obs::resetForMeasurement();
 
     const AppRunResult result =
         protocol == "plonky2"
@@ -127,18 +139,27 @@ main(int argc, char **argv)
     if (!stats_path.empty()) {
         const std::string doc = obs::statsToJson(
             {toRunStats(result, protocol, threads)},
-            obs::counterSnapshot());
+            obs::counterSnapshot(), obs::histogramSnapshot());
         if (!obs::writeFile(stats_path, doc))
             unizk_fatal("cannot write ", stats_path);
         std::printf("wrote stats JSON: %s\n", stats_path.c_str());
     }
-    if (!trace_path.empty()) {
-        obs::ChromeTraceBuilder builder;
-        builder.addSpans(obs::drainSpans());
-        builder.addSimLane(result.app, result.trace, hw);
-        if (!obs::writeFile(trace_path, builder.build()))
-            unizk_fatal("cannot write ", trace_path);
-        std::printf("wrote Chrome trace: %s\n", trace_path.c_str());
+    if (!trace_path.empty() || !folded_path.empty()) {
+        // Drain once; the span buffer feeds both exporters.
+        const std::vector<obs::SpanEvent> spans = obs::drainSpans();
+        if (!trace_path.empty()) {
+            obs::ChromeTraceBuilder builder;
+            builder.addSpans(spans);
+            builder.addSimLane(result.app, result.trace, hw);
+            if (!obs::writeFile(trace_path, builder.build()))
+                unizk_fatal("cannot write ", trace_path);
+            std::printf("wrote Chrome trace: %s\n", trace_path.c_str());
+        }
+        if (!folded_path.empty()) {
+            if (!obs::writeFile(folded_path, obs::spansToFolded(spans)))
+                unizk_fatal("cannot write ", folded_path);
+            std::printf("wrote folded spans: %s\n", folded_path.c_str());
+        }
     }
     if (!proof_path.empty()) {
         std::ofstream f(proof_path, std::ios::binary);

@@ -12,12 +12,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <initializer_list>
+#include <limits>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "obs/folded_export.h"
+#include "obs/json_writer.h"
 #include "obs/obs.h"
 #include "obs/trace_export.h"
 #include "unizk/pipeline.h"
@@ -161,6 +167,214 @@ TEST_F(ObsTest, ResetClearsCounters)
     EXPECT_EQ(it->second, 0u);
 }
 
+TEST_F(ObsTest, SpansRecordParentNames)
+{
+    {
+        obs::Span outer("outer");
+        {
+            obs::Span inner("inner");
+            {
+                obs::Span leaf("leaf");
+            }
+        }
+        obs::Span sibling("sibling");
+    }
+    const std::vector<obs::SpanEvent> spans = obs::drainSpans();
+    ASSERT_EQ(spans.size(), 4u);
+    // Sorted by startNs on one thread: outer, inner, leaf, sibling.
+    EXPECT_EQ(spans[0].parent, nullptr);
+    EXPECT_STREQ(spans[1].parent, "outer");
+    EXPECT_STREQ(spans[2].parent, "inner");
+    EXPECT_STREQ(spans[3].parent, "outer");
+    EXPECT_EQ(spans[2].depth, 2u);
+    EXPECT_EQ(spans[3].depth, 1u);
+}
+
+TEST_F(ObsTest, SpanStackUnwindsThroughExceptions)
+{
+    SKIP_IF_OBS_DISABLED();
+    try {
+        obs::Span outer("outer");
+        obs::Span inner("inner");
+        throw std::runtime_error("boom");
+    } catch (const std::exception &) {
+    }
+    // Both spans closed during unwinding; a new root sees an empty
+    // stack, not stale parents from the aborted scope.
+    {
+        obs::Span after("after");
+    }
+    const std::vector<obs::SpanEvent> spans = obs::drainSpans();
+    ASSERT_EQ(spans.size(), 3u);
+    for (const obs::SpanEvent &s : spans) {
+        if (std::string(s.name) == "after") {
+            EXPECT_EQ(s.parent, nullptr);
+            EXPECT_EQ(s.depth, 0u);
+        }
+    }
+}
+
+TEST_F(ObsTest, HistogramsMergeAcrossThreads)
+{
+    SKIP_IF_OBS_DISABLED();
+    constexpr unsigned kThreads = 8;
+    constexpr uint64_t kPerThread = 100;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                UNIZK_OBS_HISTO("test.obs.histo_merge", t * 1000 + i);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    const auto histos = obs::histogramSnapshot();
+    const auto it = histos.find("test.obs.histo_merge");
+    ASSERT_NE(it, histos.end());
+    const obs::HistogramData &h = it->second;
+    EXPECT_EQ(h.count, kThreads * kPerThread);
+    EXPECT_EQ(h.min, 0u);
+    EXPECT_EQ(h.max, 7099u);
+    uint64_t expected_sum = 0, bucket_sum = 0;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        for (uint64_t i = 0; i < kPerThread; ++i)
+            expected_sum += t * 1000 + i;
+    }
+    EXPECT_EQ(h.sum, expected_sum);
+    for (const uint64_t b : h.buckets)
+        bucket_sum += b;
+    EXPECT_EQ(bucket_sum, h.count);
+}
+
+TEST_F(ObsTest, HistogramLog2BucketBoundaries)
+{
+    SKIP_IF_OBS_DISABLED();
+    // Bucket 0 holds the value 0; bucket i holds [2^(i-1), 2^i - 1].
+    for (const uint64_t v : std::initializer_list<uint64_t>{
+             0, 1, 2, 3, 4, 1023, 1024, UINT64_MAX})
+        UNIZK_OBS_HISTO("test.obs.histo_buckets", v);
+    const auto histos = obs::histogramSnapshot();
+    const obs::HistogramData &h = histos.at("test.obs.histo_buckets");
+    EXPECT_EQ(h.buckets[0], 1u);  // 0
+    EXPECT_EQ(h.buckets[1], 1u);  // 1
+    EXPECT_EQ(h.buckets[2], 2u);  // 2, 3
+    EXPECT_EQ(h.buckets[3], 1u);  // 4
+    EXPECT_EQ(h.buckets[10], 1u); // 1023
+    EXPECT_EQ(h.buckets[11], 1u); // 1024
+    EXPECT_EQ(h.buckets[64], 1u); // UINT64_MAX
+    EXPECT_EQ(h.min, 0u);
+    EXPECT_EQ(h.max, UINT64_MAX);
+}
+
+TEST_F(ObsTest, SpanDurationsFeedBuiltinHistogram)
+{
+    SKIP_IF_OBS_DISABLED();
+    {
+        obs::Span span("timed");
+    }
+    const auto histos = obs::histogramSnapshot();
+    const auto it = histos.find("obs.span_duration_ns");
+    ASSERT_NE(it, histos.end());
+    EXPECT_GE(it->second.count, 1u);
+}
+
+TEST_F(ObsTest, ResetForMeasurementDropsWarmupState)
+{
+    SKIP_IF_OBS_DISABLED();
+    // Warmup work: spans, counters and histograms that must NOT leak
+    // into the exported artifacts (regression: bench harnesses used to
+    // export warmup spans/counters along with the measured run).
+    {
+        obs::Span warm("warmup");
+        UNIZK_COUNTER_ADD("test.obs.boundary", 100);
+        UNIZK_OBS_HISTO("test.obs.boundary_histo", 42);
+    }
+    obs::resetForMeasurement();
+    {
+        obs::Span measured("measured");
+        UNIZK_COUNTER_ADD("test.obs.boundary", 7);
+    }
+
+    const std::vector<obs::SpanEvent> spans = obs::drainSpans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_STREQ(spans[0].name, "measured");
+
+    const auto counters = obs::counterSnapshot();
+    EXPECT_EQ(counters.at("test.obs.boundary"), 7u);
+
+    const auto histos = obs::histogramSnapshot();
+    EXPECT_EQ(histos.at("test.obs.boundary_histo").count, 0u);
+}
+
+TEST(ObsDisabled, ResetForMeasurementIsNoOp)
+{
+    obs::setEnabled(false);
+    obs::resetForMeasurement(); // must not crash or register anything
+    EXPECT_TRUE(obs::drainSpans().empty());
+}
+
+TEST_F(ObsTest, FoldedExportCollapsesStacks)
+{
+    SKIP_IF_OBS_DISABLED();
+    std::vector<obs::SpanEvent> spans;
+    // Thread 0: root [0,100], child [10,40], child [50,70].
+    spans.push_back({"root", nullptr, 0, 100, 0, 0});
+    spans.push_back({"child", "root", 10, 40, 0, 1});
+    spans.push_back({"child", "root", 50, 70, 0, 1});
+    // Thread 1: its own root.
+    spans.push_back({"other", nullptr, 0, 30, 1, 0});
+
+    const std::string folded = obs::spansToFolded(spans);
+    // Self time: root 100 - 30 - 20 = 50; both child intervals fold
+    // into one row; the second thread contributes its own root row.
+    EXPECT_NE(folded.find("root 50\n"), std::string::npos) << folded;
+    EXPECT_NE(folded.find("root;child 50\n"), std::string::npos)
+        << folded;
+    EXPECT_NE(folded.find("other 30\n"), std::string::npos) << folded;
+}
+
+TEST_F(ObsTest, FoldedExportFromLiveSpans)
+{
+    SKIP_IF_OBS_DISABLED();
+    {
+        obs::Span outer("live-outer");
+        {
+            obs::Span inner("live-inner");
+        }
+    }
+    const std::string folded = obs::spansToFolded(obs::drainSpans());
+    EXPECT_NE(folded.find("live-outer;live-inner "), std::string::npos)
+        << folded;
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.kv("nan", std::nan(""));
+    w.kv("inf", std::numeric_limits<double>::infinity());
+    w.kv("ninf", -std::numeric_limits<double>::infinity());
+    w.kv("ok", 1.5);
+    w.endObject();
+    const std::string json = w.str();
+    EXPECT_NE(json.find("\"nan\": null"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"inf\": null"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ninf\": null"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ok\": 1.5"), std::string::npos) << json;
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.kv("s", std::string("a\"b\\c\n\t\x01"));
+    w.endObject();
+    const std::string json = w.str();
+    EXPECT_NE(json.find("a\\\"b\\\\c\\n\\t\\u0001"), std::string::npos)
+        << json;
+}
+
 TEST(KernelTimeBreakdown, ConcurrentAddIsExact)
 {
     // Regression for the data race ScopedKernelTimer used to cause when
@@ -208,21 +422,39 @@ TEST(ObsExport, StatsJsonGoldenSchema)
     run.cpuSeconds = 1.25;
     run.proofBytes = 4096;
     run.verified = true;
-    const std::string json =
-        obs::statsToJson({run}, {{"test.counter", 42}});
+    // Three recorded values: 1, 1, 5.
+    obs::HistogramData histo;
+    histo.count = 3;
+    histo.sum = 7;
+    histo.min = 1;
+    histo.max = 5;
+    histo.buckets[1] = 2; // bucket [1, 1]
+    histo.buckets[3] = 1; // bucket [4, 7]
+    const std::string json = obs::statsToJson(
+        {run}, {{"test.counter", 42}}, {{"test.histo", histo}});
 
     for (const char *needle :
-         {"\"schema\": \"unizk-stats-v1\"", "\"runs\": [",
+         {"\"schema\": \"unizk-stats-v2\"", "\"runs\": [",
           "\"app\": \"fibonacci\"", "\"protocol\": \"plonky2\"",
           "\"rows\": 128", "\"repetitions\": 2", "\"threads\": 4",
           "\"cpu\": {", "\"totalSeconds\": 1.25", "\"breakdown\": {",
           "\"proof\": {", "\"bytes\": 4096", "\"verified\": true",
           "\"sim\": {", "\"perClass\": {", "\"busBytes\"",
           "\"usefulBytes\"", "\"memUtilization\"", "\"usefulFraction\"",
-          "\"counters\": {", "\"test.counter\": 42"}) {
+          "\"hwCounters\": {", "\"vsa\": {", "\"busyCycles\": [",
+          "\"stallCycles\": [", "\"idleCycles\": [", "\"dram\": {",
+          "\"rowHits\"", "\"rowMisses\"", "\"bankConflicts\"",
+          "\"bankBytes\": [", "\"scratchpad\": {", "\"highWaterBytes\"",
+          "\"evictions\"", "\"timeline\": {", "\"samplePeriodCycles\"",
+          "\"samples\": [", "\"counters\": {", "\"test.counter\": 42",
+          "\"histograms\": {", "\"test.histo\": {", "\"count\": 3",
+          "\"sum\": 7", "\"min\": 1", "\"max\": 5", "\"buckets\": [",
+          "\"lo\": 1", "\"hi\": 1", "\"lo\": 4", "\"hi\": 7"}) {
         EXPECT_NE(json.find(needle), std::string::npos)
             << "missing " << needle;
     }
+    // Empty buckets are omitted from the document.
+    EXPECT_EQ(json.find("\"lo\": 2"), std::string::npos);
 }
 
 TEST(ObsExport, ChromeTraceGoldenSchema)
@@ -247,7 +479,13 @@ TEST(ObsExport, ChromeTraceGoldenSchema)
           "\"name\": \"process_name\"", "\"name\": \"cpu prover\"",
           "\"name\": \"sim: unizk\"", "\"ph\": \"X\"",
           "\"name\": \"plonk/prove\"", "\"cat\": \"cpu\"",
-          "\"name\": \"pow\"", "\"cycles\":", "\"dur\": 50"}) {
+          "\"name\": \"pow\"", "\"cycles\":", "\"dur\": 50",
+          // Every lane carries thread_name metadata ...
+          "\"name\": \"thread_name\"", "\"name\": \"cpu thread 0\"",
+          "\"name\": \"kernels\"",
+          // ... and sim lanes carry counter series.
+          "\"ph\": \"C\"", "\"name\": \"vsa occupancy\"",
+          "\"name\": \"queue depth\"", "\"value\":"}) {
         EXPECT_NE(json.find(needle), std::string::npos)
             << "missing " << needle;
     }

@@ -282,6 +282,162 @@ TEST(Simulator, SecondsUsesClock)
     EXPECT_NEAR(a.seconds() / b.seconds(), 2.0, 1e-9);
 }
 
+TEST(Dram, RowBufferCountersPartitionRequests)
+{
+    const HardwareConfig cfg = defaultHw();
+    DramModel dram(cfg);
+    const uint64_t bytes = 4ull << 20;
+    const DramResult r = dram.access({bytes, 0, false});
+    // Every request is either a row hit or a row miss.
+    EXPECT_EQ(r.rowHits + r.rowMisses, r.readRequests);
+    // A sequential stream is row-buffer friendly: one miss per row.
+    EXPECT_EQ(r.rowMisses, bytes / cfg.memRowBytes);
+    EXPECT_GT(r.rowHits, r.rowMisses);
+    // The stream's bytes stripe across every bank.
+    ASSERT_EQ(r.bankBytes.size(), cfg.memBanks);
+    uint64_t striped = 0;
+    for (const uint64_t b : r.bankBytes) {
+        EXPECT_GT(b, 0u);
+        striped += b;
+    }
+    EXPECT_EQ(striped, r.readBytes);
+}
+
+TEST(Dram, ScatteredAccessMissesMoreRows)
+{
+    DramModel dram(defaultHw());
+    const uint64_t bytes = 1ull << 20;
+    const DramResult seq = dram.access({bytes, 0, false});
+    const DramResult scat = dram.access({bytes, 24, false});
+    // Each short run lands in its own row: far worse locality.
+    EXPECT_GT(scat.rowMisses, 10 * seq.rowMisses);
+    EXPECT_GT(scat.bankConflicts, seq.bankConflicts);
+}
+
+TEST(Dram, AccumulateMergesCounters)
+{
+    DramModel dram(defaultHw());
+    DramResult total = dram.access({1 << 16, 0, false});
+    const DramResult more = dram.access({1 << 16, 0, true});
+    const uint64_t hits = total.rowHits;
+    total.accumulate(more);
+    EXPECT_EQ(total.rowHits, hits + more.rowHits);
+    EXPECT_EQ(total.writeRequests, more.writeRequests);
+    ASSERT_EQ(total.bankBytes.size(), more.bankBytes.size());
+}
+
+TEST(Simulator, HwCountersAccountEveryCycle)
+{
+    KernelTrace trace;
+    trace.ops.push_back(
+        {NttKernel{16, 4, true, false, false, PolyLayout::PolyMajor},
+         "intt"});
+    trace.ops.push_back({MerkleKernel{1 << 15, 135, 4}, "tree"});
+    trace.ops.push_back({VecOpKernel{1 << 16, 2, 1, 4, 0}, "vec"});
+
+    const HardwareConfig cfg = defaultHw();
+    const SimReport r = simulateTrace(trace, cfg);
+    ASSERT_EQ(r.hw.perVsa.size(), cfg.numVsas);
+    for (const VsaCycles &v : r.hw.perVsa) {
+        // busy + stall + idle partitions the full schedule on every VSA.
+        EXPECT_EQ(v.busy + v.stall + v.idle, r.totalCycles);
+    }
+    EXPECT_GT(r.hw.perVsa[0].busy, 0u);
+    EXPECT_GT(r.hw.perVsa[0].stall, 0u);
+    EXPECT_GT(r.hw.dramRowHits, 0u);
+    EXPECT_GT(r.hw.dramRowMisses, 0u);
+    EXPECT_GT(r.hw.scratchpadHighWaterBytes, 0u);
+    ASSERT_EQ(r.hw.dramBankBytes.size(), cfg.memBanks);
+}
+
+TEST(Simulator, HwCountersEmptyTraceAllZero)
+{
+    const SimReport r = simulateTrace(KernelTrace{}, defaultHw());
+    for (const VsaCycles &v : r.hw.perVsa) {
+        EXPECT_EQ(v.busy + v.stall + v.idle, 0u);
+    }
+    EXPECT_EQ(r.hw.dramRowHits, 0u);
+    EXPECT_EQ(r.hw.scratchpadHighWaterBytes, 0u);
+    EXPECT_TRUE(r.timeline.empty());
+}
+
+TEST(Simulator, ScratchpadEvictionsOnlyWhenOversubscribed)
+{
+    const HardwareConfig cfg = defaultHw();
+    KernelTrace fits, spills;
+    fits.ops.push_back(
+        {NttKernel{12, 1, false, false, false, PolyLayout::PolyMajor},
+         "small"});
+    spills.ops.push_back(
+        {NttKernel{22, 1, false, false, false, PolyLayout::PolyMajor},
+         "large"});
+    EXPECT_EQ(simulateTrace(fits, cfg).hw.scratchpadEvictions, 0u);
+    EXPECT_GT(simulateTrace(spills, cfg).hw.scratchpadEvictions, 0u);
+}
+
+TEST(Simulator, TimelineSamplesCoverSchedule)
+{
+    KernelTrace trace;
+    trace.ops.push_back(
+        {NttKernel{16, 4, true, false, false, PolyLayout::PolyMajor},
+         "intt"});
+    trace.ops.push_back({MerkleKernel{1 << 15, 135, 4}, "tree"});
+
+    const SimReport r = simulateTrace(trace, defaultHw());
+    ASSERT_FALSE(r.timeline.empty());
+    EXPECT_GT(r.timelineSamplePeriod, 0u);
+    uint64_t last = 0;
+    for (size_t i = 0; i < r.timeline.size(); ++i) {
+        const TimelineSample &s = r.timeline[i];
+        if (i > 0) {
+            EXPECT_GT(s.cycle, last);
+        }
+        last = s.cycle;
+        EXPECT_LT(s.cycle, r.totalCycles);
+        EXPECT_GT(s.vsasBusy, 0u);
+        EXPECT_GT(s.queueDepth, 0u);
+        EXPECT_LE(s.queueDepth, trace.ops.size());
+    }
+    // Queue depth drains monotonically as kernels retire.
+    EXPECT_GE(r.timeline.front().queueDepth,
+              r.timeline.back().queueDepth);
+}
+
+TEST(Simulator, TimelinePeriodKnobIsHonored)
+{
+    KernelTrace trace;
+    trace.ops.push_back({MerkleKernel{1 << 15, 135, 4}, "tree"});
+
+    HardwareConfig cfg = defaultHw();
+    cfg.timelineSamplePeriod = 1000;
+    const SimReport r = simulateTrace(trace, cfg);
+    EXPECT_EQ(r.timelineSamplePeriod, 1000u);
+    ASSERT_GT(r.timeline.size(), 1u);
+    EXPECT_EQ(r.timeline[1].cycle - r.timeline[0].cycle, 1000u);
+}
+
+TEST(Simulator, CountersAreAdditiveNotBehavioral)
+{
+    // Guard for the Table 3/4 reproduction: the hardware counters must
+    // not perturb the modeled cycle counts.
+    KernelTrace trace;
+    trace.ops.push_back(
+        {NttKernel{18, 135, false, true, true, PolyLayout::PolyMajor},
+         "lde"});
+    trace.ops.push_back({MerkleKernel{1 << 18, 135, 4}, "tree"});
+
+    HardwareConfig cfg = defaultHw();
+    const SimReport base = simulateTrace(trace, cfg);
+    cfg.timelineSamplePeriod = 17; // extreme sampling
+    const SimReport dense = simulateTrace(trace, cfg);
+    EXPECT_EQ(base.totalCycles, dense.totalCycles);
+    for (size_t i = 0; i < static_cast<size_t>(KernelClass::NumClasses);
+         ++i) {
+        const auto c = static_cast<KernelClass>(i);
+        EXPECT_EQ(base.classStats(c).cycles, dense.classStats(c).cycles);
+    }
+}
+
 TEST(Simulator, FormatReportMentionsClasses)
 {
     KernelTrace trace;

@@ -3,12 +3,15 @@
 
 For each protocol (plonky2 and starky) this runs the CLI twice on the
 same small workload -- once bare, once with --stats-json / --trace-json
--- then checks that:
+/ --folded -- then checks that:
 
   1. both emitted JSON documents pass validate_obs_json.py,
-  2. the stats document's run matches the requested protocol and rows
-     and reports a verified proof,
-  3. the serialized proof (--proof-out) is byte-identical with and
+  2. the stats document's run matches the requested protocol and rows,
+     reports a verified proof, and carries live v2 hardware counters
+     (non-zero VSA busy/stall cycles, DRAM row hits and misses,
+     scratchpad high-water mark, a non-empty timeline and histograms),
+  3. the collapsed-stack profile is non-empty and well-formed,
+  4. the serialized proof (--proof-out) is byte-identical with and
      without observability enabled (instrumentation must not perturb
      the transcript).
 
@@ -51,9 +54,38 @@ def run_cli(cli: str, args: list) -> None:
         )
 
 
+def check_hw_counters(run: dict, protocol: str) -> None:
+    """The v2 counters must be live, not just schema-valid zeros."""
+    hw = run["sim"]["hwCounters"]
+    checks = {
+        "VSA busy cycles": hw["vsa"]["totalBusy"],
+        "VSA stall cycles": hw["vsa"]["totalStall"],
+        "DRAM row hits": hw["dram"]["rowHits"],
+        "DRAM row misses": hw["dram"]["rowMisses"],
+        "scratchpad high-water": hw["scratchpad"]["highWaterBytes"],
+        "timeline samples": len(run["sim"]["timeline"]["samples"]),
+    }
+    zero = [name for name, value in checks.items() if value == 0]
+    if zero:
+        raise SystemExit(f"{protocol}: zero hw counters: {zero}")
+
+
+def check_folded(folded_path: str, protocol: str) -> None:
+    with open(folded_path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        raise SystemExit(f"{protocol}: empty folded profile")
+    for line in lines:
+        stack, _, value = line.rpartition(" ")
+        if not stack or not value.isdigit():
+            raise SystemExit(
+                f"{protocol}: malformed folded line {line!r}")
+
+
 def check_protocol(cli: str, protocol: str, workdir: str) -> None:
     stats_path = os.path.join(workdir, f"{protocol}-stats.json")
     trace_path = os.path.join(workdir, f"{protocol}-trace.json")
+    folded_path = os.path.join(workdir, f"{protocol}-spans.folded")
     proof_obs = os.path.join(workdir, f"{protocol}-obs.proof")
     proof_bare = os.path.join(workdir, f"{protocol}-bare.proof")
 
@@ -63,7 +95,7 @@ def check_protocol(cli: str, protocol: str, workdir: str) -> None:
         cli,
         base
         + ["--stats-json", stats_path, "--trace-json", trace_path,
-           "--proof-out", proof_obs],
+           "--folded", folded_path, "--proof-out", proof_obs],
     )
 
     errors = validate_obs_json.validate_file(stats_path, "stats")
@@ -84,6 +116,13 @@ def check_protocol(cli: str, protocol: str, workdir: str) -> None:
         raise SystemExit(f"{protocol}: proof did not verify")
     if not stats["counters"]:
         raise SystemExit(f"{protocol}: no obs counters recorded")
+    if stats["schema"] != "unizk-stats-v2":
+        raise SystemExit(
+            f"{protocol}: schema is {stats['schema']!r}, expected v2")
+    if not stats["histograms"]:
+        raise SystemExit(f"{protocol}: no obs histograms recorded")
+    check_hw_counters(run, protocol)
+    check_folded(folded_path, protocol)
 
     with open(proof_bare, "rb") as f:
         bare = f.read()

@@ -3,14 +3,20 @@
 
 Validates the two documents the instrumented binaries emit:
 
-  stats   the "unizk-stats-v1" document written by --stats-json
+  stats   the "unizk-stats-v2" document written by --stats-json
           (unizk_cli and every bench harness): per-run CPU breakdown,
           simulator report with per-class bus/useful byte accounting,
-          proof metadata, and the merged obs counters.
+          hardware counters (per-VSA busy/stall/idle, DRAM row-buffer
+          and per-bank traffic, scratchpad pressure), the occupancy
+          timeline, proof metadata, and the merged obs counters and
+          histograms. "unizk-stats-v1" documents (no hwCounters /
+          timeline / histograms) remain valid.
   trace   the Chrome trace_event document written by --trace-json:
-          "M" process_name metadata events plus "X" complete events
-          (CPU span lanes under pid 1, simulated kernel lanes under
-          pid >= 2). Loadable in Perfetto / chrome://tracing.
+          "M" process_name / thread_name metadata events, "C" counter
+          samples (VSA occupancy, queue depth on sim lanes), and "X"
+          complete events (CPU span lanes under pid 1, simulated
+          kernel lanes under pid >= 2). Loadable in Perfetto /
+          chrome://tracing.
 
 The C++ emitters live in src/obs/stats_export.cpp and
 src/obs/trace_export.cpp; update this validator and those together.
@@ -39,7 +45,7 @@ KERNEL_CLASSES = (
     "LayoutTransform",
 )
 
-STATS_SCHEMA = "unizk-stats-v1"
+STATS_SCHEMAS = ("unizk-stats-v1", "unizk-stats-v2")
 
 
 class ValidationError(Exception):
@@ -91,13 +97,76 @@ def validate_breakdown(b: Any, path: str) -> None:
     )
 
 
-def validate_sim(sim: Any, path: str) -> None:
+def validate_hw_counters(hw: Any, num_vsas: int, path: str) -> None:
+    _expect_keys(hw, ("vsa", "dram", "scratchpad"), path)
+
+    vsa = hw["vsa"]
     _expect_keys(
-        sim,
-        ("totalCycles", "seconds", "readRequests", "writeRequests",
-         "config", "perClass"),
-        path,
+        vsa,
+        ("busyCycles", "stallCycles", "idleCycles", "totalBusy",
+         "totalStall", "totalIdle"),
+        f"{path}.vsa",
     )
+    for key in ("busyCycles", "stallCycles", "idleCycles"):
+        lanes = vsa[key]
+        _expect(isinstance(lanes, list), f"{path}.vsa",
+                f"'{key}' must be an array")
+        _expect(
+            len(lanes) == num_vsas,
+            f"{path}.vsa",
+            f"'{key}' has {len(lanes)} lanes, config.numVsas is "
+            f"{num_vsas}",
+        )
+        total = vsa["total" + key[0].upper() + key[1:-6]]
+        _expect(
+            sum(lanes) == total,
+            f"{path}.vsa",
+            f"'{key}' lanes sum to {sum(lanes)}, total says {total}",
+        )
+
+    dram = hw["dram"]
+    _expect_keys(dram, ("rowHits", "rowMisses", "bankConflicts",
+                        "bankBytes"), f"{path}.dram")
+    for key in ("rowHits", "rowMisses", "bankConflicts"):
+        _expect_number(dram, key, f"{path}.dram")
+    _expect(isinstance(dram["bankBytes"], list), f"{path}.dram",
+            "'bankBytes' must be an array")
+
+    sp = hw["scratchpad"]
+    _expect_keys(sp, ("highWaterBytes", "evictions"),
+                 f"{path}.scratchpad")
+    for key in ("highWaterBytes", "evictions"):
+        _expect_number(sp, key, f"{path}.scratchpad")
+
+
+def validate_timeline(tl: Any, total_cycles: float, path: str) -> None:
+    _expect_keys(tl, ("samplePeriodCycles", "samples"), path)
+    _expect_number(tl, "samplePeriodCycles", path)
+    samples = tl["samples"]
+    _expect(isinstance(samples, list), path, "'samples' must be an array")
+    last_cycle = -1
+    for i, s in enumerate(samples):
+        spath = f"{path}.samples[{i}]"
+        _expect_keys(s, ("cycle", "vsasBusy", "queueDepth", "class"),
+                     spath)
+        for key in ("cycle", "vsasBusy", "queueDepth"):
+            _expect_number(s, key, spath)
+        _expect(s["class"] in KERNEL_CLASSES, spath,
+                f"unknown kernel class {s['class']!r}")
+        _expect(s["cycle"] > last_cycle, spath,
+                "'cycle' must be strictly increasing")
+        _expect(s["cycle"] < total_cycles, spath,
+                f"'cycle' ({s['cycle']}) past totalCycles "
+                f"({total_cycles})")
+        last_cycle = s["cycle"]
+
+
+def validate_sim(sim: Any, path: str, version: int) -> None:
+    required = ("totalCycles", "seconds", "readRequests",
+                "writeRequests", "config", "perClass")
+    if version >= 2:
+        required += ("hwCounters", "timeline")
+    _expect_keys(sim, required, path)
     for key in ("totalCycles", "seconds", "readRequests", "writeRequests"):
         _expect_number(sim, key, path)
 
@@ -143,14 +212,55 @@ def validate_sim(sim: Any, path: str) -> None:
         f"{sim['totalCycles']}",
     )
 
+    if version >= 2:
+        validate_hw_counters(sim["hwCounters"], int(cfg["numVsas"]),
+                             f"{path}.hwCounters")
+        validate_timeline(sim["timeline"], sim["totalCycles"],
+                          f"{path}.timeline")
+
+
+def validate_histograms(histograms: Any, path: str) -> None:
+    _expect(isinstance(histograms, dict), path,
+            "'histograms' must be an object")
+    for name, h in histograms.items():
+        hpath = f"{path}.histograms.{name}"
+        _expect_keys(h, ("count", "sum", "min", "max", "buckets"), hpath)
+        for key in ("count", "sum", "min", "max"):
+            _expect_number(h, key, hpath)
+        _expect(h["min"] <= h["max"], hpath,
+                f"min ({h['min']}) > max ({h['max']})")
+        buckets = h["buckets"]
+        _expect(isinstance(buckets, list), hpath,
+                "'buckets' must be an array")
+        bucket_count = 0
+        for i, b in enumerate(buckets):
+            bpath = f"{hpath}.buckets[{i}]"
+            _expect_keys(b, ("lo", "hi", "count"), bpath)
+            for key in ("lo", "hi", "count"):
+                _expect_number(b, key, bpath)
+            _expect(b["lo"] <= b["hi"], bpath,
+                    f"lo ({b['lo']}) > hi ({b['hi']})")
+            _expect(b["count"] > 0, bpath,
+                    "empty buckets must be omitted")
+            bucket_count += b["count"]
+        _expect(
+            bucket_count == h["count"],
+            hpath,
+            f"bucket counts sum to {bucket_count}, count says "
+            f"{h['count']}",
+        )
+
 
 def validate_stats(doc: Any, path: str) -> None:
     _expect_keys(doc, ("schema", "runs", "counters"), path)
     _expect(
-        doc["schema"] == STATS_SCHEMA,
+        doc["schema"] in STATS_SCHEMAS,
         path,
-        f"schema is {doc['schema']!r}, expected {STATS_SCHEMA!r}",
+        f"schema is {doc['schema']!r}, expected one of {STATS_SCHEMAS}",
     )
+    version = int(doc["schema"].rsplit("-v", 1)[1])
+    if version >= 2:
+        _expect_keys(doc, ("histograms",), path)
     _expect(isinstance(doc["runs"], list), path, "'runs' must be an array")
     _expect(doc["runs"], path, "'runs' must not be empty")
     for i, run in enumerate(doc["runs"]):
@@ -179,7 +289,7 @@ def validate_stats(doc: Any, path: str) -> None:
         _expect(isinstance(run["proof"]["verified"], bool), f"{rpath}.proof",
                 "'verified' must be a boolean")
 
-        validate_sim(run["sim"], f"{rpath}.sim")
+        validate_sim(run["sim"], f"{rpath}.sim", version)
 
     counters = doc["counters"]
     _expect(isinstance(counters, dict), path, "'counters' must be an object")
@@ -190,6 +300,9 @@ def validate_stats(doc: Any, path: str) -> None:
             path,
             f"counter {name!r} must be a non-negative integer, got {value!r}",
         )
+
+    if version >= 2:
+        validate_histograms(doc["histograms"], path)
 
 
 # --------------------------------------------------------------------------
@@ -203,26 +316,46 @@ def validate_trace(doc: Any, path: str) -> None:
     _expect(events, path, "'traceEvents' must not be empty")
 
     named_pids = set()
-    complete_pids = set()
+    named_threads = set()
+    complete_lanes = set()
+    counter_pids = set()
     for i, e in enumerate(events):
         epath = f"{path}.traceEvents[{i}]"
         _expect_keys(e, ("name", "ph", "pid", "tid"), epath)
         ph = e["ph"]
         if ph == "M":
-            _expect(e["name"] == "process_name", epath,
+            _expect(e["name"] in ("process_name", "thread_name"), epath,
                     f"metadata event named {e['name']!r}")
             _expect_keys(e.get("args"), ("name",), f"{epath}.args")
-            named_pids.add(e["pid"])
+            if e["name"] == "process_name":
+                named_pids.add(e["pid"])
+            else:
+                named_threads.add((e["pid"], e["tid"]))
+        elif ph == "C":
+            _expect(e["name"] in ("vsa occupancy", "queue depth"),
+                    epath, f"unknown counter series {e['name']!r}")
+            _expect_number(e, "ts", epath)
+            _expect_keys(e.get("args"), ("value",), f"{epath}.args")
+            _expect_number(e["args"], "value", f"{epath}.args")
+            counter_pids.add(e["pid"])
         elif ph == "X":
             _expect_keys(e, ("cat", "ts", "dur"), epath)
             _expect_number(e, "ts", epath)
             _expect_number(e, "dur", epath)
-            complete_pids.add(e["pid"])
+            complete_lanes.add((e["pid"], e["tid"]))
         else:
-            _fail(epath, f"unexpected phase {ph!r} (only M and X emitted)")
-    unnamed = complete_pids - named_pids
+            _fail(epath,
+                  f"unexpected phase {ph!r} (only M, C and X emitted)")
+    unnamed = {pid for pid, _ in complete_lanes} - named_pids
     _expect(not unnamed, path,
             f"events on pids without process_name metadata: {sorted(unnamed)}")
+    bare = complete_lanes - named_threads
+    _expect(not bare, path,
+            f"lanes without thread_name metadata: {sorted(bare)}")
+    # Counter series only make sense on lanes that exist.
+    stray = counter_pids - {pid for pid, _ in complete_lanes} - named_pids
+    _expect(not stray, path,
+            f"counter events on unknown pids: {sorted(stray)}")
 
 
 # --------------------------------------------------------------------------
