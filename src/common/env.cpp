@@ -1,0 +1,59 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace unizk {
+
+std::optional<uint64_t>
+envUint(const char *name, uint64_t lo, uint64_t hi)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return std::nullopt;
+    // strtoull itself accepts whitespace and sign characters ("-1"
+    // wraps to a huge positive without setting errno); insist the value
+    // starts with a digit so those never parse.
+    if (env[0] < '0' || env[0] > '9') {
+        warn("ignoring ", name, "='", env, "': expected an integer");
+        return std::nullopt;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (errno == ERANGE) {
+        warn("ignoring ", name, "='", env, "': value out of range");
+        return std::nullopt;
+    }
+    if (end == env || *end != '\0') {
+        warn("ignoring ", name, "='", env, "': expected an integer");
+        return std::nullopt;
+    }
+    if (v < lo || v > hi) {
+        warn("ignoring ", name, "='", env, "': must be in [", lo, ", ",
+             hi, "]");
+        return std::nullopt;
+    }
+    return static_cast<uint64_t>(v);
+}
+
+std::optional<bool>
+envFlag(const char *name)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return std::nullopt;
+    const std::string_view v(env);
+    if (v == "1" || v == "on" || v == "true" || v == "yes")
+        return true;
+    if (v == "0" || v == "off" || v == "false" || v == "no")
+        return false;
+    warn("ignoring ", name, "='", env,
+         "': expected one of 1/on/true/yes or 0/off/false/no");
+    return std::nullopt;
+}
+
+} // namespace unizk

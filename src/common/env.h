@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Strict environment-variable parsing. Every knob the library reads
+ * from the environment (UNIZK_THREADS, UNIZK_NTT_CACHE, ...) goes
+ * through these helpers so malformed values are *rejected with a
+ * warning* instead of silently mangled: bare strtoul() turns "8abc"
+ * into 8, wraps "4294967297" on a narrowing cast, and accepts "-1" as
+ * a huge positive. The semantics mirror CliOptions::getUint (trailing
+ * junk, missing digits, sign, and range are all checked); the
+ * difference is that a bad environment value warns and falls back to
+ * the default instead of aborting, since the process may be a
+ * long-running service that a stray shell export must not kill.
+ */
+
+#ifndef UNIZK_COMMON_ENV_H
+#define UNIZK_COMMON_ENV_H
+
+#include <cstdint>
+#include <optional>
+
+namespace unizk {
+
+/**
+ * Parse the environment variable @p name as an unsigned integer in
+ * [@p lo, @p hi]. Returns std::nullopt when the variable is unset, and
+ * also (after a warn()) when the value has trailing junk, no digits, a
+ * sign, or falls outside the range -- callers treat nullopt as "use
+ * the default". Accepts the same bases as CliOptions::getUint
+ * (decimal, 0x hex, 0 octal).
+ */
+std::optional<uint64_t> envUint(const char *name, uint64_t lo,
+                                uint64_t hi);
+
+/**
+ * Parse the environment variable @p name as a boolean switch.
+ * Recognizes "1"/"on"/"true"/"yes" and "0"/"off"/"false"/"no"
+ * (lowercase, as documented for UNIZK_NTT_CACHE). Returns std::nullopt
+ * when unset, or (after a warn()) for any unrecognized spelling --
+ * previously a typo like "flase" silently meant "on".
+ */
+std::optional<bool> envFlag(const char *name);
+
+} // namespace unizk
+
+#endif // UNIZK_COMMON_ENV_H

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "common/logging.h"
+
 namespace unizk {
 
 /** splitmix64: tiny, fast, excellent-distribution deterministic PRNG. */
@@ -32,10 +34,14 @@ class SplitMix64
         return z ^ (z >> 31);
     }
 
-    /** Uniform value in [0, bound). */
+    /** Uniform value in [0, bound); @p bound must be positive. */
     constexpr uint64_t
     nextBelow(uint64_t bound)
     {
+        // [0, 0) is empty -- and ~0ULL / bound below would divide by
+        // zero. Callers drawing indices from a container must check for
+        // emptiness first.
+        unizk_assert(bound >= 1, "nextBelow needs a positive bound");
         // Rejection sampling to avoid modulo bias.
         const uint64_t limit = bound * (~0ULL / bound);
         uint64_t v;

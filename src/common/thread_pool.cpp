@@ -1,8 +1,7 @@
 #include "common/thread_pool.h"
 
-#include <cstdlib>
-
 #include "common/bits.h"
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace unizk {
@@ -16,12 +15,12 @@ thread_local bool in_pool_worker = false;
 unsigned
 autoThreadCount()
 {
-    if (const char *env = std::getenv("UNIZK_THREADS")) {
-        const unsigned long n = std::strtoul(env, nullptr, 10);
-        if (n >= 1)
-            return static_cast<unsigned>(n);
-        warn("ignoring invalid UNIZK_THREADS value '", env, "'");
-    }
+    // Strict parse (trailing junk / sign / range rejected with a warn):
+    // "8abc" or "4294967297" used to silently become 8 resp. a wrapped
+    // unsigned. kMaxThreads matches resize()'s practical ceiling; any
+    // rejected value falls back to hardware concurrency.
+    if (const auto n = envUint("UNIZK_THREADS", 1, kMaxThreads))
+        return static_cast<unsigned>(*n);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }
@@ -57,6 +56,7 @@ void
 ThreadPool::resize(unsigned threads)
 {
     unizk_assert(threads >= 1, "thread pool needs at least one thread");
+    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
     if (threads == thread_count_)
         return;
     {
@@ -136,6 +136,10 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
         return;
     }
 
+    // Whole regions from concurrent submitters (service worker lanes)
+    // serialize here; within a region nothing else changes, so chunk
+    // boundaries -- and therefore proof bytes -- stay schedule-free.
+    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
     std::unique_lock<std::mutex> lock(mutex_);
     unizk_assert(task_ == nullptr, "parallel region already active");
     task_ = &fn;

@@ -35,10 +35,19 @@
 
 namespace unizk {
 
+/** Upper bound on configurable thread counts (env var or CLI). */
+constexpr unsigned kMaxThreads = 4096;
+
 /**
  * A fixed set of worker threads executing chunked loop bodies. One
  * instance (the global pool) is shared by every prover; standalone
  * instances exist only in tests.
+ *
+ * Concurrent submitters are allowed: parallelFor() serializes whole
+ * regions through a submission mutex, so several service lanes may
+ * drive the same pool and each region still runs exactly as it would
+ * alone (preserving the determinism guarantee above). Serial code
+ * between one lane's regions overlaps with another lane's regions.
  */
 class ThreadPool
 {
@@ -68,6 +77,11 @@ class ThreadPool
 
   private:
     void workerLoop();
+
+    // Held for the full extent of one parallel region (and by resize),
+    // making submissions from multiple threads safe; acquired before
+    // mutex_, never the other way around.
+    std::mutex submit_mutex_;
 
     std::vector<std::thread> workers_;
     unsigned thread_count_ = 1;

@@ -1,10 +1,9 @@
 #include "ntt/twiddles.h"
 
 #include <array>
-#include <cstdlib>
 #include <mutex>
-#include <string_view>
 
+#include "common/env.h"
 #include "field/goldilocks.h"
 #include "obs/obs.h"
 
@@ -90,18 +89,16 @@ registry()
 }
 
 /** Resolve the UNIZK_NTT_CACHE environment knob once. Caller holds the
- * registry mutex. */
+ * registry mutex. Strict parse: an unrecognized spelling (e.g. "flase")
+ * warns and keeps the cache enabled instead of silently doing so. */
 void
 resolveEnv(Registry &r)
 {
     if (r.env_checked)
         return;
     r.env_checked = true;
-    if (const char *env = std::getenv("UNIZK_NTT_CACHE")) {
-        const std::string_view v(env);
-        if (v == "0" || v == "off" || v == "false")
-            r.enabled = false;
-    }
+    if (const auto flag = envFlag("UNIZK_NTT_CACHE"))
+        r.enabled = *flag;
 }
 
 } // namespace

@@ -226,6 +226,35 @@ histogramSnapshot()
     return out;
 }
 
+double
+histogramQuantile(const HistogramData &data, double q)
+{
+    if (data.count == 0)
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    // Rank of the quantile among the recorded values (1-based).
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(q * static_cast<double>(data.count)));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+        const uint64_t in_bucket = data.buckets[i];
+        if (in_bucket == 0)
+            continue;
+        if (seen + in_bucket >= rank) {
+            // Bucket i spans [2^(i-1), 2^i - 1] (bucket 0 holds 0).
+            if (i == 0)
+                return 0.0;
+            const double lo = static_cast<double>(uint64_t{1} << (i - 1));
+            const double hi = lo * 2.0;
+            const double frac = static_cast<double>(rank - seen) /
+                                static_cast<double>(in_bucket);
+            return lo + (hi - lo) * frac;
+        }
+        seen += in_bucket;
+    }
+    return static_cast<double>(data.max);
+}
+
 void
 resetAll()
 {
@@ -278,8 +307,13 @@ Span::~Span()
     // is always this span.
     tl_span_stack.pop_back();
     SpanBuffer &buf = threadSpanBuffer();
-    buf.events.push_back(
-        {name_, parent_, start_ns_, end_ns, buf.threadId, depth_});
+    if (buf.events.size() < kMaxBufferedSpansPerThread) {
+        buf.events.push_back(
+            {name_, parent_, start_ns_, end_ns, buf.threadId, depth_});
+    } else {
+        static Counter dropped("obs.spans_dropped");
+        dropped.add(1);
+    }
     static Histogram duration_histo("obs.span_duration_ns");
     duration_histo.record(end_ns - start_ns_);
 }

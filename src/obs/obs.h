@@ -92,6 +92,24 @@ struct HistogramData
  */
 std::map<std::string, HistogramData> histogramSnapshot();
 
+/**
+ * Approximate @p q quantile (0 <= q <= 1) of a log2-bucket histogram,
+ * by linear interpolation inside the bucket holding the quantile rank.
+ * With power-of-two buckets the estimate is within 2x of the true
+ * value, which is the right fidelity for p50/p99 service-latency
+ * reporting. Returns 0 when the histogram is empty.
+ */
+double histogramQuantile(const HistogramData &data, double q);
+
+/**
+ * Cap on spans buffered per thread between drains. Long-running
+ * processes (the unizkd service) record spans indefinitely without a
+ * quiescent point to drain at; once a thread's buffer is full further
+ * spans are counted in "obs.spans_dropped" instead of buffered, so
+ * memory stays bounded while histograms and counters keep recording.
+ */
+constexpr size_t kMaxBufferedSpansPerThread = size_t{1} << 20;
+
 /** Clear spans, counters and histograms; restart the epoch clock. */
 void resetAll();
 

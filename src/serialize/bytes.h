@@ -28,6 +28,13 @@ class ByteWriter
             buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
     }
 
+    /** Append @p len raw bytes (the service frames carry proof blobs). */
+    void
+    putRaw(const uint8_t *data_, size_t len)
+    {
+        buf.insert(buf.end(), data_, data_ + len);
+    }
+
     void putFp(Fp v) { putU64(v.value()); }
 
     void
@@ -130,6 +137,26 @@ class ByteReader
         for (Fp &e : h.elems)
             e = getFp();
         return h;
+    }
+
+    /**
+     * Copy @p len raw bytes out of the stream. Callers must bound
+     * @p len via canRead(len, 1) first, exactly like getFpVector's
+     * length prefix: the count is untrusted input.
+     */
+    std::vector<uint8_t>
+    getRaw(uint64_t len)
+    {
+        if (failed || len > data.size() - pos) {
+            failed = true;
+            return {};
+        }
+        std::vector<uint8_t> out(data.begin() +
+                                     static_cast<std::ptrdiff_t>(pos),
+                                 data.begin() +
+                                     static_cast<std::ptrdiff_t>(pos + len));
+        pos += len;
+        return out;
     }
 
     std::vector<Fp>

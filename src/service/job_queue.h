@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Bounded MPMC job queue: the admission-control point of the proving
+ * service. Producers (connection threads) never block -- tryPush
+ * reports Full so the caller can send a typed backpressure error
+ * instead of stalling the socket. Consumers (prover lanes) block in
+ * pop() until work arrives or the queue is closed and drained, which
+ * is what gives shutdown its drain-then-exit semantics: close() stops
+ * admissions while every job already admitted still gets executed.
+ */
+
+#ifndef UNIZK_SERVICE_JOB_QUEUE_H
+#define UNIZK_SERVICE_JOB_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace unizk {
+namespace service {
+
+enum class PushResult
+{
+    Ok,
+    Full,   ///< at capacity: reject with ErrorCode::QueueFull
+    Closed, ///< shutting down: reject with ErrorCode::ShuttingDown
+};
+
+template <typename T> class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Admit @p item unless the queue is full or closed. On success,
+     * @p depth_out (when non-null) receives the number of jobs that
+     * were ahead of this one. The write happens under the queue mutex
+     * *before* the item becomes visible to consumers, so @p depth_out
+     * may point into the item itself (pop() acquires the same mutex,
+     * which sequences the consumer's read after it).
+     */
+    PushResult
+    tryPush(T item, size_t *depth_out = nullptr)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return PushResult::Closed;
+        if (items_.size() >= capacity_)
+            return PushResult::Full;
+        if (depth_out != nullptr)
+            *depth_out = items_.size();
+        items_.push_back(std::move(item));
+        ready_.notify_one();
+        return PushResult::Ok;
+    }
+
+    /**
+     * Take the oldest job, blocking while the queue is open but empty.
+     * Returns std::nullopt once the queue is closed *and* drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /** Stop admissions; queued jobs remain poppable until drained. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        ready_.notify_all();
+    }
+
+    size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    size_t capacity() const { return capacity_; }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace service
+} // namespace unizk
+
+#endif // UNIZK_SERVICE_JOB_QUEUE_H

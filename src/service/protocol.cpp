@@ -1,0 +1,257 @@
+#include "service/protocol.h"
+
+#include "serialize/bytes.h"
+
+namespace unizk {
+namespace service {
+
+namespace {
+
+/** Append a length-prefixed byte string. */
+void
+putBytes(ByteWriter &w, const uint8_t *data, size_t len)
+{
+    w.putU64(len);
+    w.putRaw(data, len);
+}
+
+/**
+ * Read a length-prefixed byte string, bounded by the bytes actually
+ * present (canRead) and by @p max_len before allocating.
+ */
+std::optional<std::vector<uint8_t>>
+getBytes(ByteReader &r, uint64_t max_len)
+{
+    const uint64_t len = r.getU64();
+    if (!r.ok() || len > max_len || !r.canRead(len, 1))
+        return std::nullopt;
+    std::vector<uint8_t> out = r.getRaw(len);
+    if (!r.ok())
+        return std::nullopt;
+    return out;
+}
+
+bool
+validProveFields(const ProveRequest &req)
+{
+    if (req.protocol != WireProtocol::Plonky2 &&
+        req.protocol != WireProtocol::Starky) {
+        return false;
+    }
+    if (static_cast<uint64_t>(req.app) >
+        static_cast<uint64_t>(AppId::Recursion)) {
+        return false;
+    }
+    if (req.rows > kMaxRequestRows || req.reps > kMaxRequestReps)
+        return false;
+    if (req.protocol == WireProtocol::Starky &&
+        !hasStarkImplementation(req.app)) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+FriConfig
+requestFriConfig(const ProveRequest &req)
+{
+    FriConfig cfg = req.protocol == WireProtocol::Plonky2
+                        ? FriConfig::plonky2()
+                        : FriConfig::starky();
+    // Same knobs as unizk_cli --fast.
+    if (req.fast) {
+        cfg.powBits = 8;
+        cfg.numQueries =
+            req.protocol == WireProtocol::Plonky2 ? 8 : 16;
+    }
+    return cfg;
+}
+
+size_t
+requestRows(const ProveRequest &req)
+{
+    return req.rows ? req.rows : defaultParams(req.app).rows;
+}
+
+size_t
+requestReps(const ProveRequest &req)
+{
+    return req.reps ? req.reps : defaultParams(req.app).repetitions;
+}
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::BadFrame:
+        return "bad-frame";
+    case ErrorCode::BadRequest:
+        return "bad-request";
+    case ErrorCode::QueueFull:
+        return "queue-full";
+    case ErrorCode::ShuttingDown:
+        return "shutting-down";
+    }
+    return "unknown";
+}
+
+std::vector<uint8_t>
+encodeProveRequest(const ProveRequest &req)
+{
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::Prove));
+    w.putU64(static_cast<uint64_t>(req.protocol));
+    w.putU64(static_cast<uint64_t>(req.app));
+    w.putU64(req.rows);
+    w.putU64(req.reps);
+    const uint64_t flags =
+        (req.fast ? 1u : 0u) | (req.verify ? 2u : 0u);
+    w.putU64(flags);
+    return w.take();
+}
+
+std::vector<uint8_t>
+encodePing()
+{
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::Ping));
+    return w.take();
+}
+
+std::vector<uint8_t>
+encodeShutdown()
+{
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::Shutdown));
+    return w.take();
+}
+
+std::vector<uint8_t>
+encodeProveResponse(const ProveResponse &resp)
+{
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::ProveOk));
+    w.putU64(resp.verified ? 1 : 0);
+    w.putU64(resp.latencyNs);
+    w.putU64(resp.queueDepth);
+    putBytes(w, resp.proof.data(), resp.proof.size());
+    return w.take();
+}
+
+std::vector<uint8_t>
+encodePong()
+{
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::Pong));
+    return w.take();
+}
+
+std::vector<uint8_t>
+encodeShutdownAck()
+{
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::ShutdownAck));
+    return w.take();
+}
+
+std::vector<uint8_t>
+encodeError(ErrorCode code, const std::string &message)
+{
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::Error));
+    w.putU64(static_cast<uint64_t>(code));
+    putBytes(w, reinterpret_cast<const uint8_t *>(message.data()),
+             message.size());
+    return w.take();
+}
+
+std::optional<RequestFrame>
+decodeRequest(const std::vector<uint8_t> &payload)
+{
+    ByteReader r(payload);
+    RequestFrame frame;
+    const uint64_t tag = r.getU64();
+    if (!r.ok())
+        return std::nullopt;
+    switch (static_cast<Tag>(tag)) {
+    case Tag::Ping:
+        frame.tag = Tag::Ping;
+        break;
+    case Tag::Shutdown:
+        frame.tag = Tag::Shutdown;
+        break;
+    case Tag::Prove: {
+        frame.tag = Tag::Prove;
+        ProveRequest &req = frame.prove;
+        req.protocol = static_cast<WireProtocol>(r.getU64());
+        req.app = static_cast<AppId>(r.getU64());
+        req.rows = r.getU64();
+        req.reps = r.getU64();
+        const uint64_t flags = r.getU64();
+        req.fast = (flags & 1) != 0;
+        req.verify = (flags & 2) != 0;
+        if (!r.ok() || !validProveFields(req))
+            return std::nullopt;
+        break;
+    }
+    default:
+        return std::nullopt;
+    }
+    if (!r.exhausted())
+        return std::nullopt;
+    return frame;
+}
+
+std::optional<ResponseFrame>
+decodeResponse(const std::vector<uint8_t> &payload)
+{
+    ByteReader r(payload);
+    ResponseFrame frame;
+    const uint64_t tag = r.getU64();
+    if (!r.ok())
+        return std::nullopt;
+    switch (static_cast<Tag>(tag)) {
+    case Tag::Pong:
+        frame.tag = Tag::Pong;
+        break;
+    case Tag::ShutdownAck:
+        frame.tag = Tag::ShutdownAck;
+        break;
+    case Tag::ProveOk: {
+        frame.tag = Tag::ProveOk;
+        ProveResponse &resp = frame.prove;
+        resp.verified = r.getU64() != 0;
+        resp.latencyNs = r.getU64();
+        resp.queueDepth = r.getU64();
+        auto proof = getBytes(r, kMaxResponseFrameBytes);
+        if (!r.ok() || !proof)
+            return std::nullopt;
+        resp.proof = std::move(*proof);
+        break;
+    }
+    case Tag::Error: {
+        frame.tag = Tag::Error;
+        ErrorResponse &err = frame.error;
+        const uint64_t code = r.getU64();
+        if (code < static_cast<uint64_t>(ErrorCode::BadFrame) ||
+            code > static_cast<uint64_t>(ErrorCode::ShuttingDown)) {
+            return std::nullopt;
+        }
+        err.code = static_cast<ErrorCode>(code);
+        auto msg = getBytes(r, 4096);
+        if (!r.ok() || !msg)
+            return std::nullopt;
+        err.message.assign(msg->begin(), msg->end());
+        break;
+    }
+    default:
+        return std::nullopt;
+    }
+    if (!r.exhausted())
+        return std::nullopt;
+    return frame;
+}
+
+} // namespace service
+} // namespace unizk

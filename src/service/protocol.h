@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Wire protocol for the unizkd proving service: length-prefixed binary
+ * frames layered on the serialize ByteReader/ByteWriter primitives.
+ *
+ * Framing
+ *   Every message is one frame: a u64 little-endian payload length
+ *   followed by that many payload bytes. The length is untrusted input
+ *   and is bounded (kMaxRequestFrameBytes on the server side,
+ *   kMaxResponseFrameBytes on the client side) *before* any allocation
+ *   -- the same no-allocation-from-unbounded-claims discipline the
+ *   proof deserializers follow via ByteReader::canRead.
+ *
+ * Payloads
+ *   Each payload starts with a u64 tag. Decoding is total: malformed
+ *   payloads yield std::nullopt, never undefined behaviour, because a
+ *   server reading untrusted bytes cannot tolerate less.
+ */
+
+#ifndef UNIZK_SERVICE_PROTOCOL_H
+#define UNIZK_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fri/fri_config.h"
+#include "workloads/apps.h"
+
+namespace unizk {
+namespace service {
+
+/** Hard ceilings on frame payload sizes, checked before allocating. */
+constexpr uint64_t kMaxRequestFrameBytes = uint64_t{1} << 16;
+constexpr uint64_t kMaxResponseFrameBytes = uint64_t{1} << 28;
+
+/** Payload tags. Requests are client -> server, responses the reverse. */
+enum class Tag : uint64_t
+{
+    // Requests.
+    Prove = 1,
+    Ping = 2,
+    Shutdown = 3,
+
+    // Responses.
+    ProveOk = 101,
+    Pong = 102,
+    ShutdownAck = 103,
+    Error = 104,
+};
+
+/** Typed error codes carried by Tag::Error frames. */
+enum class ErrorCode : uint64_t
+{
+    BadFrame = 1,    ///< malformed / oversized / truncated frame
+    BadRequest = 2,  ///< unknown tag or out-of-range request fields
+    QueueFull = 3,   ///< admission control rejected the request
+    ShuttingDown = 4 ///< server is draining; no new work accepted
+};
+
+const char *errorCodeName(ErrorCode code);
+
+/** Proof-system selector on the wire. */
+enum class WireProtocol : uint64_t
+{
+    Plonky2 = 0,
+    Starky = 1,
+};
+
+/** One proof request. All fields are validated on decode. */
+struct ProveRequest
+{
+    WireProtocol protocol = WireProtocol::Plonky2;
+    AppId app = AppId::Factorial;
+    uint64_t rows = 0; ///< 0 = the app's default shape
+    uint64_t reps = 0; ///< 0 = the app's default (Plonky2 only)
+    bool fast = true;  ///< reduced FRI security, as unizk_cli --fast
+    bool verify = true;
+};
+
+/** Successful proof response. */
+struct ProveResponse
+{
+    bool verified = false;
+    uint64_t latencyNs = 0;   ///< queue admission -> proof completion
+    uint64_t queueDepth = 0;  ///< jobs ahead of this one at admission
+    std::vector<uint8_t> proof; ///< canonical serialized proof bytes
+};
+
+/** Typed error response. */
+struct ErrorResponse
+{
+    ErrorCode code = ErrorCode::BadFrame;
+    std::string message;
+};
+
+/** A decoded request payload (tag + per-tag body). */
+struct RequestFrame
+{
+    Tag tag = Tag::Ping;
+    ProveRequest prove; ///< valid iff tag == Tag::Prove
+};
+
+/** A decoded response payload (tag + per-tag body). */
+struct ResponseFrame
+{
+    Tag tag = Tag::Pong;
+    ProveResponse prove; ///< valid iff tag == Tag::ProveOk
+    ErrorResponse error; ///< valid iff tag == Tag::Error
+};
+
+// Request-field ceilings enforced by decodeRequest: the prover pads
+// rows to a power of two and materializes 3*reps wire columns, so an
+// unbounded claim would be an allocation-DoS just like an unbounded
+// proof length prefix.
+constexpr uint64_t kMaxRequestRows = uint64_t{1} << 20;
+constexpr uint64_t kMaxRequestReps = 128;
+
+/**
+ * Resolve a request to concrete prover inputs, mirroring unizk_cli's
+ * --fast and default-shape handling. Server lanes and the client's
+ * --check verification both use these, which is what makes service
+ * proofs byte-identical to the direct CLI path.
+ */
+FriConfig requestFriConfig(const ProveRequest &req);
+size_t requestRows(const ProveRequest &req);
+size_t requestReps(const ProveRequest &req);
+
+std::vector<uint8_t> encodeProveRequest(const ProveRequest &req);
+std::vector<uint8_t> encodePing();
+std::vector<uint8_t> encodeShutdown();
+
+std::vector<uint8_t> encodeProveResponse(const ProveResponse &resp);
+std::vector<uint8_t> encodePong();
+std::vector<uint8_t> encodeShutdownAck();
+std::vector<uint8_t> encodeError(ErrorCode code,
+                                 const std::string &message);
+
+/**
+ * Decode a request payload. Returns std::nullopt for unknown tags,
+ * out-of-range fields (rows/reps/app/protocol), a Starky request for
+ * an app without a Starky implementation, or trailing bytes.
+ */
+std::optional<RequestFrame>
+decodeRequest(const std::vector<uint8_t> &payload);
+
+/** Decode a response payload (client side); total like decodeRequest. */
+std::optional<ResponseFrame>
+decodeResponse(const std::vector<uint8_t> &payload);
+
+} // namespace service
+} // namespace unizk
+
+#endif // UNIZK_SERVICE_PROTOCOL_H

@@ -1,0 +1,362 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "obs/obs.h"
+#include "unizk/pipeline.h"
+
+namespace unizk {
+namespace service {
+
+namespace {
+
+/**
+ * Clients that stall mid-frame (or vanish without a FIN while we are
+ * blocked reading) would otherwise pin their connection thread
+ * forever; a receive timeout turns that into a bounded-latency drop,
+ * which also bounds how long a graceful drain can take.
+ */
+void
+setRecvTimeout(int fd)
+{
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+} // namespace
+
+struct ProofService::Job
+{
+    ProveRequest request;
+    size_t admissionDepth = 0; ///< written under the queue lock by tryPush
+    Stopwatch admitted; ///< starts the latency clock at admission
+    std::promise<ProveResponse> promise;
+};
+
+struct ProofService::Connection
+{
+    Fd fd;
+    std::thread thread;
+    std::atomic<bool> done{false};
+};
+
+ProofService::ProofService(ServiceConfig cfg) : config_(std::move(cfg))
+{
+    queue_ = std::make_unique<BoundedQueue<std::shared_ptr<Job>>>(
+        config_.queueCapacity);
+}
+
+ProofService::~ProofService()
+{
+    stop();
+}
+
+bool
+ProofService::start()
+{
+    listen_fd_ = listenUnix(config_.socketPath);
+    if (!listen_fd_.valid()) {
+        warn("unizkd: cannot listen on '", config_.socketPath, "'");
+        return false;
+    }
+    const unsigned lanes = config_.proverLanes >= 1
+                               ? config_.proverLanes
+                               : 1;
+    for (unsigned i = 0; i < lanes; ++i)
+        lanes_.emplace_back([this] { proverLane(); });
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+    inform("unizkd: serving on ", config_.socketPath, " (queue ",
+           config_.queueCapacity, ", lanes ", lanes, ", pool ",
+           globalThreadCount(), " threads)");
+    return true;
+}
+
+void
+ProofService::requestStop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stop_mutex_);
+        stop_requested_.store(true, std::memory_order_release);
+    }
+    wake_.signal();
+    stop_cv_.notify_all();
+}
+
+bool
+ProofService::stopRequested() const
+{
+    return stop_requested_.load(std::memory_order_acquire);
+}
+
+void
+ProofService::waitForStopRequest()
+{
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait(lock, [&] { return stopRequested(); });
+}
+
+void
+ProofService::stop()
+{
+    if (stopped_.exchange(true))
+        return;
+    requestStop();
+
+    // 1. No new connections: join the accept loop, drop the listener.
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    listen_fd_.reset();
+    ::unlink(config_.socketPath.c_str());
+
+    // 2. No new admissions; lanes drain every job already admitted, so
+    //    each pending future is fulfilled before the lanes exit.
+    queue_->close();
+    for (auto &lane : lanes_)
+        lane.join();
+    lanes_.clear();
+
+    // 3. Connection threads finish their in-flight response (its future
+    //    is ready by now), observe the stop, and exit.
+    std::vector<std::unique_ptr<Connection>> conns;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        conns.swap(connections_);
+    }
+    for (auto &conn : conns) {
+        if (conn->thread.joinable())
+            conn->thread.join();
+    }
+    inform("unizkd: drained and stopped");
+}
+
+ServiceCounters
+ProofService::counters() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return counters_;
+}
+
+std::vector<obs::RunStats>
+ProofService::runStats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return run_stats_;
+}
+
+void
+ProofService::acceptLoop()
+{
+    while (!stopRequested()) {
+        if (!waitReadable(listen_fd_.get(), wake_.readFd()))
+            break; // woken for shutdown
+        Fd client(::accept(listen_fd_.get(), nullptr, nullptr));
+        if (!client.valid())
+            continue;
+        setRecvTimeout(client.get());
+        auto conn = std::make_unique<Connection>();
+        conn->fd = std::move(client);
+        Connection *raw = conn.get();
+        conn->thread =
+            std::thread([this, raw] { connectionLoop(*raw); });
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            counters_.connectionsAccepted++;
+        }
+        {
+            std::lock_guard<std::mutex> lock(connections_mutex_);
+            // Reap connections that already finished so a long-lived
+            // daemon does not accumulate joined-out thread objects.
+            for (auto it = connections_.begin();
+                 it != connections_.end();) {
+                if ((*it)->done.load(std::memory_order_acquire)) {
+                    (*it)->thread.join();
+                    it = connections_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            connections_.push_back(std::move(conn));
+        }
+        UNIZK_COUNTER_ADD("service.connections_accepted", 1);
+    }
+}
+
+void
+ProofService::connectionLoop(Connection &conn)
+{
+    const int fd = conn.fd.get();
+    std::vector<uint8_t> payload;
+    for (;;) {
+        if (stopRequested())
+            break;
+        if (!waitReadable(fd, wake_.readFd()))
+            break; // shutdown wake while idle
+        const FrameResult res =
+            readFrame(fd, kMaxRequestFrameBytes, payload);
+        if (res == FrameResult::Eof)
+            break;
+        if (res == FrameResult::TooLarge) {
+            // The oversized length claim was rejected before any
+            // allocation; tell the client why, then drop it (the rest
+            // of its stream is unframed garbage to us now).
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                counters_.malformedFrames++;
+            }
+            writeFrame(fd, encodeError(ErrorCode::BadFrame,
+                                       "frame exceeds size bound"));
+            break;
+        }
+        if (res != FrameResult::Ok) {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            counters_.disconnects++;
+            break;
+        }
+        if (!handleRequest(conn, payload))
+            break;
+    }
+    conn.fd.reset();
+    conn.done.store(true, std::memory_order_release);
+}
+
+bool
+ProofService::handleRequest(Connection &conn,
+                            const std::vector<uint8_t> &payload)
+{
+    const int fd = conn.fd.get();
+    const auto frame = decodeRequest(payload);
+    if (!frame) {
+        // Unknown tag or out-of-range fields: typed rejection, but the
+        // framing is still intact, so keep the connection.
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            counters_.rejectedBadRequest++;
+        }
+        UNIZK_COUNTER_ADD("service.rejected_bad_request", 1);
+        return writeFrame(fd, encodeError(ErrorCode::BadRequest,
+                                          "malformed request"));
+    }
+
+    switch (frame->tag) {
+    case Tag::Ping:
+        return writeFrame(fd, encodePong());
+
+    case Tag::Shutdown:
+        // Flip the stop flag before acking so a client that sees the
+        // ack can rely on stopRequested() being observable.
+        inform("unizkd: shutdown requested over protocol");
+        requestStop();
+        writeFrame(fd, encodeShutdownAck());
+        return false;
+
+    case Tag::Prove: {
+        if (stopRequested()) {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            counters_.rejectedShutdown++;
+            return writeFrame(fd,
+                              encodeError(ErrorCode::ShuttingDown,
+                                          "service is draining"));
+        }
+        auto job = std::make_shared<Job>();
+        job->request = frame->prove;
+        std::future<ProveResponse> result = job->promise.get_future();
+        // admissionDepth is filled in under the queue lock, before a
+        // lane can see the job -- writing it after tryPush would race
+        // with proverLane reading it.
+        switch (queue_->tryPush(job, &job->admissionDepth)) {
+        case PushResult::Full: {
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                counters_.rejectedQueueFull++;
+            }
+            UNIZK_COUNTER_ADD("service.rejected_queue_full", 1);
+            return writeFrame(fd,
+                              encodeError(ErrorCode::QueueFull,
+                                          "job queue at capacity"));
+        }
+        case PushResult::Closed: {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            counters_.rejectedShutdown++;
+            return writeFrame(fd,
+                              encodeError(ErrorCode::ShuttingDown,
+                                          "service is draining"));
+        }
+        case PushResult::Ok:
+            break;
+        }
+        UNIZK_OBS_HISTO("service.queue_depth", job->admissionDepth);
+
+        // Closed-loop: wait for the lane, answer, then read the next
+        // frame. The future is always fulfilled -- lanes drain the
+        // queue even during shutdown.
+        const ProveResponse response = result.get();
+        if (!writeFrame(fd, encodeProveResponse(response))) {
+            // Client vanished mid-request; the proof is discarded.
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            counters_.disconnects++;
+            return false;
+        }
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            counters_.requestsCompleted++;
+        }
+        return true;
+    }
+
+    default:
+        return writeFrame(fd, encodeError(ErrorCode::BadRequest,
+                                          "unexpected response tag"));
+    }
+}
+
+void
+ProofService::proverLane()
+{
+    while (auto popped = queue_->pop()) {
+        const std::shared_ptr<Job> job = *popped;
+        const ProveRequest &req = job->request;
+        UNIZK_SPAN("service/request");
+
+        const FriConfig cfg = requestFriConfig(req);
+        const HardwareConfig hw = HardwareConfig::paperDefault();
+        const size_t rows = requestRows(req);
+        const size_t reps = requestReps(req);
+
+        const AppRunResult result =
+            req.protocol == WireProtocol::Plonky2
+                ? runPlonky2App(req.app, rows, reps, cfg, hw,
+                                req.verify)
+                : runStarkyApp(req.app, rows, cfg, hw, req.verify);
+
+        ProveResponse response;
+        response.verified = result.verified;
+        response.queueDepth = job->admissionDepth;
+        response.latencyNs = static_cast<uint64_t>(
+            job->admitted.elapsedSeconds() * 1e9);
+        response.proof = result.proofBlob;
+
+        UNIZK_OBS_HISTO("service.request_latency_ns",
+                        response.latencyNs);
+        UNIZK_COUNTER_ADD("service.requests_completed", 1);
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            if (run_stats_.size() < config_.maxStoredRuns) {
+                run_stats_.push_back(toRunStats(
+                    result,
+                    req.protocol == WireProtocol::Plonky2 ? "plonky2"
+                                                          : "starky",
+                    globalThreadCount()));
+            }
+        }
+        job->promise.set_value(std::move(response));
+    }
+}
+
+} // namespace service
+} // namespace unizk

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The unizkd proving service: a long-running daemon accepting proof
+ * requests over a unix-domain socket.
+ *
+ * Architecture (DESIGN.md section 8):
+ *
+ *   accept loop ──> connection threads ──> bounded job queue ──> lanes
+ *        │                │  (one per client; frame I/O,   │  (prover
+ *        │                │   decode, admission control)   │   lanes on
+ *        │                └── write response <── future ───┘   the global
+ *        │                                                     ThreadPool)
+ *        └── WakePipe interrupts every poll() for shutdown
+ *
+ * Each connection is closed-loop: the connection thread reads one
+ * frame, validates and enqueues it (or rejects with a typed error when
+ * the queue is full / draining), waits for the lane's result, writes
+ * the response, then reads the next frame. Prover lanes run requests
+ * through the existing pipeline (runPlonky2App / runStarkyApp), whose
+ * parallelFor regions serialize on the global pool, so proofs remain
+ * byte-identical to the one-shot unizk_cli path.
+ *
+ * Shutdown (SIGINT/SIGTERM via requestStop, or a protocol Shutdown
+ * frame) drains: stop accepting, close the queue (admitted jobs still
+ * run), join lanes, answer every in-flight request, then join
+ * connection threads and unlink the socket.
+ */
+
+#ifndef UNIZK_SERVICE_SERVER_H
+#define UNIZK_SERVICE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/stats_export.h"
+#include "service/job_queue.h"
+#include "service/protocol.h"
+#include "service/socket_io.h"
+
+namespace unizk {
+namespace service {
+
+struct ServiceConfig
+{
+    std::string socketPath;
+
+    /** Admission-control bound; tryPush beyond this rejects QueueFull.
+     *  0 is legal and rejects every request (used by tests). */
+    size_t queueCapacity = 16;
+
+    /** Prover lanes consuming the queue. Lanes share the global
+     *  ThreadPool; regions serialize, serial phases overlap. */
+    unsigned proverLanes = 2;
+
+    /** Cap on per-request RunStats retained for the stats export. */
+    size_t maxStoredRuns = 1024;
+};
+
+/** Monotonic counters describing one service lifetime. */
+struct ServiceCounters
+{
+    uint64_t connectionsAccepted = 0;
+    uint64_t requestsCompleted = 0;
+    uint64_t rejectedQueueFull = 0;
+    uint64_t rejectedBadRequest = 0;
+    uint64_t rejectedShutdown = 0;
+    uint64_t malformedFrames = 0;
+    uint64_t disconnects = 0; ///< clients gone mid-request or mid-frame
+};
+
+class ProofService
+{
+  public:
+    explicit ProofService(ServiceConfig cfg);
+    ~ProofService();
+
+    ProofService(const ProofService &) = delete;
+    ProofService &operator=(const ProofService &) = delete;
+
+    /** Bind the socket and launch accept loop + prover lanes. */
+    bool start();
+
+    /** Ask for a graceful drain; returns immediately. Safe to call
+     *  from any thread (not from a signal handler -- handlers should
+     *  sigwait / self-pipe and call this from a normal thread). */
+    void requestStop();
+
+    /** True once requestStop was called (or a Shutdown frame arrived). */
+    bool stopRequested() const;
+
+    /** Block until a stop is requested (daemon main loop). */
+    void waitForStopRequest();
+
+    /** Drain and join everything; idempotent. start() may not be
+     *  called again afterwards. */
+    void stop();
+
+    /** Counter snapshot (exact once stopped). */
+    ServiceCounters counters() const;
+
+    /** Per-request run stats collected so far (capped, FIFO). */
+    std::vector<obs::RunStats> runStats() const;
+
+    const ServiceConfig &config() const { return config_; }
+
+  private:
+    struct Job;
+    struct Connection;
+
+    void acceptLoop();
+    void connectionLoop(Connection &conn);
+    void proverLane();
+
+    /** Handle one decoded request; returns false to drop the client. */
+    bool handleRequest(Connection &conn,
+                       const std::vector<uint8_t> &payload);
+
+    ServiceConfig config_;
+    Fd listen_fd_;
+    WakePipe wake_;
+    std::atomic<bool> stop_requested_{false};
+    std::atomic<bool> stopped_{false};
+
+    std::mutex stop_mutex_;
+    std::condition_variable stop_cv_;
+
+    std::unique_ptr<BoundedQueue<std::shared_ptr<Job>>> queue_;
+    std::thread accept_thread_;
+    std::vector<std::thread> lanes_;
+
+    std::mutex connections_mutex_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+
+    mutable std::mutex stats_mutex_;
+    ServiceCounters counters_;
+    std::vector<obs::RunStats> run_stats_;
+};
+
+} // namespace service
+} // namespace unizk
+
+#endif // UNIZK_SERVICE_SERVER_H

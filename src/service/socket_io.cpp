@@ -1,0 +1,188 @@
+#include "service/socket_io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace unizk {
+namespace service {
+
+namespace {
+
+/** Read exactly @p len bytes; false on EOF/error before completion. */
+bool
+readAll(int fd, uint8_t *buf, size_t len)
+{
+    size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+        if (n == 0)
+            return false;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        got += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Write exactly @p len bytes; MSG_NOSIGNAL so a dead peer yields
+ *  EPIPE instead of killing the process. */
+bool
+writeAll(int fd, const uint8_t *buf, size_t len)
+{
+    size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n =
+            ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Fd
+listenUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path))
+        return Fd();
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        return Fd();
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        return Fd();
+    }
+    if (::listen(fd.get(), 64) != 0)
+        return Fd();
+    return fd;
+}
+
+Fd
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path))
+        return Fd();
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        return Fd();
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        return Fd();
+    }
+    return fd;
+}
+
+FrameResult
+readFrame(int fd, uint64_t max_payload, std::vector<uint8_t> &payload)
+{
+    uint8_t header[8];
+    // Distinguish a clean close (EOF before any header byte) from a
+    // peer that vanished mid-frame.
+    {
+        const ssize_t n = ::recv(fd, header, sizeof(header), MSG_PEEK);
+        if (n == 0)
+            return FrameResult::Eof;
+        if (n < 0)
+            return errno == EINTR ? readFrame(fd, max_payload, payload)
+                                  : FrameResult::IoError;
+    }
+    if (!readAll(fd, header, sizeof(header)))
+        return FrameResult::Truncated;
+    uint64_t len = 0;
+    for (size_t i = 0; i < 8; ++i)
+        len |= static_cast<uint64_t>(header[i]) << (8 * i);
+    // The length claim is untrusted: bound it before the allocation.
+    if (len > max_payload)
+        return FrameResult::TooLarge;
+    payload.resize(len);
+    if (len > 0 && !readAll(fd, payload.data(), len))
+        return FrameResult::Truncated;
+    return FrameResult::Ok;
+}
+
+bool
+writeFrame(int fd, const std::vector<uint8_t> &payload)
+{
+    uint8_t header[8];
+    const uint64_t len = payload.size();
+    for (size_t i = 0; i < 8; ++i)
+        header[i] = static_cast<uint8_t>(len >> (8 * i));
+    return writeAll(fd, header, sizeof(header)) &&
+           writeAll(fd, payload.data(), payload.size());
+}
+
+WakePipe::WakePipe()
+{
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) == 0) {
+        read_end_ = Fd(fds[0]);
+        write_end_ = Fd(fds[1]);
+    }
+}
+
+void
+WakePipe::signal()
+{
+    if (write_end_.valid()) {
+        const uint8_t byte = 1;
+        // A full pipe still wakes the reader; the result is irrelevant.
+        [[maybe_unused]] const ssize_t n =
+            ::write(write_end_.get(), &byte, 1);
+    }
+}
+
+bool
+waitReadable(int fd, int wake_fd)
+{
+    for (;;) {
+        pollfd fds[2];
+        fds[0].fd = fd;
+        fds[0].events = POLLIN;
+        fds[0].revents = 0;
+        fds[1].fd = wake_fd;
+        fds[1].events = POLLIN;
+        fds[1].revents = 0;
+        const int n = ::poll(fds, 2, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (fds[1].revents != 0)
+            return false;
+        if (fds[0].revents != 0)
+            return true;
+    }
+}
+
+} // namespace service
+} // namespace unizk

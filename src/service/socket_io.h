@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Minimal AF_UNIX stream-socket helpers plus frame I/O for the unizkd
+ * protocol. All reads are bounded: a frame's length prefix is checked
+ * against the caller's ceiling *before* any allocation, so a malicious
+ * peer can never force the server to reserve more memory than the
+ * ceiling regardless of what the header claims.
+ */
+
+#ifndef UNIZK_SERVICE_SOCKET_IO_H
+#define UNIZK_SERVICE_SOCKET_IO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unizk {
+namespace service {
+
+/** RAII file descriptor. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(Fd &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Create, bind, and listen on a unix-domain stream socket at @p path
+ * (unlinking any stale socket file first). Returns an invalid Fd on
+ * failure (path too long for sockaddr_un, bind/listen errors).
+ */
+Fd listenUnix(const std::string &path);
+
+/** Connect to the unix-domain socket at @p path. */
+Fd connectUnix(const std::string &path);
+
+enum class FrameResult
+{
+    Ok,
+    Eof,      ///< orderly close before the first header byte
+    TooLarge, ///< length claim above the ceiling; nothing allocated
+    Truncated,///< peer vanished mid-frame
+    IoError,
+};
+
+/**
+ * Read one frame (u64 length + payload) into @p payload. The length
+ * claim is validated against @p max_payload before allocating.
+ */
+FrameResult readFrame(int fd, uint64_t max_payload,
+                      std::vector<uint8_t> &payload);
+
+/** Write one frame; false on any I/O error (e.g. peer disconnected). */
+bool writeFrame(int fd, const std::vector<uint8_t> &payload);
+
+/**
+ * A self-pipe used to interrupt poll()-based waits: writers call
+ * signal() (async-signal-safe), waiters include readFd() in their poll
+ * set. Level-triggered -- once signaled it stays readable.
+ */
+class WakePipe
+{
+  public:
+    WakePipe();
+
+    int readFd() const { return read_end_.get(); }
+    void signal();
+
+  private:
+    Fd read_end_;
+    Fd write_end_;
+};
+
+/**
+ * Block until @p fd is readable or @p wake_fd fires. Returns true when
+ * @p fd has data (or EOF) pending, false when interrupted by the wake
+ * pipe.
+ */
+bool waitReadable(int fd, int wake_fd);
+
+} // namespace service
+} // namespace unizk
+
+#endif // UNIZK_SERVICE_SOCKET_IO_H

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * unizk_client: driver and closed-loop load injector for unizkd.
+ *
+ *   unizk_client --socket /tmp/unizkd.sock \
+ *                [--connections 4] [--requests 4] \
+ *                [--protocol mixed|plonky2|starky] [--app NAME] \
+ *                [--rows N] [--reps R] [--check] [--proof-out FILE] \
+ *                [--ping] [--shutdown]
+ *
+ * Default mode drives N concurrent connections, each issuing M
+ * closed-loop requests drawn from a deterministic mixed
+ * Plonky2/Starky workload cycle. --check recomputes every distinct
+ * request through the in-process pipeline (the same path unizk_cli
+ * takes) and asserts the daemon's proofs are byte-identical.
+ *
+ * Exits 0 iff every request got a well-formed response and all --check
+ * comparisons passed. Backpressure rejections (queue-full /
+ * shutting-down errors) are expected under overload: they are counted
+ * and reported in the summary line, not treated as failures.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "obs/json_writer.h"
+#include "service/client.h"
+#include "unizk/pipeline.h"
+
+namespace {
+
+using namespace unizk;
+using service::ProveRequest;
+using service::ResponseFrame;
+using service::ServiceClient;
+using service::Tag;
+using service::WireProtocol;
+
+/** Small shapes keep load-test requests sub-second. */
+const std::vector<ProveRequest> &
+mixedWorkload()
+{
+    static const std::vector<ProveRequest> mix = [] {
+        std::vector<ProveRequest> specs;
+        ProveRequest r;
+        r.protocol = WireProtocol::Plonky2;
+        r.app = AppId::Factorial;
+        r.rows = 256;
+        r.reps = 2;
+        specs.push_back(r);
+        r.protocol = WireProtocol::Starky;
+        r.app = AppId::Fibonacci;
+        r.rows = 256;
+        r.reps = 0;
+        specs.push_back(r);
+        r.protocol = WireProtocol::Plonky2;
+        r.app = AppId::Fibonacci;
+        r.rows = 128;
+        r.reps = 2;
+        specs.push_back(r);
+        r.protocol = WireProtocol::Starky;
+        r.app = AppId::Sha256;
+        r.rows = 128;
+        r.reps = 0;
+        specs.push_back(r);
+        return specs;
+    }();
+    return mix;
+}
+
+AppId
+parseApp(const std::string &name)
+{
+    static const AppId all[] = {
+        AppId::Factorial, AppId::Fibonacci, AppId::Ecdsa,
+        AppId::Sha256,    AppId::ImageCrop, AppId::Mvm,
+        AppId::Recursion};
+    for (const AppId app : all) {
+        if (name == appName(app))
+            return app;
+    }
+    unizk_fatal("unknown --app \"", name, "\"");
+}
+
+/** Run the request through the in-process pipeline (unizk_cli path). */
+std::vector<uint8_t>
+localProof(const ProveRequest &req)
+{
+    const FriConfig cfg = service::requestFriConfig(req);
+    const HardwareConfig hw = HardwareConfig::paperDefault();
+    const AppRunResult result =
+        req.protocol == WireProtocol::Plonky2
+            ? runPlonky2App(req.app, service::requestRows(req),
+                            service::requestReps(req), cfg, hw,
+                            req.verify)
+            : runStarkyApp(req.app, service::requestRows(req), cfg,
+                           hw, req.verify);
+    return result.proofBlob;
+}
+
+struct Tally
+{
+    std::atomic<uint64_t> ok{0};
+    std::atomic<uint64_t> queueFull{0};
+    std::atomic<uint64_t> shuttingDown{0};
+    std::atomic<uint64_t> otherErrors{0}; ///< transport/protocol/verify
+    std::atomic<uint64_t> mismatches{0};  ///< --check byte diffs
+};
+
+void
+runConnection(const std::string &socket_path, size_t conn_index,
+              size_t requests, const std::vector<ProveRequest> &specs,
+              const std::vector<std::vector<uint8_t>> &expected,
+              Tally &tally)
+{
+    ServiceClient client(socket_path);
+    if (!client.connected()) {
+        warn("unizk_client: connection ", conn_index, " failed");
+        tally.otherErrors.fetch_add(requests);
+        return;
+    }
+    for (size_t i = 0; i < requests; ++i) {
+        const size_t which =
+            (conn_index * requests + i) % specs.size();
+        const auto resp = client.prove(specs[which]);
+        if (!resp) {
+            tally.otherErrors.fetch_add(1);
+            return; // transport gone; rest of this stream is lost
+        }
+        if (resp->tag == Tag::Error) {
+            switch (resp->error.code) {
+            case service::ErrorCode::QueueFull:
+                tally.queueFull.fetch_add(1);
+                break;
+            case service::ErrorCode::ShuttingDown:
+                tally.shuttingDown.fetch_add(1);
+                break;
+            default:
+                warn("unizk_client: server error: ",
+                     errorCodeName(resp->error.code), ": ",
+                     resp->error.message);
+                tally.otherErrors.fetch_add(1);
+                break;
+            }
+            continue;
+        }
+        if (resp->tag != Tag::ProveOk ||
+            (specs[which].verify && !resp->prove.verified)) {
+            tally.otherErrors.fetch_add(1);
+            continue;
+        }
+        if (!expected.empty() &&
+            resp->prove.proof != expected[which]) {
+            warn("unizk_client: proof mismatch vs local pipeline "
+                 "(spec ",
+                 which, ")");
+            tally.mismatches.fetch_add(1);
+            continue;
+        }
+        tally.ok.fetch_add(1);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli(argc, argv);
+    applyGlobalCliOptions(cli);
+
+    const std::string socket_path =
+        cli.getString("socket", "unizkd.sock");
+    const size_t connections = cli.getUint("connections", 4);
+    const size_t requests = cli.getUint("requests", 4);
+    const std::string protocol =
+        cli.getString("protocol", "mixed");
+    const bool check = cli.has("check");
+    const std::string proof_out = cli.getString("proof-out", "");
+
+    if (cli.has("ping")) {
+        ServiceClient client(socket_path);
+        const auto resp = client.ping();
+        if (!resp || resp->tag != Tag::Pong) {
+            warn("unizk_client: no pong from ", socket_path);
+            return 1;
+        }
+        std::printf("unizk_client: pong\n");
+        return 0;
+    }
+
+    std::vector<ProveRequest> specs;
+    if (protocol == "mixed") {
+        specs = mixedWorkload();
+    } else if (protocol == "plonky2" || protocol == "starky") {
+        ProveRequest r;
+        r.protocol = protocol == "plonky2" ? WireProtocol::Plonky2
+                                           : WireProtocol::Starky;
+        r.app = parseApp(cli.getString("app", "factorial"));
+        r.rows = cli.getUint("rows", 256);
+        r.reps = cli.getUint("reps", 2);
+        specs.push_back(r);
+    } else {
+        unizk_fatal("--protocol must be mixed, plonky2, or starky");
+    }
+
+    // --check: compute the reference proofs once, in-process, before
+    // any load is applied.
+    std::vector<std::vector<uint8_t>> expected;
+    if (check) {
+        for (const ProveRequest &spec : specs)
+            expected.push_back(localProof(spec));
+    }
+
+    Tally tally;
+    std::vector<std::thread> workers;
+    for (size_t c = 0; c < connections; ++c) {
+        workers.emplace_back([&, c] {
+            runConnection(socket_path, c, requests, specs, expected,
+                          tally);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    if (!proof_out.empty()) {
+        ServiceClient client(socket_path);
+        const auto resp = client.prove(specs[0]);
+        if (resp && resp->tag == Tag::ProveOk) {
+            const std::string bytes(resp->prove.proof.begin(),
+                                    resp->prove.proof.end());
+            if (!obs::writeFile(proof_out, bytes))
+                unizk_fatal("cannot write ", proof_out);
+            std::printf("unizk_client: wrote proof: %s\n",
+                        proof_out.c_str());
+        } else {
+            warn("unizk_client: --proof-out request failed");
+            tally.otherErrors.fetch_add(1);
+        }
+    }
+
+    if (cli.has("shutdown")) {
+        ServiceClient client(socket_path);
+        const auto resp = client.shutdownServer();
+        if (!resp || resp->tag != Tag::ShutdownAck) {
+            warn("unizk_client: shutdown not acknowledged");
+            return 1;
+        }
+        std::printf("unizk_client: server acknowledged shutdown\n");
+    }
+
+    std::printf("unizk_client: ok=%llu queue_full=%llu "
+                "shutting_down=%llu errors=%llu mismatches=%llu\n",
+                static_cast<unsigned long long>(tally.ok.load()),
+                static_cast<unsigned long long>(
+                    tally.queueFull.load()),
+                static_cast<unsigned long long>(
+                    tally.shuttingDown.load()),
+                static_cast<unsigned long long>(
+                    tally.otherErrors.load()),
+                static_cast<unsigned long long>(
+                    tally.mismatches.load()));
+    return (tally.otherErrors.load() || tally.mismatches.load()) ? 1
+                                                                 : 0;
+}

@@ -8,10 +8,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
+#include <thread>
 
 #include "common/bits.h"
 #include "common/cli.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
@@ -300,6 +303,153 @@ TEST(ThreadPool, GlobalPoolThreadsFlag)
         EXPECT_EQ(hits[i].load(), 1u) << "i=" << i;
 
     setGlobalThreadCount(0); // restore auto for other tests
+}
+
+TEST(ThreadPool, ConcurrentSubmittersSerialize)
+{
+    // Two threads submitting parallelFor on the same pool at once used
+    // to hit the "parallel region already active" panic; regions now
+    // serialize on the submit mutex (the service's prover lanes depend
+    // on this).
+    ThreadPool pool(4);
+    std::vector<std::atomic<uint32_t>> hits(512);
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 4; ++s) {
+        submitters.emplace_back([&] {
+            for (int round = 0; round < 8; ++round) {
+                pool.parallelFor(0, 128, 8, [&](size_t lo, size_t hi) {
+                    for (size_t i = lo; i < hi; ++i)
+                        hits[i].fetch_add(1,
+                                          std::memory_order_relaxed);
+                });
+            }
+        });
+    }
+    for (auto &t : submitters)
+        t.join();
+    for (size_t i = 0; i < 128; ++i)
+        EXPECT_EQ(hits[i].load(), 32u) << "i=" << i;
+}
+
+/** RAII environment-variable override for the tests below. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old != nullptr)
+            saved_ = old;
+        had_ = old != nullptr;
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_, saved_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    std::string saved_;
+    bool had_ = false;
+};
+
+TEST(Env, UintParsesWellFormedValues)
+{
+    ScopedEnv e("UNIZK_TEST_UINT", "42");
+    EXPECT_EQ(envUint("UNIZK_TEST_UINT", 1, 100), 42u);
+    ScopedEnv hex("UNIZK_TEST_UINT", "0x10");
+    EXPECT_EQ(envUint("UNIZK_TEST_UINT", 1, 100), 16u);
+}
+
+TEST(Env, UintUnsetIsNullopt)
+{
+    ScopedEnv e("UNIZK_TEST_UINT", nullptr);
+    EXPECT_FALSE(envUint("UNIZK_TEST_UINT", 1, 100).has_value());
+}
+
+TEST(Env, UintRejectsTrailingJunk)
+{
+    // Regression: bare strtoul() silently parsed "8abc" as 8.
+    ScopedEnv e("UNIZK_TEST_UINT", "8abc");
+    EXPECT_FALSE(envUint("UNIZK_TEST_UINT", 1, 100).has_value());
+}
+
+TEST(Env, UintRejectsOutOfRangeAndOverflow)
+{
+    // Regression: 2^32 + 1 wrapped to 1 on the unsigned narrowing cast.
+    ScopedEnv big("UNIZK_TEST_UINT", "4294967297");
+    EXPECT_FALSE(envUint("UNIZK_TEST_UINT", 1, 4096).has_value());
+    ScopedEnv huge("UNIZK_TEST_UINT", "99999999999999999999999999");
+    EXPECT_FALSE(envUint("UNIZK_TEST_UINT", 1, 4096).has_value());
+    ScopedEnv zero("UNIZK_TEST_UINT", "0");
+    EXPECT_FALSE(envUint("UNIZK_TEST_UINT", 1, 4096).has_value());
+}
+
+TEST(Env, UintRejectsSignsAndEmpty)
+{
+    // "-1" converts to a huge positive under strtoul's wraparound.
+    ScopedEnv neg("UNIZK_TEST_UINT", "-1");
+    EXPECT_FALSE(envUint("UNIZK_TEST_UINT", 1, 100).has_value());
+    ScopedEnv plus("UNIZK_TEST_UINT", "+3");
+    EXPECT_FALSE(envUint("UNIZK_TEST_UINT", 1, 100).has_value());
+    ScopedEnv empty("UNIZK_TEST_UINT", "");
+    EXPECT_FALSE(envUint("UNIZK_TEST_UINT", 1, 100).has_value());
+}
+
+TEST(Env, FlagSpellings)
+{
+    for (const char *on : {"1", "on", "true", "yes"}) {
+        ScopedEnv e("UNIZK_TEST_FLAG", on);
+        EXPECT_EQ(envFlag("UNIZK_TEST_FLAG"), true) << on;
+    }
+    for (const char *off : {"0", "off", "false", "no"}) {
+        ScopedEnv e("UNIZK_TEST_FLAG", off);
+        EXPECT_EQ(envFlag("UNIZK_TEST_FLAG"), false) << off;
+    }
+    // Regression: a typo like "flase" used to silently mean "enabled".
+    ScopedEnv typo("UNIZK_TEST_FLAG", "flase");
+    EXPECT_FALSE(envFlag("UNIZK_TEST_FLAG").has_value());
+    ScopedEnv unset("UNIZK_TEST_FLAG", nullptr);
+    EXPECT_FALSE(envFlag("UNIZK_TEST_FLAG").has_value());
+}
+
+TEST(Env, ThreadCountFallsBackOnMalformedEnv)
+{
+    {
+        ScopedEnv e("UNIZK_THREADS", "3");
+        setGlobalThreadCount(0);
+        EXPECT_EQ(globalThreadCount(), 3u);
+    }
+    {
+        // Under bare strtoul this silently became an 8-thread pool.
+        ScopedEnv e("UNIZK_THREADS", "8abc");
+        setGlobalThreadCount(0);
+        unsigned hw = std::thread::hardware_concurrency();
+        EXPECT_EQ(globalThreadCount(), hw ? hw : 1u);
+    }
+    ScopedEnv clear("UNIZK_THREADS", nullptr);
+    setGlobalThreadCount(0); // restore auto for other tests
+}
+
+TEST(RngDeathTest, NextBelowZeroBoundAsserts)
+{
+    // Regression: bound == 0 divided by zero in ~0ULL / bound.
+    SplitMix64 rng(7);
+    EXPECT_DEATH(rng.nextBelow(0), "positive bound");
+}
+
+TEST(Rng, NextBelowBoundOneIsZero)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
 }
 
 } // namespace

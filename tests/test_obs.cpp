@@ -557,5 +557,31 @@ TEST_F(ObsTest, ProofBytesIdenticalWithObsOnAndOff)
     EXPECT_TRUE(on.verified);
 }
 
+TEST(Histogram, QuantileEstimates)
+{
+    obs::HistogramData empty;
+    EXPECT_EQ(obs::histogramQuantile(empty, 0.5), 0.0);
+
+    // 100 samples of the value 0: every quantile is 0.
+    obs::HistogramData zeros;
+    zeros.count = 100;
+    zeros.buckets[0] = 100;
+    EXPECT_EQ(obs::histogramQuantile(zeros, 0.99), 0.0);
+
+    // 90 samples in [256, 512), 10 in [4096, 8192): the p50 lands in
+    // the low bucket, the p99 in the high one. Log2 buckets bound the
+    // estimate to within 2x of the true value.
+    obs::HistogramData mixed;
+    mixed.count = 100;
+    mixed.buckets[9] = 90;  // bit-width 9: [256, 511]
+    mixed.buckets[13] = 10; // bit-width 13: [4096, 8191]
+    const double p50 = obs::histogramQuantile(mixed, 0.5);
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LT(p50, 512.0);
+    const double p99 = obs::histogramQuantile(mixed, 0.99);
+    EXPECT_GE(p99, 4096.0);
+    EXPECT_LT(p99, 8192.0);
+}
+
 } // namespace
 } // namespace unizk

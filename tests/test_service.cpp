@@ -1,0 +1,497 @@
+/**
+ * @file
+ * Tests for the unizkd proving service: wire-protocol encode/decode
+ * totality (unknown tags, truncated and oversized frames, trailing
+ * bytes), frame I/O against real sockets, admission control, graceful
+ * shutdown, and byte-identity of served proofs vs the direct pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serialize/bytes.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/socket_io.h"
+#include "unizk/pipeline.h"
+
+namespace unizk {
+namespace service {
+namespace {
+
+/** Per-process socket path so parallel ctest runs cannot collide. */
+std::string
+testSocketPath(const char *tag)
+{
+    return "/tmp/unizk_test_" + std::to_string(::getpid()) + "_" +
+           tag + ".sock";
+}
+
+ProveRequest
+smallRequest()
+{
+    ProveRequest req;
+    req.protocol = WireProtocol::Plonky2;
+    req.app = AppId::Factorial;
+    req.rows = 64;
+    req.reps = 1;
+    req.fast = true;
+    req.verify = true;
+    return req;
+}
+
+// ---------------------------------------------------------------------
+// Protocol encode/decode round trips.
+
+TEST(Protocol, ProveRequestRoundTrip)
+{
+    ProveRequest req;
+    req.protocol = WireProtocol::Starky;
+    req.app = AppId::Sha256;
+    req.rows = 1024;
+    req.reps = 0;
+    req.fast = false;
+    req.verify = true;
+    const auto frame = decodeRequest(encodeProveRequest(req));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->tag, Tag::Prove);
+    EXPECT_EQ(frame->prove.protocol, WireProtocol::Starky);
+    EXPECT_EQ(frame->prove.app, AppId::Sha256);
+    EXPECT_EQ(frame->prove.rows, 1024u);
+    EXPECT_EQ(frame->prove.reps, 0u);
+    EXPECT_FALSE(frame->prove.fast);
+    EXPECT_TRUE(frame->prove.verify);
+}
+
+TEST(Protocol, ControlFramesRoundTrip)
+{
+    auto ping = decodeRequest(encodePing());
+    ASSERT_TRUE(ping.has_value());
+    EXPECT_EQ(ping->tag, Tag::Ping);
+
+    auto shutdown = decodeRequest(encodeShutdown());
+    ASSERT_TRUE(shutdown.has_value());
+    EXPECT_EQ(shutdown->tag, Tag::Shutdown);
+
+    auto pong = decodeResponse(encodePong());
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_EQ(pong->tag, Tag::Pong);
+
+    auto ack = decodeResponse(encodeShutdownAck());
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->tag, Tag::ShutdownAck);
+}
+
+TEST(Protocol, ProveResponseRoundTrip)
+{
+    ProveResponse resp;
+    resp.verified = true;
+    resp.latencyNs = 123456789;
+    resp.queueDepth = 3;
+    resp.proof = {1, 2, 3, 4, 5};
+    const auto frame = decodeResponse(encodeProveResponse(resp));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->tag, Tag::ProveOk);
+    EXPECT_TRUE(frame->prove.verified);
+    EXPECT_EQ(frame->prove.latencyNs, 123456789u);
+    EXPECT_EQ(frame->prove.queueDepth, 3u);
+    EXPECT_EQ(frame->prove.proof, resp.proof);
+}
+
+TEST(Protocol, ErrorRoundTrip)
+{
+    const auto frame = decodeResponse(
+        encodeError(ErrorCode::QueueFull, "job queue at capacity"));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->tag, Tag::Error);
+    EXPECT_EQ(frame->error.code, ErrorCode::QueueFull);
+    EXPECT_EQ(frame->error.message, "job queue at capacity");
+    EXPECT_STREQ(errorCodeName(frame->error.code), "queue-full");
+}
+
+TEST(Protocol, RejectsUnknownTags)
+{
+    ByteWriter w;
+    w.putU64(999);
+    EXPECT_FALSE(decodeRequest(w.take()).has_value());
+    ByteWriter w2;
+    w2.putU64(999);
+    EXPECT_FALSE(decodeResponse(w2.take()).has_value());
+    // A response tag is not a valid request and vice versa.
+    EXPECT_FALSE(decodeRequest(encodePong()).has_value());
+    EXPECT_FALSE(decodeResponse(encodePing()).has_value());
+}
+
+TEST(Protocol, RejectsTruncatedAndTrailingBytes)
+{
+    const auto full = encodeProveRequest(smallRequest());
+    for (size_t cut = 1; cut < full.size(); ++cut) {
+        const std::vector<uint8_t> prefix(full.begin(),
+                                          full.begin() +
+                                              static_cast<long>(cut));
+        EXPECT_FALSE(decodeRequest(prefix).has_value())
+            << "cut=" << cut;
+    }
+    auto padded = full;
+    padded.push_back(0);
+    EXPECT_FALSE(decodeRequest(padded).has_value());
+    EXPECT_FALSE(decodeRequest({}).has_value());
+}
+
+TEST(Protocol, RejectsOutOfRangeFields)
+{
+    auto req = smallRequest();
+    req.rows = kMaxRequestRows + 1;
+    EXPECT_FALSE(decodeRequest(encodeProveRequest(req)).has_value());
+
+    req = smallRequest();
+    req.reps = kMaxRequestReps + 1;
+    EXPECT_FALSE(decodeRequest(encodeProveRequest(req)).has_value());
+
+    // Starky request for an app without a Starky implementation.
+    req = smallRequest();
+    req.protocol = WireProtocol::Starky;
+    req.app = AppId::Ecdsa;
+    EXPECT_FALSE(decodeRequest(encodeProveRequest(req)).has_value());
+
+    // Out-of-range protocol and app enums, encoded by hand.
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::Prove));
+    w.putU64(7); // no such protocol
+    w.putU64(0);
+    w.putU64(64);
+    w.putU64(1);
+    w.putU64(3);
+    EXPECT_FALSE(decodeRequest(w.take()).has_value());
+}
+
+TEST(Protocol, ErrorMessageLengthClaimIsBounded)
+{
+    // An error frame whose message *claims* to be huge but carries no
+    // bytes must be rejected by the canRead bound, not trusted.
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::Error));
+    w.putU64(static_cast<uint64_t>(ErrorCode::BadFrame));
+    w.putU64(uint64_t{1} << 40); // length claim with no payload
+    EXPECT_FALSE(decodeResponse(w.take()).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O on real sockets.
+
+class FramePair : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        int fds[2];
+        ASSERT_EQ(
+            ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        a_ = Fd(fds[0]);
+        b_ = Fd(fds[1]);
+    }
+
+    Fd a_, b_;
+};
+
+TEST_F(FramePair, RoundTrip)
+{
+    const std::vector<uint8_t> payload = {9, 8, 7};
+    ASSERT_TRUE(writeFrame(a_.get(), payload));
+    std::vector<uint8_t> got;
+    EXPECT_EQ(readFrame(b_.get(), 1024, got), FrameResult::Ok);
+    EXPECT_EQ(got, payload);
+}
+
+TEST_F(FramePair, EmptyFrame)
+{
+    ASSERT_TRUE(writeFrame(a_.get(), {}));
+    std::vector<uint8_t> got = {1, 2, 3};
+    EXPECT_EQ(readFrame(b_.get(), 1024, got), FrameResult::Ok);
+    EXPECT_TRUE(got.empty());
+}
+
+TEST_F(FramePair, EofBeforeHeader)
+{
+    a_.reset();
+    std::vector<uint8_t> got;
+    EXPECT_EQ(readFrame(b_.get(), 1024, got), FrameResult::Eof);
+}
+
+TEST_F(FramePair, TruncatedHeader)
+{
+    const uint8_t partial[3] = {42, 0, 0};
+    ASSERT_EQ(::send(a_.get(), partial, sizeof(partial), 0), 3);
+    a_.reset();
+    std::vector<uint8_t> got;
+    EXPECT_EQ(readFrame(b_.get(), 1024, got),
+              FrameResult::Truncated);
+}
+
+TEST_F(FramePair, TruncatedPayload)
+{
+    // Header promises 100 bytes, only 5 arrive before the close.
+    uint8_t header[8] = {100, 0, 0, 0, 0, 0, 0, 0};
+    ASSERT_EQ(::send(a_.get(), header, sizeof(header), 0), 8);
+    const uint8_t part[5] = {1, 2, 3, 4, 5};
+    ASSERT_EQ(::send(a_.get(), part, sizeof(part), 0), 5);
+    a_.reset();
+    std::vector<uint8_t> got;
+    EXPECT_EQ(readFrame(b_.get(), 1024, got),
+              FrameResult::Truncated);
+}
+
+TEST_F(FramePair, OversizedClaimRejectedBeforeAllocation)
+{
+    // A header claiming 2^60 bytes must be rejected from the length
+    // field alone -- resize(2^60) would throw bad_alloc long before
+    // any payload could arrive.
+    uint8_t header[8] = {};
+    const uint64_t claim = uint64_t{1} << 60;
+    for (size_t i = 0; i < 8; ++i)
+        header[i] = static_cast<uint8_t>(claim >> (8 * i));
+    ASSERT_EQ(::send(a_.get(), header, sizeof(header), 0), 8);
+    std::vector<uint8_t> got;
+    EXPECT_EQ(readFrame(b_.get(), kMaxRequestFrameBytes, got),
+              FrameResult::TooLarge);
+    EXPECT_TRUE(got.empty());
+}
+
+// ---------------------------------------------------------------------
+// Bounded queue semantics.
+
+TEST(BoundedQueue, AdmissionAndDrain)
+{
+    BoundedQueue<int> q(2);
+    size_t depth = 99;
+    EXPECT_EQ(q.tryPush(1, &depth), PushResult::Ok);
+    EXPECT_EQ(depth, 0u);
+    EXPECT_EQ(q.tryPush(2, &depth), PushResult::Ok);
+    EXPECT_EQ(depth, 1u);
+    EXPECT_EQ(q.tryPush(3), PushResult::Full);
+    q.close();
+    EXPECT_EQ(q.tryPush(4), PushResult::Closed);
+    // Jobs admitted before close still drain, in order.
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, ZeroCapacityRejectsEverything)
+{
+    BoundedQueue<int> q(0);
+    EXPECT_EQ(q.tryPush(1), PushResult::Full);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end service tests.
+
+TEST(Service, PingAndUnknownTag)
+{
+    ServiceConfig cfg;
+    cfg.socketPath = testSocketPath("ping");
+    cfg.proverLanes = 1;
+    ProofService svc(cfg);
+    ASSERT_TRUE(svc.start());
+
+    ServiceClient client(cfg.socketPath);
+    ASSERT_TRUE(client.connected());
+    auto pong = client.ping();
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_EQ(pong->tag, Tag::Pong);
+
+    // An unknown request tag draws a typed BadRequest, and the
+    // connection stays usable.
+    ByteWriter w;
+    w.putU64(424242);
+    ASSERT_TRUE(client.sendRaw(w.take()));
+    auto err = client.readResponse();
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->tag, Tag::Error);
+    EXPECT_EQ(err->error.code, ErrorCode::BadRequest);
+    auto pong2 = client.ping();
+    ASSERT_TRUE(pong2.has_value());
+    EXPECT_EQ(pong2->tag, Tag::Pong);
+
+    svc.stop();
+    EXPECT_GE(svc.counters().rejectedBadRequest, 1u);
+}
+
+TEST(Service, OversizedFrameDrawsBadFrameAndDisconnect)
+{
+    ServiceConfig cfg;
+    cfg.socketPath = testSocketPath("oversize");
+    cfg.proverLanes = 1;
+    ProofService svc(cfg);
+    ASSERT_TRUE(svc.start());
+
+    ServiceClient client(cfg.socketPath);
+    ASSERT_TRUE(client.connected());
+    // The server rejects from the header alone and may close before
+    // the oversized payload is fully written, so the send itself is
+    // allowed to fail -- the typed error frame must still arrive.
+    std::vector<uint8_t> big(kMaxRequestFrameBytes + 1, 0);
+    client.sendRaw(big);
+    auto err = client.readResponse();
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->tag, Tag::Error);
+    EXPECT_EQ(err->error.code, ErrorCode::BadFrame);
+
+    svc.stop();
+    EXPECT_GE(svc.counters().malformedFrames, 1u);
+}
+
+TEST(Service, ProofMatchesDirectPipeline)
+{
+    const ProveRequest req = smallRequest();
+    const AppRunResult direct = runPlonky2App(
+        req.app, requestRows(req), requestReps(req),
+        requestFriConfig(req), HardwareConfig::paperDefault(), true);
+
+    ServiceConfig cfg;
+    cfg.socketPath = testSocketPath("prove");
+    cfg.proverLanes = 1;
+    ProofService svc(cfg);
+    ASSERT_TRUE(svc.start());
+
+    ServiceClient client(cfg.socketPath);
+    ASSERT_TRUE(client.connected());
+    auto resp = client.prove(req);
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_EQ(resp->tag, Tag::ProveOk);
+    EXPECT_TRUE(resp->prove.verified);
+    EXPECT_EQ(resp->prove.proof, direct.proofBlob);
+
+    svc.stop();
+    const ServiceCounters c = svc.counters();
+    EXPECT_EQ(c.requestsCompleted, 1u);
+    ASSERT_EQ(svc.runStats().size(), 1u);
+    EXPECT_EQ(svc.runStats()[0].protocol, "plonky2");
+}
+
+TEST(Service, ZeroCapacityQueueRejectsWithQueueFull)
+{
+    ServiceConfig cfg;
+    cfg.socketPath = testSocketPath("full");
+    cfg.queueCapacity = 0;
+    cfg.proverLanes = 1;
+    ProofService svc(cfg);
+    ASSERT_TRUE(svc.start());
+
+    ServiceClient client(cfg.socketPath);
+    auto resp = client.prove(smallRequest());
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->tag, Tag::Error);
+    EXPECT_EQ(resp->error.code, ErrorCode::QueueFull);
+
+    svc.stop();
+    EXPECT_GE(svc.counters().rejectedQueueFull, 1u);
+}
+
+TEST(Service, MidRequestDisconnectDoesNotWedgeTheServer)
+{
+    ServiceConfig cfg;
+    cfg.socketPath = testSocketPath("disc");
+    cfg.proverLanes = 1;
+    ProofService svc(cfg);
+    ASSERT_TRUE(svc.start());
+
+    {
+        ServiceClient client(cfg.socketPath);
+        ASSERT_TRUE(client.connected());
+        ASSERT_TRUE(client.sendRaw(encodeProveRequest(smallRequest())));
+        client.disconnect(); // vanish while the proof is being built
+    }
+
+    // The server must still answer other clients afterwards.
+    ServiceClient other(cfg.socketPath);
+    auto resp = other.prove(smallRequest());
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->tag, Tag::ProveOk);
+
+    svc.stop();
+    EXPECT_GE(svc.counters().disconnects, 1u);
+}
+
+TEST(Service, ProtocolShutdownDrains)
+{
+    ServiceConfig cfg;
+    cfg.socketPath = testSocketPath("shutdown");
+    cfg.proverLanes = 1;
+    ProofService svc(cfg);
+    ASSERT_TRUE(svc.start());
+
+    ServiceClient client(cfg.socketPath);
+    auto ack = client.shutdownServer();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->tag, Tag::ShutdownAck);
+    EXPECT_TRUE(svc.stopRequested());
+    svc.stop();
+
+    // The socket is gone; new connections fail.
+    ServiceClient late(cfg.socketPath);
+    EXPECT_FALSE(late.connected());
+}
+
+TEST(Service, FourConcurrentClientsMixedWorkload)
+{
+    ProveRequest plonk = smallRequest();
+    ProveRequest stark;
+    stark.protocol = WireProtocol::Starky;
+    stark.app = AppId::Fibonacci;
+    stark.rows = 64;
+    stark.reps = 0;
+
+    const AppRunResult plonkDirect = runPlonky2App(
+        plonk.app, requestRows(plonk), requestReps(plonk),
+        requestFriConfig(plonk), HardwareConfig::paperDefault(), true);
+    const AppRunResult starkDirect = runStarkyApp(
+        stark.app, requestRows(stark), requestFriConfig(stark),
+        HardwareConfig::paperDefault(), true);
+
+    ServiceConfig cfg;
+    cfg.socketPath = testSocketPath("concurrent");
+    cfg.queueCapacity = 16;
+    cfg.proverLanes = 2;
+    ProofService svc(cfg);
+    ASSERT_TRUE(svc.start());
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&, c] {
+            ServiceClient client(cfg.socketPath);
+            for (int i = 0; i < 2; ++i) {
+                const bool starky = (c + i) % 2 == 0;
+                const auto resp =
+                    client.prove(starky ? stark : plonk);
+                if (!resp || resp->tag != Tag::ProveOk ||
+                    !resp->prove.verified ||
+                    resp->prove.proof !=
+                        (starky ? starkDirect.proofBlob
+                                : plonkDirect.proofBlob)) {
+                    failures.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    svc.stop();
+    const ServiceCounters counters = svc.counters();
+    EXPECT_EQ(counters.requestsCompleted, 8u);
+    EXPECT_EQ(counters.connectionsAccepted, 4u);
+}
+
+} // namespace
+} // namespace service
+} // namespace unizk
