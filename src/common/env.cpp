@@ -11,6 +11,9 @@ namespace unizk {
 std::optional<uint64_t>
 envUint(const char *name, uint64_t lo, uint64_t hi)
 {
+    // getenv is only mt-unsafe against a concurrent setenv/putenv;
+    // nothing in this process mutates the environment after startup.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *env = std::getenv(name);
     if (env == nullptr)
         return std::nullopt;
@@ -43,6 +46,9 @@ envUint(const char *name, uint64_t lo, uint64_t hi)
 std::optional<bool>
 envFlag(const char *name)
 {
+    // Same contract as envUint: no setenv after startup, so the
+    // lock-free read cannot race a writer.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *env = std::getenv(name);
     if (env == nullptr)
         return std::nullopt;

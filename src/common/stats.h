@@ -39,8 +39,14 @@ const char *kernelClassName(KernelClass c);
  *
  * ScopedKernelTimer fires inside thread-pool workers, so accumulation
  * must be race-free: time is stored as integer nanoseconds and added
- * with relaxed atomic fetch_add (no ordering is needed -- readers only
- * observe totals after the parallel region has joined).
+ * with relaxed atomic fetch_add. Relaxed is sufficient (audited with
+ * the src/obs atomics, DESIGN §6.7): readers only observe totals after
+ * the parallel region has joined, and the pool's completion handshake
+ * -- a mutex acquire/release pair -- is the synchronization edge that
+ * makes every worker's relaxed adds visible to the reader. This class
+ * deliberately has no mutex, so the thread-safety annotations of
+ * common/sync.h do not apply; the TSAN-leg test
+ * KernelTimeBreakdown.ConcurrentAddIsExact pins the contract.
  */
 class KernelTimeBreakdown
 {

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Compile-time concurrency discipline: capability-annotated
+ * synchronization wrappers for Clang's Thread Safety Analysis
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+ *
+ * Every mutex in this codebase is a `unizk::Mutex`, every condition
+ * variable a `unizk::CondVar`, and every protected member carries a
+ * `UNIZK_GUARDED_BY(mutex)` annotation naming the mutex that guards
+ * it. A clang build with `-Werror=thread-safety` (CMake option
+ * `UNIZK_THREAD_SAFETY`, run by the CI `thread-safety` job) then
+ * rejects, at compile time, on every interleaving at once:
+ *
+ *  - reading or writing a guarded member without holding its mutex,
+ *  - calling a `UNIZK_REQUIRES(mu)` function without holding `mu`,
+ *  - acquiring a mutex that is already held (self-deadlock),
+ *  - returning with a mutex still held / releasing one never taken.
+ *
+ * TSAN still runs in CI — it catches races on data the annotations do
+ * not cover (atomics misuse, non-mutex handshakes) — but it only sees
+ * executed interleavings; this layer makes the locking *contracts*
+ * themselves machine-checked documentation.
+ *
+ * On non-Clang compilers (and Clang without the attributes) every
+ * macro expands to nothing and the wrappers are zero-overhead
+ * forwarders to the std primitives, so GCC builds are unaffected.
+ *
+ * The companion lint rules (tools/lint/unizk_lint.py) keep the
+ * discipline closed: `raw-sync-primitive` bans bare std primitives
+ * outside this header, and `unguarded-mutex-member` insists every
+ * `unizk::Mutex` guards at least one annotated member (or carries a
+ * suppression explaining what it orders instead).
+ */
+
+#ifndef UNIZK_COMMON_SYNC_H
+#define UNIZK_COMMON_SYNC_H
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define UNIZK_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef UNIZK_THREAD_ANNOTATION
+#define UNIZK_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a class as a lockable capability (used on unizk::Mutex). */
+#define UNIZK_CAPABILITY(x) UNIZK_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII class whose lifetime equals a critical section. */
+#define UNIZK_SCOPED_CAPABILITY UNIZK_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member is protected by the given mutex. */
+#define UNIZK_GUARDED_BY(x) UNIZK_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee (not the pointer) is protected by the given mutex. */
+#define UNIZK_PT_GUARDED_BY(x) UNIZK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Lock-ordering edges (checked under -Wthread-safety-beta). */
+#define UNIZK_ACQUIRED_BEFORE(...)                                        \
+    UNIZK_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define UNIZK_ACQUIRED_AFTER(...)                                         \
+    UNIZK_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Caller must hold the listed mutexes (not acquired by the callee). */
+#define UNIZK_REQUIRES(...)                                               \
+    UNIZK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the listed mutexes and returns holding them. */
+#define UNIZK_ACQUIRE(...)                                                \
+    UNIZK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed mutexes (held on entry). */
+#define UNIZK_RELEASE(...)                                                \
+    UNIZK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the mutex iff it returns the given value. */
+#define UNIZK_TRY_ACQUIRE(...)                                            \
+    UNIZK_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed mutexes (deadlock prevention). */
+#define UNIZK_EXCLUDES(...)                                               \
+    UNIZK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Assert (at runtime) that the capability is held; teaches the
+ *  analysis about invariants it cannot see, e.g. init-before-spawn. */
+#define UNIZK_ASSERT_CAPABILITY(x)                                        \
+    UNIZK_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the given mutex. */
+#define UNIZK_RETURN_CAPABILITY(x)                                        \
+    UNIZK_THREAD_ANNOTATION(lock_returned(x))
+
+/**
+ * Escape hatch: disables the analysis for one function. Every use must
+ * carry a comment explaining why the locking pattern is correct but
+ * inexpressible (there are currently none in the tree; prefer
+ * restructuring to scoped locks or balanced manual lock()/unlock()).
+ */
+#define UNIZK_NO_THREAD_SAFETY_ANALYSIS                                   \
+    UNIZK_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace unizk {
+
+class CondVar;
+
+/**
+ * A capability-annotated std::mutex. Identical cost; the annotations
+ * exist only at compile time. Manual lock()/unlock() is legal (the
+ * analysis checks the pairing is balanced on every path) but prefer
+ * MutexLock for plain critical sections.
+ */
+class UNIZK_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() UNIZK_ACQUIRE() { mu_.lock(); }
+    void unlock() UNIZK_RELEASE() { mu_.unlock(); }
+    bool tryLock() UNIZK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex mu_;
+};
+
+/**
+ * Condition variable paired with unizk::Mutex. wait() atomically
+ * releases and reacquires the mutex, which the caller must hold — the
+ * annotation makes "wait without the lock" a compile error. There is
+ * deliberately no predicate overload: spelling the loop
+ *
+ *     while (!condition)
+ *         cv.wait(mu);
+ *
+ * in the member function keeps the predicate's guarded-member reads
+ * visible to the analysis (a lambda would be analyzed as a separate,
+ * lock-free function and rejected).
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    void
+    wait(Mutex &mu) UNIZK_REQUIRES(mu)
+    {
+        // Adopt the already-held native mutex for the duration of the
+        // wait, then release the unique_lock without unlocking: from
+        // the analysis' (and the caller's) perspective the capability
+        // is held continuously across the call.
+        std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+        cv_.wait(native);
+        native.release();
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+/** RAII critical section: the std::lock_guard of this codebase. */
+class UNIZK_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) UNIZK_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+
+    ~MutexLock() UNIZK_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * MutexLock that can be released before scope end, for the
+ * lock-then-do-slow-work-unlocked shape (e.g. bump a counter under the
+ * stats mutex, then write to a socket without it).
+ */
+class UNIZK_SCOPED_CAPABILITY ReleasableMutexLock
+{
+  public:
+    explicit ReleasableMutexLock(Mutex &mu) UNIZK_ACQUIRE(mu) : mu_(&mu)
+    {
+        mu_->lock();
+    }
+
+    ~ReleasableMutexLock() UNIZK_RELEASE()
+    {
+        if (mu_ != nullptr)
+            mu_->unlock();
+    }
+
+    /** Release now; the destructor becomes a no-op. */
+    void
+    release() UNIZK_RELEASE()
+    {
+        mu_->unlock();
+        mu_ = nullptr;
+    }
+
+    ReleasableMutexLock(const ReleasableMutexLock &) = delete;
+    ReleasableMutexLock &operator=(const ReleasableMutexLock &) = delete;
+
+  private:
+    Mutex *mu_;
+};
+
+} // namespace unizk
+
+#endif // UNIZK_COMMON_SYNC_H

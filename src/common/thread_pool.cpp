@@ -26,9 +26,9 @@ autoThreadCount()
 }
 
 // Requested count for the global pool; 0 = resolve via autoThreadCount.
-std::mutex global_mutex;
-unsigned requested_threads = 0;
-ThreadPool *global_pool = nullptr;
+Mutex global_mutex;
+unsigned requested_threads UNIZK_GUARDED_BY(global_mutex) = 0;
+ThreadPool *global_pool UNIZK_GUARDED_BY(global_mutex) = nullptr;
 
 } // namespace
 
@@ -44,10 +44,10 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         shutting_down_ = true;
     }
-    work_ready_.notify_all();
+    work_ready_.notifyAll();
     for (auto &w : workers_)
         w.join();
 }
@@ -56,21 +56,21 @@ void
 ThreadPool::resize(unsigned threads)
 {
     unizk_assert(threads >= 1, "thread pool needs at least one thread");
-    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+    MutexLock submit_lock(submit_mutex_);
     if (threads == thread_count_)
         return;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         unizk_assert(task_ == nullptr,
                      "cannot resize the pool inside a parallel region");
         shutting_down_ = true;
     }
-    work_ready_.notify_all();
+    work_ready_.notifyAll();
     for (auto &w : workers_)
         w.join();
     workers_.clear();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         shutting_down_ = false;
     }
     thread_count_ = threads;
@@ -82,15 +82,20 @@ ThreadPool::resize(unsigned threads)
 void
 ThreadPool::workerLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    // Balanced manual lock()/unlock() instead of a scoped lock: the
+    // loop drops the mutex around each chunk body. The thread-safety
+    // analysis checks that the mutex is held at every guarded-member
+    // access and released on the one exit path.
+    mutex_.lock();
     uint64_t seen_generation = generation_;
     for (;;) {
-        work_ready_.wait(lock, [&] {
-            return shutting_down_ ||
-                   (task_ != nullptr && generation_ != seen_generation);
-        });
-        if (shutting_down_)
+        while (!(shutting_down_ ||
+                 (task_ != nullptr && generation_ != seen_generation)))
+            work_ready_.wait(mutex_);
+        if (shutting_down_) {
+            mutex_.unlock();
             return;
+        }
         seen_generation = generation_;
         // Drain chunks until the region's cursor is exhausted. Chunk
         // *boundaries* are fixed by the submitter; only the assignment
@@ -102,13 +107,13 @@ ThreadPool::workerLoop()
             const auto *fn = task_;
             const size_t lo = region_begin_ + chunk * chunk_size_;
             const size_t hi = std::min(lo + chunk_size_, region_end_);
-            lock.unlock();
+            mutex_.unlock();
             in_pool_worker = true;
             (*fn)(lo, hi);
             in_pool_worker = false;
-            lock.lock();
+            mutex_.lock();
             if (--chunks_in_flight_ == 0 && next_chunk_ >= num_chunks_)
-                work_done_.notify_all();
+                work_done_.notifyAll();
         }
     }
 }
@@ -139,8 +144,8 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
     // Whole regions from concurrent submitters (service worker lanes)
     // serialize here; within a region nothing else changes, so chunk
     // boundaries -- and therefore proof bytes -- stay schedule-free.
-    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock submit_lock(submit_mutex_);
+    mutex_.lock();
     unizk_assert(task_ == nullptr, "parallel region already active");
     task_ = &fn;
     region_begin_ = begin;
@@ -150,32 +155,33 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
     next_chunk_ = 0;
     chunks_in_flight_ = 0;
     ++generation_;
-    lock.unlock();
-    work_ready_.notify_all();
+    mutex_.unlock();
+    work_ready_.notifyAll();
 
     // The submitting thread works too.
-    lock.lock();
+    mutex_.lock();
     while (next_chunk_ < num_chunks_) {
         const size_t chunk = next_chunk_++;
         ++chunks_in_flight_;
         const size_t lo = region_begin_ + chunk * chunk_size_;
         const size_t hi = std::min(lo + chunk_size_, region_end_);
-        lock.unlock();
+        mutex_.unlock();
         in_pool_worker = true;
         fn(lo, hi);
         in_pool_worker = false;
-        lock.lock();
+        mutex_.lock();
         --chunks_in_flight_;
     }
-    work_done_.wait(lock,
-                    [&] { return chunks_in_flight_ == 0; });
+    while (chunks_in_flight_ != 0)
+        work_done_.wait(mutex_);
     task_ = nullptr;
+    mutex_.unlock();
 }
 
 ThreadPool &
 globalThreadPool()
 {
-    std::lock_guard<std::mutex> lock(global_mutex);
+    MutexLock lock(global_mutex);
     if (global_pool == nullptr) {
         const unsigned n =
             requested_threads ? requested_threads : autoThreadCount();
@@ -189,7 +195,7 @@ globalThreadPool()
 void
 setGlobalThreadCount(unsigned threads)
 {
-    std::lock_guard<std::mutex> lock(global_mutex);
+    MutexLock lock(global_mutex);
     requested_threads = threads;
     const unsigned n = threads ? threads : autoThreadCount();
     if (global_pool == nullptr)
@@ -202,7 +208,7 @@ unsigned
 globalThreadCount()
 {
     {
-        std::lock_guard<std::mutex> lock(global_mutex);
+        MutexLock lock(global_mutex);
         if (global_pool != nullptr)
             return global_pool->threadCount();
         if (requested_threads)

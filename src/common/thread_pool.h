@@ -26,12 +26,12 @@
 #ifndef UNIZK_COMMON_THREAD_POOL_H
 #define UNIZK_COMMON_THREAD_POOL_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace unizk {
 
@@ -80,26 +80,33 @@ class ThreadPool
 
     // Held for the full extent of one parallel region (and by resize),
     // making submissions from multiple threads safe; acquired before
-    // mutex_, never the other way around.
-    std::mutex submit_mutex_;
+    // mutex_, never the other way around. Guards no data of its own —
+    // it serializes whole regions — hence the lint suppression.
+    // unizk-lint: disable-next-line=unguarded-mutex-member
+    Mutex submit_mutex_ UNIZK_ACQUIRED_BEFORE(mutex_);
 
     std::vector<std::thread> workers_;
+    // Written only by the constructor and resize() (which requires the
+    // pool to be quiescent and holds submit_mutex_); read lock-free by
+    // threadCount() and parallelFor's chunk math. Not annotated: the
+    // quiescence contract, not a mutex, is what makes reads safe.
     unsigned thread_count_ = 1;
 
-    std::mutex mutex_;
-    std::condition_variable work_ready_;
-    std::condition_variable work_done_;
+    Mutex mutex_;
+    CondVar work_ready_;
+    CondVar work_done_;
     // Current parallel region; guarded by mutex_ together with the
     // chunk cursor so workers and the submitting thread agree on state.
-    const std::function<void(size_t, size_t)> *task_ = nullptr;
-    size_t region_begin_ = 0;
-    size_t region_end_ = 0;
-    size_t chunk_size_ = 0;
-    size_t num_chunks_ = 0;
-    size_t next_chunk_ = 0;
-    size_t chunks_in_flight_ = 0;
-    uint64_t generation_ = 0;
-    bool shutting_down_ = false;
+    const std::function<void(size_t, size_t)> *task_
+        UNIZK_GUARDED_BY(mutex_) = nullptr;
+    size_t region_begin_ UNIZK_GUARDED_BY(mutex_) = 0;
+    size_t region_end_ UNIZK_GUARDED_BY(mutex_) = 0;
+    size_t chunk_size_ UNIZK_GUARDED_BY(mutex_) = 0;
+    size_t num_chunks_ UNIZK_GUARDED_BY(mutex_) = 0;
+    size_t next_chunk_ UNIZK_GUARDED_BY(mutex_) = 0;
+    size_t chunks_in_flight_ UNIZK_GUARDED_BY(mutex_) = 0;
+    uint64_t generation_ UNIZK_GUARDED_BY(mutex_) = 0;
+    bool shutting_down_ UNIZK_GUARDED_BY(mutex_) = false;
 };
 
 /** The process-wide pool (created on first use). */

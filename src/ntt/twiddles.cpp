@@ -1,9 +1,9 @@
 #include "ntt/twiddles.h"
 
 #include <array>
-#include <mutex>
 
 #include "common/env.h"
+#include "common/sync.h"
 #include "field/goldilocks.h"
 #include "obs/obs.h"
 
@@ -74,11 +74,11 @@ buildTable(uint32_t log_size)
 
 struct Registry
 {
-    std::mutex mutex;
+    Mutex mutex;
     std::array<std::shared_ptr<const TwiddleTable>, Fp::twoAdicity + 1>
-        slots;
-    bool enabled = true;
-    bool env_checked = false;
+        slots UNIZK_GUARDED_BY(mutex);
+    bool enabled UNIZK_GUARDED_BY(mutex) = true;
+    bool env_checked UNIZK_GUARDED_BY(mutex) = false;
 };
 
 Registry &
@@ -88,11 +88,12 @@ registry()
     return r;
 }
 
-/** Resolve the UNIZK_NTT_CACHE environment knob once. Caller holds the
- * registry mutex. Strict parse: an unrecognized spelling (e.g. "flase")
- * warns and keeps the cache enabled instead of silently doing so. */
+/** Resolve the UNIZK_NTT_CACHE environment knob once. Strict parse: an
+ * unrecognized spelling (e.g. "flase") warns and keeps the cache
+ * enabled instead of silently doing so. The annotation makes "caller
+ * holds the registry mutex" machine-checked instead of a comment. */
 void
-resolveEnv(Registry &r)
+resolveEnv(Registry &r) UNIZK_REQUIRES(r.mutex)
 {
     if (r.env_checked)
         return;
@@ -110,7 +111,7 @@ acquireTwiddles(uint32_t log_size)
                  "transform size exceeds the field's 2-adicity");
     Registry &r = registry();
     if (log_size <= max_cached_log) {
-        std::unique_lock<std::mutex> lock(r.mutex);
+        MutexLock lock(r.mutex);
         resolveEnv(r);
         if (r.enabled) {
             if (!r.slots[log_size])
@@ -125,7 +126,7 @@ void
 setTwiddleCacheEnabled(bool enabled)
 {
     Registry &r = registry();
-    std::unique_lock<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     r.env_checked = true; // explicit setting wins over the env var
     r.enabled = enabled;
     if (!enabled) {
@@ -138,7 +139,7 @@ bool
 twiddleCacheEnabled()
 {
     Registry &r = registry();
-    std::unique_lock<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     resolveEnv(r);
     return r.enabled;
 }
@@ -147,7 +148,7 @@ void
 clearTwiddleCache()
 {
     Registry &r = registry();
-    std::unique_lock<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     for (auto &slot : r.slots)
         slot.reset();
 }

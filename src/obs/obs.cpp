@@ -5,9 +5,9 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 
 #include "common/logging.h"
+#include "common/sync.h"
 
 namespace unizk {
 namespace obs {
@@ -17,6 +17,15 @@ namespace {
 constexpr size_t kMaxCounters = 128;
 constexpr size_t kMaxHistograms = 64;
 
+/**
+ * Relaxed ordering is sufficient for the master switch: the flag gates
+ * *whether* instrumentation records, but no data is prepared before
+ * the store that readers must observe afterwards (counter blocks and
+ * span buffers are registered under g_registry_mutex, which provides
+ * the publication edge). A thread seeing the flip late merely skips or
+ * records a few extra events. Pinned by the TSAN-leg test
+ * ObsConcurrency.RelaxedAtomicsSafeUnderConcurrentExport.
+ */
 std::atomic<bool> g_enabled{false};
 
 /** Per-thread span buffer; owned by the registry, written by one thread. */
@@ -56,12 +65,19 @@ struct HistoBlock
 };
 
 /** Guards the registries (buffer/block lists and counter names). */
-std::mutex g_registry_mutex;
-std::vector<std::unique_ptr<SpanBuffer>> g_span_buffers;
-std::vector<std::unique_ptr<CounterBlock>> g_counter_blocks;
-std::vector<std::unique_ptr<HistoBlock>> g_histo_blocks;
-std::vector<std::string> g_counter_names;
-std::vector<std::string> g_histogram_names;
+Mutex g_registry_mutex;
+std::vector<std::unique_ptr<SpanBuffer>> g_span_buffers
+    UNIZK_GUARDED_BY(g_registry_mutex);
+std::vector<std::unique_ptr<CounterBlock>> g_counter_blocks
+    UNIZK_GUARDED_BY(g_registry_mutex);
+std::vector<std::unique_ptr<HistoBlock>> g_histo_blocks
+    UNIZK_GUARDED_BY(g_registry_mutex);
+std::vector<std::string> g_counter_names
+    UNIZK_GUARDED_BY(g_registry_mutex);
+std::vector<std::string> g_histogram_names
+    UNIZK_GUARDED_BY(g_registry_mutex);
+// Relaxed fetch_add is sufficient: the id only needs to be unique, no
+// data is published under it.
 std::atomic<uint32_t> g_next_thread_id{0};
 
 std::chrono::steady_clock::time_point g_epoch =
@@ -80,7 +96,7 @@ threadSpanBuffer()
         auto buf = std::make_unique<SpanBuffer>();
         buf->threadId = g_next_thread_id.fetch_add(
             1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(g_registry_mutex);
+        MutexLock lock(g_registry_mutex);
         tl_span_buffer = buf.get();
         g_span_buffers.push_back(std::move(buf));
     }
@@ -92,7 +108,7 @@ threadCounterBlock()
 {
     if (tl_counter_block == nullptr) {
         auto block = std::make_unique<CounterBlock>();
-        std::lock_guard<std::mutex> lock(g_registry_mutex);
+        MutexLock lock(g_registry_mutex);
         tl_counter_block = block.get();
         g_counter_blocks.push_back(std::move(block));
     }
@@ -104,7 +120,7 @@ threadHistoBlock()
 {
     if (tl_histo_block == nullptr) {
         auto block = std::make_unique<HistoBlock>();
-        std::lock_guard<std::mutex> lock(g_registry_mutex);
+        MutexLock lock(g_registry_mutex);
         tl_histo_block = block.get();
         g_histo_blocks.push_back(std::move(block));
     }
@@ -123,7 +139,13 @@ bucketIndex(uint64_t value)
     return width;
 }
 
-/** Relaxed atomic min/max updates (owning thread only, uncontended). */
+/**
+ * Relaxed atomic min/max updates. Each slot is written by its owning
+ * thread only, so the CAS loop is uncontended and cannot livelock;
+ * cross-thread readers (histogramSnapshot) tolerate a stale value by
+ * contract. No release edge is needed because min/max are plain
+ * values, not pointers to data that the reader dereferences.
+ */
 void
 storeMin(std::atomic<uint64_t> &slot, uint64_t value)
 {
@@ -171,7 +193,7 @@ std::vector<SpanEvent>
 drainSpans()
 {
     std::vector<SpanEvent> out;
-    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    MutexLock lock(g_registry_mutex);
     for (auto &buf : g_span_buffers) {
         out.insert(out.end(), buf->events.begin(), buf->events.end());
         buf->events.clear();
@@ -189,7 +211,7 @@ std::map<std::string, uint64_t>
 counterSnapshot()
 {
     std::map<std::string, uint64_t> out;
-    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    MutexLock lock(g_registry_mutex);
     for (size_t i = 0; i < g_counter_names.size(); ++i) {
         uint64_t total = 0;
         for (const auto &block : g_counter_blocks)
@@ -203,7 +225,14 @@ std::map<std::string, HistogramData>
 histogramSnapshot()
 {
     std::map<std::string, HistogramData> out;
-    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    MutexLock lock(g_registry_mutex);
+    // Bucket/count/sum/min/max are independent relaxed atomics written
+    // by their owning threads; a snapshot taken mid-record may observe
+    // e.g. a bucket increment whose matching sum update is not yet
+    // visible. That cross-field skew is bounded by the in-flight
+    // records and is the documented contract ("exact only at quiescent
+    // points") -- no acquire ordering would remove it without making
+    // every record a release-write, so the hot path stays relaxed.
     for (size_t i = 0; i < g_histogram_names.size(); ++i) {
         HistogramData data;
         uint64_t min_seen = UINT64_MAX;
@@ -258,7 +287,7 @@ histogramQuantile(const HistogramData &data, double q)
 void
 resetAll()
 {
-    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    MutexLock lock(g_registry_mutex);
     for (auto &buf : g_span_buffers)
         buf->events.clear();
     for (auto &block : g_counter_blocks) {
@@ -320,7 +349,7 @@ Span::~Span()
 
 Counter::Counter(const char *name) : id_(0)
 {
-    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    MutexLock lock(g_registry_mutex);
     for (size_t i = 0; i < g_counter_names.size(); ++i) {
         if (g_counter_names[i] == name) {
             id_ = i;
@@ -344,7 +373,7 @@ Counter::add(uint64_t delta)
 
 Histogram::Histogram(const char *name) : id_(0)
 {
-    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    MutexLock lock(g_registry_mutex);
     for (size_t i = 0; i < g_histogram_names.size(); ++i) {
         if (g_histogram_names[i] == name) {
             id_ = i;

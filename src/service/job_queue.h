@@ -12,12 +12,12 @@
 #ifndef UNIZK_SERVICE_JOB_QUEUE_H
 #define UNIZK_SERVICE_JOB_QUEUE_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/sync.h"
 
 namespace unizk {
 namespace service {
@@ -45,7 +45,7 @@ template <typename T> class BoundedQueue
     PushResult
     tryPush(T item, size_t *depth_out = nullptr)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (closed_)
             return PushResult::Closed;
         if (items_.size() >= capacity_)
@@ -53,7 +53,7 @@ template <typename T> class BoundedQueue
         if (depth_out != nullptr)
             *depth_out = items_.size();
         items_.push_back(std::move(item));
-        ready_.notify_one();
+        ready_.notifyOne();
         return PushResult::Ok;
     }
 
@@ -64,8 +64,9 @@ template <typename T> class BoundedQueue
     std::optional<T>
     pop()
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        MutexLock lock(mutex_);
+        while (!closed_ && items_.empty())
+            ready_.wait(mutex_);
         if (items_.empty())
             return std::nullopt;
         T item = std::move(items_.front());
@@ -77,15 +78,15 @@ template <typename T> class BoundedQueue
     void
     close()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         closed_ = true;
-        ready_.notify_all();
+        ready_.notifyAll();
     }
 
     size_t
     depth() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return items_.size();
     }
 
@@ -93,10 +94,10 @@ template <typename T> class BoundedQueue
 
   private:
     const size_t capacity_;
-    mutable std::mutex mutex_;
-    std::condition_variable ready_;
-    std::deque<T> items_;
-    bool closed_ = false;
+    mutable Mutex mutex_;
+    CondVar ready_;
+    std::deque<T> items_ UNIZK_GUARDED_BY(mutex_);
+    bool closed_ UNIZK_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace service

@@ -81,11 +81,11 @@ void
 ProofService::requestStop()
 {
     {
-        std::lock_guard<std::mutex> lock(stop_mutex_);
+        MutexLock lock(stop_mutex_);
         stop_requested_.store(true, std::memory_order_release);
     }
     wake_.signal();
-    stop_cv_.notify_all();
+    stop_cv_.notifyAll();
 }
 
 bool
@@ -97,8 +97,9 @@ ProofService::stopRequested() const
 void
 ProofService::waitForStopRequest()
 {
-    std::unique_lock<std::mutex> lock(stop_mutex_);
-    stop_cv_.wait(lock, [&] { return stopRequested(); });
+    MutexLock lock(stop_mutex_);
+    while (!stopRequested())
+        stop_cv_.wait(stop_mutex_);
 }
 
 void
@@ -125,7 +126,7 @@ ProofService::stop()
     //    is ready by now), observe the stop, and exit.
     std::vector<std::unique_ptr<Connection>> conns;
     {
-        std::lock_guard<std::mutex> lock(connections_mutex_);
+        MutexLock lock(connections_mutex_);
         conns.swap(connections_);
     }
     for (auto &conn : conns) {
@@ -138,14 +139,14 @@ ProofService::stop()
 ServiceCounters
 ProofService::counters() const
 {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     return counters_;
 }
 
 std::vector<obs::RunStats>
 ProofService::runStats() const
 {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     return run_stats_;
 }
 
@@ -165,11 +166,11 @@ ProofService::acceptLoop()
         conn->thread =
             std::thread([this, raw] { connectionLoop(*raw); });
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             counters_.connectionsAccepted++;
         }
         {
-            std::lock_guard<std::mutex> lock(connections_mutex_);
+            MutexLock lock(connections_mutex_);
             // Reap connections that already finished so a long-lived
             // daemon does not accumulate joined-out thread objects.
             for (auto it = connections_.begin();
@@ -206,7 +207,7 @@ ProofService::connectionLoop(Connection &conn)
             // allocation; tell the client why, then drop it (the rest
             // of its stream is unframed garbage to us now).
             {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
+                MutexLock lock(stats_mutex_);
                 counters_.malformedFrames++;
             }
             writeFrame(fd, encodeError(ErrorCode::BadFrame,
@@ -214,7 +215,7 @@ ProofService::connectionLoop(Connection &conn)
             break;
         }
         if (res != FrameResult::Ok) {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             counters_.disconnects++;
             break;
         }
@@ -235,7 +236,7 @@ ProofService::handleRequest(Connection &conn,
         // Unknown tag or out-of-range fields: typed rejection, but the
         // framing is still intact, so keep the connection.
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             counters_.rejectedBadRequest++;
         }
         UNIZK_COUNTER_ADD("service.rejected_bad_request", 1);
@@ -257,7 +258,7 @@ ProofService::handleRequest(Connection &conn,
 
     case Tag::Prove: {
         if (stopRequested()) {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             counters_.rejectedShutdown++;
             return writeFrame(fd,
                               encodeError(ErrorCode::ShuttingDown,
@@ -271,17 +272,18 @@ ProofService::handleRequest(Connection &conn,
         // with proverLane reading it.
         switch (queue_->tryPush(job, &job->admissionDepth)) {
         case PushResult::Full: {
-            {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
-                counters_.rejectedQueueFull++;
-            }
+            // Bump the counter under the lock, then drop it before the
+            // (potentially slow) socket write.
+            ReleasableMutexLock lock(stats_mutex_);
+            counters_.rejectedQueueFull++;
+            lock.release();
             UNIZK_COUNTER_ADD("service.rejected_queue_full", 1);
             return writeFrame(fd,
                               encodeError(ErrorCode::QueueFull,
                                           "job queue at capacity"));
         }
         case PushResult::Closed: {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             counters_.rejectedShutdown++;
             return writeFrame(fd,
                               encodeError(ErrorCode::ShuttingDown,
@@ -298,12 +300,12 @@ ProofService::handleRequest(Connection &conn,
         const ProveResponse response = result.get();
         if (!writeFrame(fd, encodeProveResponse(response))) {
             // Client vanished mid-request; the proof is discarded.
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             counters_.disconnects++;
             return false;
         }
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             counters_.requestsCompleted++;
         }
         return true;
@@ -345,7 +347,7 @@ ProofService::proverLane()
                         response.latencyNs);
         UNIZK_COUNTER_ADD("service.requests_completed", 1);
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             if (run_stats_.size() < config_.maxStoredRuns) {
                 run_stats_.push_back(toRunStats(
                     result,

@@ -33,11 +33,11 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/stats_export.h"
 #include "service/job_queue.h"
 #include "service/protocol.h"
@@ -127,19 +127,25 @@ class ProofService
     std::atomic<bool> stop_requested_{false};
     std::atomic<bool> stopped_{false};
 
-    std::mutex stop_mutex_;
-    std::condition_variable stop_cv_;
+    // Guards no data: stop_requested_ stays an atomic (read lock-free
+    // on every accept/connection iteration); the mutex exists to order
+    // the flag flip with stop_cv_ waits so wakeups cannot be lost.
+    // unizk-lint: disable-next-line=unguarded-mutex-member
+    Mutex stop_mutex_;
+    CondVar stop_cv_;
 
     std::unique_ptr<BoundedQueue<std::shared_ptr<Job>>> queue_;
     std::thread accept_thread_;
     std::vector<std::thread> lanes_;
 
-    std::mutex connections_mutex_;
-    std::vector<std::unique_ptr<Connection>> connections_;
+    Mutex connections_mutex_;
+    std::vector<std::unique_ptr<Connection>> connections_
+        UNIZK_GUARDED_BY(connections_mutex_);
 
-    mutable std::mutex stats_mutex_;
-    ServiceCounters counters_;
-    std::vector<obs::RunStats> run_stats_;
+    mutable Mutex stats_mutex_;
+    ServiceCounters counters_ UNIZK_GUARDED_BY(stats_mutex_);
+    std::vector<obs::RunStats> run_stats_
+        UNIZK_GUARDED_BY(stats_mutex_);
 };
 
 } // namespace service

@@ -20,12 +20,12 @@
  * and reported in the summary line, not treated as failures.
  */
 
-#include <atomic>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "common/cli.h"
+#include "common/sync.h"
 #include "common/logging.h"
 #include "obs/json_writer.h"
 #include "service/client.h"
@@ -102,13 +102,22 @@ localProof(const ProveRequest &req)
     return result.proofBlob;
 }
 
+/**
+ * Shared result tally. Counts move once per completed request, so a
+ * single mutex costs nothing measurable -- and unlike the per-field
+ * atomics it replaced, the UNIZK_GUARDED_BY contract makes any future
+ * unlocked access a compile error under -Werror=thread-safety.
+ */
 struct Tally
 {
-    std::atomic<uint64_t> ok{0};
-    std::atomic<uint64_t> queueFull{0};
-    std::atomic<uint64_t> shuttingDown{0};
-    std::atomic<uint64_t> otherErrors{0}; ///< transport/protocol/verify
-    std::atomic<uint64_t> mismatches{0};  ///< --check byte diffs
+    Mutex mutex;
+    uint64_t ok UNIZK_GUARDED_BY(mutex) = 0;
+    uint64_t queueFull UNIZK_GUARDED_BY(mutex) = 0;
+    uint64_t shuttingDown UNIZK_GUARDED_BY(mutex) = 0;
+    /** transport/protocol/verify failures */
+    uint64_t otherErrors UNIZK_GUARDED_BY(mutex) = 0;
+    /** --check byte diffs */
+    uint64_t mismatches UNIZK_GUARDED_BY(mutex) = 0;
 };
 
 void
@@ -120,7 +129,8 @@ runConnection(const std::string &socket_path, size_t conn_index,
     ServiceClient client(socket_path);
     if (!client.connected()) {
         warn("unizk_client: connection ", conn_index, " failed");
-        tally.otherErrors.fetch_add(requests);
+        MutexLock lock(tally.mutex);
+        tally.otherErrors += requests;
         return;
     }
     for (size_t i = 0; i < requests; ++i) {
@@ -128,29 +138,32 @@ runConnection(const std::string &socket_path, size_t conn_index,
             (conn_index * requests + i) % specs.size();
         const auto resp = client.prove(specs[which]);
         if (!resp) {
-            tally.otherErrors.fetch_add(1);
+            MutexLock lock(tally.mutex);
+            tally.otherErrors += 1;
             return; // transport gone; rest of this stream is lost
         }
         if (resp->tag == Tag::Error) {
+            MutexLock lock(tally.mutex);
             switch (resp->error.code) {
             case service::ErrorCode::QueueFull:
-                tally.queueFull.fetch_add(1);
+                tally.queueFull += 1;
                 break;
             case service::ErrorCode::ShuttingDown:
-                tally.shuttingDown.fetch_add(1);
+                tally.shuttingDown += 1;
                 break;
             default:
                 warn("unizk_client: server error: ",
                      errorCodeName(resp->error.code), ": ",
                      resp->error.message);
-                tally.otherErrors.fetch_add(1);
+                tally.otherErrors += 1;
                 break;
             }
             continue;
         }
         if (resp->tag != Tag::ProveOk ||
             (specs[which].verify && !resp->prove.verified)) {
-            tally.otherErrors.fetch_add(1);
+            MutexLock lock(tally.mutex);
+            tally.otherErrors += 1;
             continue;
         }
         if (!expected.empty() &&
@@ -158,10 +171,12 @@ runConnection(const std::string &socket_path, size_t conn_index,
             warn("unizk_client: proof mismatch vs local pipeline "
                  "(spec ",
                  which, ")");
-            tally.mismatches.fetch_add(1);
+            MutexLock lock(tally.mutex);
+            tally.mismatches += 1;
             continue;
         }
-        tally.ok.fetch_add(1);
+        MutexLock lock(tally.mutex);
+        tally.ok += 1;
     }
 }
 
@@ -239,7 +254,8 @@ main(int argc, char **argv)
                         proof_out.c_str());
         } else {
             warn("unizk_client: --proof-out request failed");
-            tally.otherErrors.fetch_add(1);
+            MutexLock lock(tally.mutex);
+            tally.otherErrors += 1;
         }
     }
 
@@ -253,17 +269,13 @@ main(int argc, char **argv)
         std::printf("unizk_client: server acknowledged shutdown\n");
     }
 
+    MutexLock lock(tally.mutex);
     std::printf("unizk_client: ok=%llu queue_full=%llu "
                 "shutting_down=%llu errors=%llu mismatches=%llu\n",
-                static_cast<unsigned long long>(tally.ok.load()),
-                static_cast<unsigned long long>(
-                    tally.queueFull.load()),
-                static_cast<unsigned long long>(
-                    tally.shuttingDown.load()),
-                static_cast<unsigned long long>(
-                    tally.otherErrors.load()),
-                static_cast<unsigned long long>(
-                    tally.mismatches.load()));
-    return (tally.otherErrors.load() || tally.mismatches.load()) ? 1
-                                                                 : 0;
+                static_cast<unsigned long long>(tally.ok),
+                static_cast<unsigned long long>(tally.queueFull),
+                static_cast<unsigned long long>(tally.shuttingDown),
+                static_cast<unsigned long long>(tally.otherErrors),
+                static_cast<unsigned long long>(tally.mismatches));
+    return (tally.otherErrors || tally.mismatches) ? 1 : 0;
 }

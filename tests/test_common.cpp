@@ -9,7 +9,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
 #include "common/bits.h"
@@ -253,10 +252,10 @@ TEST(ThreadPool, ChunkBoundariesIndependentOfThreadCount)
     // Chunk boundaries are a pure function of (range, grain, pool
     // size); running twice on the same pool gives the same partition.
     auto boundaries = [](ThreadPool &pool, size_t n, size_t grain) {
-        std::mutex m;
+        Mutex m;
         std::vector<std::pair<size_t, size_t>> out;
         pool.parallelFor(0, n, grain, [&](size_t lo, size_t hi) {
-            std::lock_guard<std::mutex> lock(m);
+            MutexLock lock(m);
             out.emplace_back(lo, hi);
         });
         std::sort(out.begin(), out.end());
@@ -332,6 +331,10 @@ TEST(ThreadPool, ConcurrentSubmittersSerialize)
 }
 
 /** RAII environment-variable override for the tests below. */
+// getenv/setenv/unsetenv are mt-unsafe only against concurrent env
+// mutation; the tests using ScopedEnv are single-threaded and never
+// overlap with pool workers reading the environment.
+// NOLINTBEGIN(concurrency-mt-unsafe)
 class ScopedEnv
 {
   public:
@@ -359,6 +362,7 @@ class ScopedEnv
     std::string saved_;
     bool had_ = false;
 };
+// NOLINTEND(concurrency-mt-unsafe)
 
 TEST(Env, UintParsesWellFormedValues)
 {

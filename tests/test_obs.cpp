@@ -267,6 +267,85 @@ TEST_F(ObsTest, HistogramLog2BucketBoundaries)
     EXPECT_EQ(h.max, UINT64_MAX);
 }
 
+using ObsConcurrency = ObsTest;
+
+/**
+ * Pins the relaxed-atomics contract audited in src/obs/obs.cpp
+ * (DESIGN section 6.7): recording uses only relaxed operations on
+ * thread-owned blocks, and exporters may run concurrently -- they get
+ * a torn-but-valid view mid-flight and an exact one at quiescence.
+ * Writers hammer a shared Counter and Histogram while an exporter
+ * thread loops counterSnapshot / histogramSnapshot /
+ * histogramQuantile; the CI TSAN leg turns any missing
+ * synchronization edge (registration publish, CAS min/max) into a
+ * failure, and the post-join totals must be exact.
+ */
+TEST_F(ObsConcurrency, RelaxedAtomicsSafeUnderConcurrentExport)
+{
+    SKIP_IF_OBS_DISABLED();
+    constexpr unsigned kWriters = 4;
+    constexpr uint64_t kPerWriter = 20000;
+
+    obs::Counter counter("test.obs.conc_counter");
+    obs::Histogram histo("test.obs.conc_histo");
+    std::atomic<bool> writers_done{false};
+
+    std::vector<std::thread> writers;
+    for (unsigned w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            // Registration of this thread's blocks happens on first
+            // use, racing the exporter's registry walk.
+            for (uint64_t i = 0; i < kPerWriter; ++i) {
+                counter.add(1);
+                histo.record(w * kPerWriter + i);
+            }
+        });
+    }
+
+    // Concurrent exporter: every intermediate view must be internally
+    // valid (counts never exceed the final total, bucket sums match
+    // the count field's monotonic progress, quantiles stay finite).
+    std::thread exporter([&] {
+        uint64_t last_count = 0;
+        while (!writers_done.load(std::memory_order_acquire)) {
+            const auto counters = obs::counterSnapshot();
+            const auto it = counters.find("test.obs.conc_counter");
+            if (it != counters.end()) {
+                EXPECT_LE(it->second, kWriters * kPerWriter);
+                EXPECT_GE(it->second, last_count);
+                last_count = it->second;
+            }
+            const auto histos = obs::histogramSnapshot();
+            const auto hit = histos.find("test.obs.conc_histo");
+            if (hit != histos.end()) {
+                EXPECT_LE(hit->second.count, kWriters * kPerWriter);
+                const double p99 =
+                    obs::histogramQuantile(hit->second, 0.99);
+                EXPECT_TRUE(std::isfinite(p99));
+            }
+        }
+    });
+
+    for (auto &t : writers)
+        t.join();
+    writers_done.store(true, std::memory_order_release);
+    exporter.join();
+
+    // Quiescent point: totals are exact, not approximate.
+    const auto counters = obs::counterSnapshot();
+    EXPECT_EQ(counters.at("test.obs.conc_counter"),
+              kWriters * kPerWriter);
+    const auto histos = obs::histogramSnapshot();
+    const obs::HistogramData &h = histos.at("test.obs.conc_histo");
+    EXPECT_EQ(h.count, kWriters * kPerWriter);
+    EXPECT_EQ(h.min, 0u);
+    EXPECT_EQ(h.max, kWriters * kPerWriter - 1);
+    uint64_t bucket_sum = 0;
+    for (const uint64_t b : h.buckets)
+        bucket_sum += b;
+    EXPECT_EQ(bucket_sum, h.count);
+}
+
 TEST_F(ObsTest, SpanDurationsFeedBuiltinHistogram)
 {
     SKIP_IF_OBS_DISABLED();

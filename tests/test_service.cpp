@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include <sys/socket.h>
 #include <unistd.h>
@@ -288,6 +291,106 @@ TEST(BoundedQueue, ZeroCapacityRejectsEverything)
 {
     BoundedQueue<int> q(0);
     EXPECT_EQ(q.tryPush(1), PushResult::Full);
+}
+
+/**
+ * Races many producers and consumers against a mid-stream close().
+ * Pins the drain-then-exit contract under contention: every item
+ * admitted (tryPush == Ok) is popped exactly once, consumers see
+ * nullopt only after close + drain, and nothing is admitted after
+ * close. Runs in the CI TSAN leg, where it also exercises the
+ * capability-annotated Mutex/CondVar wrappers under real contention.
+ */
+TEST(BoundedQueue, ConcurrentCloseRace)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    // Attempt budget per producer. Producers run until they observe
+    // Closed, so this only bounds the pathological case where close()
+    // never lands; it is far more attempts than any machine gets
+    // through in the 20ms race window.
+    constexpr int kMaxPerProducer = 1 << 20;
+
+    BoundedQueue<int> q(16);
+    std::atomic<bool> start{false};
+
+    // admitted[v] set by the producer when tryPush(v) returned Ok;
+    // popped[v] incremented by whichever consumer received v.
+    std::vector<std::atomic<uint8_t>> admitted(kProducers *
+                                               kMaxPerProducer);
+    std::vector<std::atomic<uint8_t>> popped(kProducers *
+                                             kMaxPerProducer);
+    std::atomic<uint64_t> rejected_closed{0};
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            while (!start.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < kMaxPerProducer; ++i) {
+                const int v = p * kMaxPerProducer + i;
+                switch (q.tryPush(v)) {
+                case PushResult::Ok:
+                    admitted[static_cast<size_t>(v)].store(
+                        1, std::memory_order_relaxed);
+                    break;
+                case PushResult::Full:
+                    break; // backpressure; drop and move on
+                case PushResult::Closed:
+                    // The door slammed mid-stream; every producer
+                    // must end here, not by exhausting its budget.
+                    rejected_closed.fetch_add(
+                        1, std::memory_order_relaxed);
+                    return;
+                }
+            }
+        });
+    }
+
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            while (!start.load(std::memory_order_acquire)) {
+            }
+            while (auto item = q.pop())
+                popped[static_cast<size_t>(*item)].fetch_add(
+                    1, std::memory_order_relaxed);
+            // After pop() returns nullopt the queue is closed and
+            // drained; it must stay that way.
+            EXPECT_FALSE(q.pop().has_value());
+        });
+    }
+
+    start.store(true, std::memory_order_release);
+    // Let the race develop, then slam the door while both sides are
+    // mid-flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+
+    for (auto &t : producers)
+        t.join();
+    for (auto &t : consumers)
+        t.join();
+
+    EXPECT_EQ(q.tryPush(-1), PushResult::Closed);
+    EXPECT_FALSE(q.pop().has_value());
+
+    uint64_t admitted_total = 0;
+    for (size_t v = 0; v < admitted.size(); ++v) {
+        const uint8_t in = admitted[v].load(std::memory_order_relaxed);
+        const uint8_t out = popped[v].load(std::memory_order_relaxed);
+        admitted_total += in;
+        EXPECT_EQ(in, out) << "item " << v
+                           << (in != 0u ? " admitted but popped "
+                                        : " never admitted but popped ")
+                           << static_cast<unsigned>(out) << " times";
+    }
+    // The close raced real traffic: something got through before it,
+    // and every producer was still pushing when it landed (each exits
+    // only on observing Closed).
+    EXPECT_GT(admitted_total, 0u);
+    EXPECT_EQ(rejected_closed.load(),
+              static_cast<uint64_t>(kProducers));
 }
 
 // ---------------------------------------------------------------------

@@ -374,6 +374,165 @@ class TestRawChrono(LintHarness):
         )
 
 
+class TestRawSyncPrimitive(LintHarness):
+    def test_std_mutex_member_triggers(self):
+        self.assert_rules(
+            "src/service/pool.h",
+            "class P { std::mutex mu_; };\n",
+            ["raw-sync-primitive"],
+        )
+
+    def test_condition_variable_triggers(self):
+        self.assert_rules(
+            "src/common/worker.cpp",
+            "std::condition_variable cv;\n",
+            ["raw-sync-primitive"],
+        )
+
+    def test_lock_guard_triggers(self):
+        self.assert_rules(
+            "src/obs/reg.cpp",
+            "std::lock_guard<std::mutex> lock(mu);\n",
+            ["raw-sync-primitive"],
+        )
+
+    def test_unique_lock_in_tests_triggers(self):
+        self.assert_rules(
+            "tests/test_x.cpp",
+            "std::unique_lock<std::mutex> lock(mu);\n",
+            ["raw-sync-primitive"],
+        )
+
+    def test_mutex_include_triggers(self):
+        self.assert_rules(
+            "src/ntt/cache.cpp",
+            "#include <mutex>\n",
+            ["raw-sync-primitive"],
+        )
+
+    def test_allowed_inside_sync_header(self):
+        self.assert_clean(
+            "src/common/sync.h",
+            "#include <mutex>\n#include <condition_variable>\n"
+            "std::mutex mu_;\nstd::condition_variable cv_;\n",
+        )
+
+    def test_wrappers_are_fine(self):
+        self.assert_clean(
+            "src/service/pool.h",
+            "Mutex mu_ UNIZK_GUARDED_BY(mu_);\nCondVar cv_;\n"
+            "MutexLock lock(mu_);\n"
+            "ReleasableMutexLock rlock(mu_);\n",
+        )
+
+    def test_atomics_and_threads_are_fine(self):
+        self.assert_clean(
+            "src/service/pool.h",
+            "#include <atomic>\n#include <thread>\n"
+            "std::atomic<bool> stop{false};\nstd::thread worker;\n",
+        )
+
+    def test_mention_in_comment_is_fine(self):
+        self.assert_clean(
+            "src/service/pool.h",
+            "// previously used a std::mutex here\nint x = 0;\n",
+        )
+
+    def test_same_line_suppression(self):
+        self.assert_clean(
+            "src/service/legacy.h",
+            "std::mutex mu_;  "
+            "// unizk-lint: disable=raw-sync-primitive\n",
+        )
+
+
+class TestUnguardedMutexMember(LintHarness):
+    GUARDED = (
+        "class Q {\n"
+        "    Mutex mutex_;\n"
+        "    int depth_ UNIZK_GUARDED_BY(mutex_) = 0;\n"
+        "};\n"
+    )
+
+    def test_unguarded_member_triggers(self):
+        self.assert_rules(
+            "src/service/queue.h",
+            "class Q {\n    Mutex mutex_;\n    int depth_ = 0;\n};\n",
+            ["unguarded-mutex-member"],
+        )
+
+    def test_unizk_qualified_decl_triggers(self):
+        self.assert_rules(
+            "src/obs/reg.cpp",
+            "unizk::Mutex g_mutex;\nint g_count = 0;\n",
+            ["unguarded-mutex-member"],
+        )
+
+    def test_decl_with_annotation_macro_still_checked(self):
+        # `Mutex a_ UNIZK_ACQUIRED_BEFORE(b_);` declares a_ without a
+        # trailing ';' right after the name; it must still be found.
+        self.assert_rules(
+            "src/common/pool.h",
+            "Mutex a_ UNIZK_ACQUIRED_BEFORE(b_);\n"
+            "Mutex b_;\n"
+            "int jobs_ UNIZK_GUARDED_BY(b_) = 0;\n",
+            ["unguarded-mutex-member"],
+        )
+
+    def test_guarded_member_is_fine(self):
+        self.assert_clean("src/service/queue.h", self.GUARDED)
+
+    def test_pt_guarded_counts(self):
+        self.assert_clean(
+            "src/service/queue.h",
+            "class Q {\n"
+            "    Mutex mutex_;\n"
+            "    Job *job_ UNIZK_PT_GUARDED_BY(mutex_) = nullptr;\n"
+            "};\n",
+        )
+
+    def test_member_access_guard_expression_counts(self):
+        # UNIZK_GUARDED_BY(r.mutex) guards against the Registry's own
+        # mutex member (the twiddle-registry shape).
+        self.assert_clean(
+            "src/ntt/reg.cpp",
+            "struct R {\n"
+            "    Mutex mutex;\n"
+            "    bool enabled UNIZK_GUARDED_BY(mutex) = true;\n"
+            "};\n",
+        )
+
+    def test_mutex_reference_is_not_a_declaration(self):
+        self.assert_clean(
+            "src/common/sync2.h",
+            "class L {\n    Mutex &mu_;\n    Mutex *pmu_;\n};\n",
+        )
+
+    def test_outside_src_is_not_checked(self):
+        self.assert_clean(
+            "tests/test_q.cpp",
+            "Mutex m;\nint unguarded = 0;\n",
+        )
+
+    def test_next_line_suppression(self):
+        self.assert_clean(
+            "src/common/pool.h",
+            "// ordering-only mutex (condvar handshake)\n"
+            "// unizk-lint: disable-next-line=unguarded-mutex-member\n"
+            "Mutex stop_mutex_;\n",
+        )
+
+    def test_suppressing_it_keeps_other_rules(self):
+        findings = self.lint(
+            "src/service/queue.h",
+            "Mutex m_;  // unizk-lint: disable=unguarded-mutex-member\n"
+            "std::mutex raw_;\n",
+        )
+        self.assertEqual(
+            {f.rule for f in findings}, {"raw-sync-primitive"}
+        )
+
+
 class TestSuppressions(LintHarness):
     SNIPPET = "size_t n = 1 << log_n;"
 

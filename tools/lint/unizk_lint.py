@@ -32,6 +32,23 @@ codebase's proof-soundness and determinism contracts:
                     ScopedKernelTimer) or obs spans (UNIZK_SPAN), so
                     instrumentation stays centralized, thread-safe, and
                     can be compiled out (UNIZK_DISABLE_OBS).
+  raw-sync-primitive
+                    No bare std::mutex / std::condition_variable /
+                    std::lock_guard (or friends) outside
+                    src/common/sync.h: all locking goes through the
+                    capability-annotated unizk::Mutex / unizk::CondVar /
+                    MutexLock wrappers so Clang's thread-safety analysis
+                    (-Werror=thread-safety, CI `thread-safety` job) can
+                    check every locking contract at compile time.
+  unguarded-mutex-member
+                    Every unizk::Mutex declared as a member (or at
+                    namespace scope) must guard something: at least one
+                    sibling declaration in the same file must carry
+                    UNIZK_GUARDED_BY(that_mutex) (or UNIZK_PT_GUARDED_BY).
+                    A mutex that protects no annotated data is invisible
+                    to the thread-safety analysis; if it exists purely to
+                    order events (e.g. a condvar handshake), suppress
+                    with a comment saying so.
 
 Suppressions (per line, per rule):
 
@@ -252,6 +269,38 @@ def check_assert_side_effects(
 
 
 # --------------------------------------------------------------------------
+# unguarded-mutex-member: a unizk::Mutex declaration must be named by at
+# least one UNIZK_GUARDED_BY / UNIZK_PT_GUARDED_BY annotation in the
+# same file, otherwise the thread-safety analysis cannot check anything
+# about it.
+# --------------------------------------------------------------------------
+
+# A plain Mutex declaration: optional mutable/static, optional unizk::,
+# the declared name, then either the terminating ';' or an UNIZK_*
+# annotation macro (e.g. UNIZK_ACQUIRED_BEFORE). References, pointers
+# and function parameters deliberately do not match.
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:unizk::)?Mutex\s+([A-Za-z_]\w*)\s*(?:;|UNIZK_)"
+)
+
+
+def check_unguarded_mutex_members(
+    stripped: Sequence[str],
+) -> Iterable[Tuple[int, str]]:
+    text = "\n".join(stripped)
+    for lineno, line in enumerate(stripped, start=1):
+        for m in MUTEX_DECL_RE.finditer(line):
+            name = m.group(1)
+            guard_re = re.compile(
+                r"UNIZK_(?:PT_)?GUARDED_BY\(\s*(?:[A-Za-z_]\w*\.)?"
+                + re.escape(name)
+                + r"\s*\)"
+            )
+            if not guard_re.search(text):
+                yield lineno, f"mutex '{name}' guards no annotated member"
+
+
+# --------------------------------------------------------------------------
 # Rule table.
 # --------------------------------------------------------------------------
 
@@ -352,6 +401,39 @@ RULES: Tuple[Rule, ...] = (
             r"|#\s*include\s*<chrono>"
         ),
         include=TIMED_KERNEL_PATHS,
+    ),
+    Rule(
+        name="raw-sync-primitive",
+        summary="bare std sync primitive outside src/common/sync.h",
+        message=(
+            "bare std synchronization primitive; use the "
+            "capability-annotated wrappers from common/sync.h "
+            "(unizk::Mutex, unizk::CondVar, MutexLock, "
+            "ReleasableMutexLock) so -Werror=thread-safety can check "
+            "the locking contract at compile time"
+        ),
+        pattern=re.compile(
+            r"\bstd::(?:mutex|recursive_mutex|timed_mutex"
+            r"|recursive_timed_mutex|shared_mutex|shared_timed_mutex"
+            r"|condition_variable(?:_any)?|lock_guard|unique_lock"
+            r"|scoped_lock|shared_lock)\b"
+            r"|#\s*include\s*<(?:mutex|condition_variable"
+            r"|shared_mutex)>"
+        ),
+        exclude=("src/common/sync.h",),
+    ),
+    Rule(
+        name="unguarded-mutex-member",
+        summary="unizk::Mutex with no UNIZK_GUARDED_BY member",
+        message=(
+            "this unizk::Mutex guards no annotated data: no sibling "
+            "declaration carries UNIZK_GUARDED_BY on it, so the "
+            "thread-safety analysis cannot check anything it protects. "
+            "Annotate the protected members, or suppress with a "
+            "comment explaining what the mutex orders instead"
+        ),
+        checker=check_unguarded_mutex_members,
+        include=("src/",),
     ),
 )
 

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Negative thread-safety-analysis fixture: acquires the same mutex
+ * twice (a guaranteed self-deadlock with std::mutex -- the lock-order
+ * bug class in its simplest form; cross-mutex inversion checking via
+ * ACQUIRED_BEFORE is gated behind -Wthread-safety-beta, so the fixture
+ * pins the non-beta diagnostics). Both shapes must FAIL to compile
+ * under -Werror=thread-safety: a direct re-acquisition ("acquiring
+ * mutex 'mutex_' that is already held") and a call into a helper
+ * annotated UNIZK_EXCLUDES while the mutex is held ("cannot call
+ * function 'inner' while mutex 'mutex_' is held").
+ */
+
+#include "common/sync.h"
+
+class Widget
+{
+  public:
+    void
+    doubleAcquire()
+    {
+        unizk::MutexLock first(mutex_);
+        unizk::MutexLock again(mutex_); // BAD: mutex_ already held
+        ++calls_;
+    }
+
+    void
+    outer()
+    {
+        unizk::MutexLock lock(mutex_);
+        inner(); // BAD: inner() excludes mutex_ -> self-deadlock
+    }
+
+    void
+    inner() UNIZK_EXCLUDES(mutex_)
+    {
+        unizk::MutexLock lock(mutex_);
+        ++calls_;
+    }
+
+  private:
+    unizk::Mutex mutex_;
+    int calls_ UNIZK_GUARDED_BY(mutex_) = 0;
+};
+
+int
+main()
+{
+    Widget w;
+    w.doubleAcquire();
+    w.outer();
+    return 0;
+}

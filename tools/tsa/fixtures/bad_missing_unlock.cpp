@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Negative thread-safety-analysis fixture: a manual lock() with a
+ * return path that never unlocks, and a loop whose lock state differs
+ * between iterations. This is the failure mode the balanced
+ * lock/unlock restructure of ThreadPool::workerLoop guards against.
+ * Must FAIL to compile under -Werror=thread-safety (expected
+ * diagnostics: "mutex 'mutex_' is still held at the end of function" /
+ * "expecting mutex 'mutex_' to be held at start of each loop").
+ */
+
+#include "common/sync.h"
+
+class Pump
+{
+  public:
+    void
+    drainOnce()
+    {
+        mutex_.lock();
+        if (items_ == 0)
+            return; // BAD: returns with mutex_ held
+        --items_;
+        mutex_.unlock();
+    }
+
+    void
+    drainAll()
+    {
+        for (int i = 0; i < 4; ++i) {
+            mutex_.lock();
+            --items_;
+            // BAD: no unlock before the loop joins back -- lock state
+            // differs between the first and second iteration.
+        }
+    }
+
+  private:
+    unizk::Mutex mutex_;
+    int items_ UNIZK_GUARDED_BY(mutex_) = 0;
+};
+
+int
+main()
+{
+    Pump p;
+    p.drainOnce();
+    p.drainAll();
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Negative thread-safety-analysis fixture: reads and writes a
+ * UNIZK_GUARDED_BY member without holding its mutex. Equivalent to
+ * deleting the MutexLock from JobQueue::depth() -- exactly the
+ * regression the CI thread-safety job exists to catch. Must FAIL to
+ * compile under -Werror=thread-safety (expected diagnostic:
+ * -Wthread-safety-analysis "requires holding mutex 'mutex_'").
+ */
+
+#include <cstdint>
+
+#include "common/sync.h"
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        ++value_; // BAD: write without holding mutex_
+    }
+
+    uint64_t
+    read() const
+    {
+        return value_; // BAD: read without holding mutex_
+    }
+
+  private:
+    mutable unizk::Mutex mutex_;
+    uint64_t value_ UNIZK_GUARDED_BY(mutex_) = 0;
+};
+
+int
+main()
+{
+    Counter c;
+    c.bump();
+    return static_cast<int>(c.read());
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Positive thread-safety-analysis fixture: exercises every locking
+ * shape used by the real subsystems (scoped locks, releasable locks,
+ * condition-variable wait loops, manual balanced lock/unlock across a
+ * loop, REQUIRES on helpers, GUARDED_BY through an object expression).
+ * Must compile with zero diagnostics under
+ *   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety.
+ *
+ * tsa_fixture_test.py asserts this file is accepted; the bad_*.cpp
+ * siblings are each asserted to be rejected.
+ */
+
+#include <cstdint>
+#include <deque>
+
+#include "common/sync.h"
+
+namespace {
+
+using unizk::CondVar;
+using unizk::Mutex;
+using unizk::MutexLock;
+using unizk::ReleasableMutexLock;
+
+/// JobQueue shape: scoped lock + cv wait loop with an explicit
+/// predicate loop (no lambda -- the analysis cannot see into one).
+class Queue
+{
+  public:
+    bool
+    tryPush(int v)
+    {
+        MutexLock lock(mutex_);
+        if (closed_)
+            return false;
+        items_.push_back(v);
+        ready_.notifyOne();
+        return true;
+    }
+
+    bool
+    pop(int &out)
+    {
+        MutexLock lock(mutex_);
+        while (!closed_ && items_.empty())
+            ready_.wait(mutex_);
+        if (items_.empty())
+            return false;
+        out = items_.front();
+        items_.pop_front();
+        return true;
+    }
+
+    void
+    close()
+    {
+        MutexLock lock(mutex_);
+        closed_ = true;
+        ready_.notifyAll();
+    }
+
+  private:
+    mutable Mutex mutex_;
+    CondVar ready_;
+    std::deque<int> items_ UNIZK_GUARDED_BY(mutex_);
+    bool closed_ UNIZK_GUARDED_BY(mutex_) = false;
+};
+
+/// ThreadPool worker shape: manual balanced lock/unlock with the lock
+/// dropped around the work and re-acquired, consistent at every loop
+/// join point.
+class Pool
+{
+  public:
+    void
+    workerLoop()
+    {
+        mutex_.lock();
+        for (;;) {
+            while (!shutting_down_ && pending_ == 0)
+                work_ready_.wait(mutex_);
+            if (shutting_down_) {
+                mutex_.unlock();
+                return;
+            }
+            --pending_;
+            mutex_.unlock();
+            doWork();
+            mutex_.lock();
+            if (pending_ == 0)
+                work_done_.notifyAll();
+        }
+    }
+
+    void
+    submit(uint64_t n)
+    {
+        MutexLock lock(mutex_);
+        pending_ += n;
+        work_ready_.notifyAll();
+        while (pending_ != 0)
+            work_done_.wait(mutex_);
+    }
+
+  private:
+    void doWork() {}
+
+    Mutex mutex_;
+    CondVar work_ready_;
+    CondVar work_done_;
+    uint64_t pending_ UNIZK_GUARDED_BY(mutex_) = 0;
+    bool shutting_down_ UNIZK_GUARDED_BY(mutex_) = false;
+};
+
+/// Twiddle-registry shape: REQUIRES on a helper taking the owning
+/// object, guard expressed through the object (r.mutex).
+struct Registry
+{
+    Mutex mutex;
+    bool enabled UNIZK_GUARDED_BY(mutex) = true;
+    int slots UNIZK_GUARDED_BY(mutex) = 0;
+};
+
+void
+refresh(Registry &r) UNIZK_REQUIRES(r.mutex)
+{
+    if (r.enabled)
+        ++r.slots;
+}
+
+int
+snapshot(Registry &r) UNIZK_EXCLUDES(r.mutex)
+{
+    MutexLock lock(r.mutex);
+    refresh(r);
+    return r.slots;
+}
+
+/// Server stats shape: bump a guarded counter, release the lock early
+/// (before a slow syscall), with the release visible to the analysis.
+class Stats
+{
+  public:
+    uint64_t
+    bumpThenRead()
+    {
+        ReleasableMutexLock lock(mutex_);
+        const uint64_t seen = ++rejected_;
+        lock.release();
+        return seen; // "slow path" runs unlocked
+    }
+
+  private:
+    Mutex mutex_;
+    uint64_t rejected_ UNIZK_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Queue q;
+    q.tryPush(1);
+    int v = 0;
+    q.pop(v);
+    q.close();
+
+    Pool p;
+    p.submit(0);
+
+    Registry r;
+    (void)snapshot(r);
+
+    Stats s;
+    (void)s.bumpThenRead();
+    return v;
+}

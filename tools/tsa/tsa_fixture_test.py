@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Thread-safety-analysis fixture harness.
+
+Compiles each fixture under tools/tsa/fixtures/ with Clang's
+-Wthread-safety promoted to an error and asserts the expected verdict:
+
+  * good.cpp        -- every locking shape the real subsystems use;
+                       must be accepted with zero diagnostics.
+  * bad_*.cpp       -- one concurrency-discipline violation each
+                       (unguarded access, double acquisition, missing
+                       unlock); must each be REJECTED, and the
+                       rejection must come from the thread-safety
+                       analysis, not some unrelated error.
+
+This is the "removing an annotation / locking out of order produces a
+compile error" proof demanded by DESIGN section 6.7: the violations
+live here as fixtures instead of being temporarily introduced into the
+tree. Requires a clang++ (any recent version); the CI thread-safety
+job runs it, and CMake registers it as a ctest when clang++ is on
+PATH. Exits non-zero on any unexpected verdict.
+
+Usage:
+    tsa_fixture_test.py [--clang clang++] [--repo-root PATH]
+"""
+
+import argparse
+import pathlib
+import shutil
+import subprocess
+import sys
+
+FIXTURE_DIR = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+TSA_FLAGS = [
+    "-fsyntax-only",
+    "-std=c++20",
+    "-Wthread-safety",
+    "-Werror=thread-safety",
+]
+
+# A rejected fixture must fail *because of the analysis*: any of these
+# fragments appearing in the diagnostics proves the thread-safety
+# machinery (not a stray syntax error) produced the rejection.
+TSA_DIAGNOSTIC_MARKERS = (
+    "-Wthread-safety",
+    "thread-safety-analysis",
+    "requires holding mutex",
+    "is already held",
+    "is still held at the end of function",
+    "to be held at start of each loop",
+    "while mutex",
+)
+
+
+def compile_fixture(clang, repo_root, fixture):
+    cmd = [clang] + TSA_FLAGS + ["-I", str(repo_root / "src"),
+                                 str(fixture)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang", default="clang++",
+                        help="clang++ binary to use (default: clang++)")
+    parser.add_argument(
+        "--repo-root",
+        default=str(pathlib.Path(__file__).resolve().parents[2]),
+        help="repository root (for -I src)")
+    args = parser.parse_args()
+
+    if shutil.which(args.clang) is None:
+        print(f"tsa_fixture_test: '{args.clang}' not found; "
+              "thread-safety analysis requires Clang", file=sys.stderr)
+        return 2
+
+    repo_root = pathlib.Path(args.repo_root).resolve()
+    fixtures = sorted(FIXTURE_DIR.glob("*.cpp"))
+    if not fixtures:
+        print(f"tsa_fixture_test: no fixtures in {FIXTURE_DIR}",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    for fixture in fixtures:
+        expect_fail = fixture.name.startswith("bad_")
+        code, output = compile_fixture(args.clang, repo_root, fixture)
+        if not expect_fail:
+            if code != 0:
+                failures += 1
+                print(f"FAIL {fixture.name}: expected clean compile, "
+                      f"got exit {code}:\n{output}")
+            else:
+                print(f"ok   {fixture.name}: accepted")
+            continue
+        if code == 0:
+            failures += 1
+            print(f"FAIL {fixture.name}: expected a thread-safety "
+                  "error, but it compiled cleanly")
+        elif not any(m in output for m in TSA_DIAGNOSTIC_MARKERS):
+            failures += 1
+            print(f"FAIL {fixture.name}: rejected, but not by the "
+                  f"thread-safety analysis:\n{output}")
+        else:
+            print(f"ok   {fixture.name}: rejected by analysis")
+
+    if failures:
+        print(f"tsa_fixture_test: {failures} unexpected verdict(s)",
+              file=sys.stderr)
+        return 1
+    print(f"tsa_fixture_test: {len(fixtures)} fixture(s) behaved as "
+          "expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
