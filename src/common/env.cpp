@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <string>
 #include <string_view>
 
 #include "common/logging.h"
@@ -59,6 +60,32 @@ envFlag(const char *name)
         return false;
     warn("ignoring ", name, "='", env,
          "': expected one of 1/on/true/yes or 0/off/false/no");
+    return std::nullopt;
+}
+
+std::optional<size_t>
+envChoice(const char *name, std::initializer_list<const char *> allowed)
+{
+    // Same contract as envUint: no setenv after startup, so the
+    // lock-free read cannot race a writer.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return std::nullopt;
+    const std::string_view v(env);
+    size_t index = 0;
+    for (const char *candidate : allowed) {
+        if (v == candidate)
+            return index;
+        ++index;
+    }
+    std::string spellings;
+    for (const char *candidate : allowed) {
+        if (!spellings.empty())
+            spellings += '/';
+        spellings += candidate;
+    }
+    warn("ignoring ", name, "='", env, "': expected one of ", spellings);
     return std::nullopt;
 }
 

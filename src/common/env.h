@@ -15,7 +15,9 @@
 #ifndef UNIZK_COMMON_ENV_H
 #define UNIZK_COMMON_ENV_H
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 
 namespace unizk {
@@ -39,6 +41,16 @@ std::optional<uint64_t> envUint(const char *name, uint64_t lo,
  * previously a typo like "flase" silently meant "on".
  */
 std::optional<bool> envFlag(const char *name);
+
+/**
+ * Parse the environment variable @p name as one of a closed set of
+ * lowercase spellings (e.g. UNIZK_SIMD={auto,avx2,scalar}). Returns
+ * the index of the matching entry in @p allowed, std::nullopt when
+ * unset, or (after a warn() listing the accepted spellings) for any
+ * unknown value -- callers treat nullopt as "use the default".
+ */
+std::optional<size_t> envChoice(const char *name,
+                                std::initializer_list<const char *> allowed);
 
 } // namespace unizk
 

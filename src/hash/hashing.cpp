@@ -1,8 +1,24 @@
 #include "hash/hashing.h"
 
+#include <algorithm>
+
 #include "common/bits.h"
+#include "hash/goldilocks_simd.h"
 
 namespace unizk {
+
+namespace {
+
+/** Copy the digest (capacity lanes 0..3) out of each batched state. */
+void
+extractDigests(const PoseidonState *states, size_t n, HashOut *out)
+{
+    for (size_t k = 0; k < n; ++k)
+        for (size_t i = 0; i < 4; ++i)
+            out[k].elems[i] = states[k][i];
+}
+
+} // namespace
 
 HashOut
 hashNoPad(const std::vector<Fp> &inputs)
@@ -28,6 +44,45 @@ hashNoPad(const std::vector<Fp> &inputs)
     return out;
 }
 
+void
+hashNoPadBatch(const std::vector<Fp> *inputs, size_t n, HashOut *out)
+{
+    const Poseidon &poseidon = Poseidon::instance();
+    size_t i = 0;
+    while (i < n) {
+        // The absorption schedule (how many chunks, chunk sizes) is a
+        // function of the input length, so only equal-length inputs can
+        // share one batched permutation sequence.
+        size_t run = 1;
+        while (run < kSimdBatchWidth && i + run < n &&
+               inputs[i + run].size() == inputs[i].size())
+            ++run;
+        if (run < kSimdBatchWidth) {
+            for (size_t k = 0; k < run; ++k)
+                out[i + k] = hashNoPad(inputs[i + k]);
+            i += run;
+            continue;
+        }
+
+        PoseidonState states[kSimdBatchWidth] = {};
+        const size_t len = inputs[i].size();
+        size_t pos = 0;
+        while (pos < len) {
+            const size_t chunk =
+                std::min<size_t>(PoseidonConfig::rate, len - pos);
+            for (size_t k = 0; k < kSimdBatchWidth; ++k)
+                for (size_t j = 0; j < chunk; ++j)
+                    states[k][j] = inputs[i + k][pos + j];
+            poseidon.permuteBatch(states, kSimdBatchWidth);
+            pos += chunk;
+        }
+        if (len == 0)
+            poseidon.permuteBatch(states, kSimdBatchWidth);
+        extractDigests(states, kSimdBatchWidth, &out[i]);
+        i += kSimdBatchWidth;
+    }
+}
+
 HashOut
 hashTwoToOne(const HashOut &left, const HashOut &right)
 {
@@ -46,10 +101,37 @@ hashTwoToOne(const HashOut &left, const HashOut &right)
     return out;
 }
 
+void
+hashTwoToOneBatch(const HashOut *children, size_t pair_count,
+                  HashOut *out)
+{
+    const Poseidon &poseidon = Poseidon::instance();
+    size_t i = 0;
+    for (; i + kSimdBatchWidth <= pair_count; i += kSimdBatchWidth) {
+        PoseidonState states[kSimdBatchWidth] = {};
+        for (size_t k = 0; k < kSimdBatchWidth; ++k) {
+            const HashOut &left = children[2 * (i + k)];
+            const HashOut &right = children[2 * (i + k) + 1];
+            for (size_t j = 0; j < 4; ++j) {
+                states[k][j] = left.elems[j];
+                states[k][4 + j] = right.elems[j];
+            }
+        }
+        poseidon.permuteBatch(states, kSimdBatchWidth);
+        extractDigests(states, kSimdBatchWidth, &out[i]);
+    }
+    for (; i < pair_count; ++i)
+        out[i] = hashTwoToOne(children[2 * i], children[2 * i + 1]);
+}
+
 HashOut
 hashOrNoop(const std::vector<Fp> &inputs)
 {
-    if (inputs.size() <= 4) {
+    // Noop packing covers 1..4 elements only. Length 0 must *hash*:
+    // hashOrNoopPermutationCount charges the empty input one
+    // permutation (matching hashNoPad), and packing it would make the
+    // empty leaf collide with the all-zero length-4 leaf.
+    if (!inputs.empty() && inputs.size() <= 4) {
         HashOut out;
         for (size_t i = 0; i < inputs.size(); ++i)
             out.elems[i] = inputs[i];
@@ -58,12 +140,46 @@ hashOrNoop(const std::vector<Fp> &inputs)
     return hashNoPad(inputs);
 }
 
+void
+hashOrNoopBatch(const std::vector<Fp> *leaves, size_t n, HashOut *out)
+{
+    size_t i = 0;
+    while (i < n) {
+        const size_t len = leaves[i].size();
+        if (len >= 1 && len <= 4) {
+            // Noop path: no permutation, nothing to batch.
+            out[i] = hashOrNoop(leaves[i]);
+            ++i;
+            continue;
+        }
+        // Hashing path: hand the maximal run of hashing leaves to
+        // hashNoPadBatch, which groups equal lengths internally.
+        size_t run = 1;
+        while (i + run < n) {
+            const size_t l = leaves[i + run].size();
+            if (l >= 1 && l <= 4)
+                break;
+            ++run;
+        }
+        hashNoPadBatch(&leaves[i], run, &out[i]);
+        i += run;
+    }
+}
+
 size_t
 permutationCountForLength(size_t len)
 {
     if (len == 0)
         return 1;
     return ceilDiv(len, PoseidonConfig::rate);
+}
+
+size_t
+hashOrNoopPermutationCount(size_t len)
+{
+    if (len >= 1 && len <= 4)
+        return 0;
+    return permutationCountForLength(len);
 }
 
 } // namespace unizk

@@ -48,14 +48,45 @@ struct HashOut
  */
 HashOut hashNoPad(const std::vector<Fp> &inputs);
 
+/**
+ * Hash @p n inputs into @p out, feeding runs of kSimdBatchWidth
+ * equal-length inputs through Poseidon::permuteBatch (shared
+ * absorption schedule, lane-parallel permutations). Digests are
+ * byte-identical to n hashNoPad calls at every SIMD dispatch level;
+ * mixed-length runs and short tails fall back to the scalar path.
+ */
+void hashNoPadBatch(const std::vector<Fp> *inputs, size_t n,
+                    HashOut *out);
+
 /** Compress two digests into one (interior Merkle node). */
 HashOut hashTwoToOne(const HashOut &left, const HashOut &right);
 
 /**
+ * Compress @p pair_count digest pairs: out[i] = H(children[2i],
+ * children[2i+1]), batching kSimdBatchWidth sponges per permutation.
+ * This is the interior-Merkle-level entry point; results are
+ * byte-identical to pair_count hashTwoToOne calls.
+ */
+void hashTwoToOneBatch(const HashOut *children, size_t pair_count,
+                       HashOut *out);
+
+/**
  * Hash if the input is longer than a digest, otherwise pack directly
- * (Plonky2's hash_or_noop used for short Merkle leaves).
+ * (Plonky2's hash_or_noop used for short Merkle leaves). The noop path
+ * covers lengths 1..4 only: an *empty* input falls through to
+ * hashNoPad (one permutation), both so the accounting in
+ * hashOrNoopPermutationCount matches the executed permutations and so
+ * an empty leaf cannot collide with the all-zero length-4 leaf.
  */
 HashOut hashOrNoop(const std::vector<Fp> &inputs);
+
+/**
+ * Hash @p n leaves into @p out as hashOrNoop would, batching runs of
+ * hashing-path leaves through hashNoPadBatch; noop-path leaves (length
+ * 1..4) are packed directly. The Merkle leaf-level entry point.
+ */
+void hashOrNoopBatch(const std::vector<Fp> *leaves, size_t n,
+                     HashOut *out);
 
 /**
  * Number of Poseidon permutations hashNoPad performs on an input of
@@ -63,6 +94,15 @@ HashOut hashOrNoop(const std::vector<Fp> &inputs);
  * hashes identically to the implementation.
  */
 size_t permutationCountForLength(size_t len);
+
+/**
+ * Number of Poseidon permutations hashOrNoop performs on an input of
+ * @p len elements: 0 on the noop path (1 <= len <= 4), otherwise
+ * exactly permutationCountForLength(len). MerkleTree::permutationCount
+ * delegates here so simulator kernel-op accounting can never drift
+ * from the executed hash count again.
+ */
+size_t hashOrNoopPermutationCount(size_t len);
 
 } // namespace unizk
 

@@ -1,5 +1,7 @@
 #include "hash/poseidon.h"
 
+#include "hash/goldilocks_simd.h"
+
 namespace unizk {
 
 namespace {
@@ -235,6 +237,29 @@ Poseidon::permute(PoseidonState &state) const
 
     for (uint32_t r = 0; r < half; ++r)
         fullRound(state, half + rp + r);
+}
+
+void
+Poseidon::permuteBatch(PoseidonState *states, size_t n) const
+{
+    size_t i = 0;
+    if (n >= kSimdBatchWidth) {
+        const SimdLevel level = activeSimdLevel();
+        for (; i + kSimdBatchWidth <= n; i += kSimdBatchWidth) {
+#if defined(UNIZK_HAVE_AVX2)
+            if (level == SimdLevel::Avx2) {
+                poseidonPermuteBatch4Avx2(*this, states + i);
+                continue;
+            }
+#else
+            (void)level;
+#endif
+            poseidonPermuteBatch4Scalar(*this, states + i);
+        }
+    }
+    // Ragged tail: fewer than kSimdBatchWidth states left.
+    for (; i < n; ++i)
+        permute(states[i]);
 }
 
 } // namespace unizk

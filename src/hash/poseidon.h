@@ -76,6 +76,16 @@ class Poseidon
      */
     void permute(PoseidonState &state) const;
 
+    /**
+     * Permute @p n independent states in place, advancing them in
+     * groups of kSimdBatchWidth through the SIMD backend selected by
+     * activeSimdLevel() (goldilocks_simd.h); the ragged tail falls back
+     * to scalar permute(). Bit-identical to n scalar permute() calls at
+     * every dispatch level, so callers may batch freely without
+     * affecting proof bytes.
+     */
+    void permuteBatch(PoseidonState *states, size_t n) const;
+
     /** x^7 S-box. */
     static Fp sbox(Fp x);
 
@@ -91,6 +101,12 @@ class Poseidon
 
     /** Dense matrix applied once before the partial rounds. */
     const FpMatrix &preMdsMatrix() const { return pre_matrix; }
+
+    /** Flat row-major MDS matrix (width*width), for the batch kernels. */
+    const Fp *mdsFlat() const { return mds_flat.data(); }
+
+    /** Flat row-major PreMDSMatrix, for the batch kernels. */
+    const Fp *preFlat() const { return pre_flat.data(); }
 
     /** Constant vector added before PreMDSMatrix. */
     const PoseidonState &prePartialConstants() const { return pre_constants; }

@@ -24,10 +24,14 @@ MerkleTree::MerkleTree(std::vector<std::vector<Fp>> leaves,
     levels_[0].resize(leaves_.size());
     {
         UNIZK_SPAN("merkle/leaf-hashes");
+        // Each grain hands its whole range to the batch entry point,
+        // which feeds kSimdBatchWidth sponges per permutation. Every
+        // digest depends only on its own leaf, so grain boundaries
+        // (thread count) cannot change a single output byte.
         parallelFor(0, leaves_.size(), /*grain=*/16,
                     [&](size_t lo, size_t hi) {
-                        for (size_t i = lo; i < hi; ++i)
-                            levels_[0][i] = hashOrNoop(leaves_[i]);
+                        hashOrNoopBatch(&leaves_[lo], hi - lo,
+                                        &levels_[0][lo]);
                     });
     }
 
@@ -39,9 +43,8 @@ MerkleTree::MerkleTree(std::vector<std::vector<Fp>> leaves,
         std::vector<HashOut> next(prev.size() / 2);
         parallelFor(0, next.size(), /*grain=*/32,
                     [&](size_t lo, size_t hi) {
-                        for (size_t i = lo; i < hi; ++i)
-                            next[i] = hashTwoToOne(prev[2 * i],
-                                                   prev[2 * i + 1]);
+                        hashTwoToOneBatch(&prev[2 * lo], hi - lo,
+                                          &next[lo]);
                     });
         levels_.push_back(std::move(next));
     }
@@ -101,8 +104,12 @@ size_t
 MerkleTree::permutationCount(size_t leaf_count, size_t leaf_len,
                              uint32_t cap_height)
 {
-    const size_t leaf_perms =
-        leaf_len <= 4 ? 0 : permutationCountForLength(leaf_len);
+    // Delegate to the hashing layer's own accounting so this can never
+    // drift from the executed path: hashOrNoop's noop covers lengths
+    // 1..4 only, and an empty leaf costs one permutation (hashNoPad
+    // permutes once on empty input). The old inline `leaf_len <= 4`
+    // check charged 0 for leaf_len == 0.
+    const size_t leaf_perms = hashOrNoopPermutationCount(leaf_len);
     const size_t interior = leaf_count - (size_t{1} << cap_height);
     return leaf_perms * leaf_count + interior;
 }

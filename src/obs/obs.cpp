@@ -260,6 +260,15 @@ histogramQuantile(const HistogramData &data, double q)
 {
     if (data.count == 0)
         return 0.0;
+    // Interpolated estimates can escape the range of recorded values in
+    // both directions (the quantile rank may land in a bucket whose
+    // span extends past data.max, or below data.min when the minimum
+    // sits high inside its bucket), so every exit clamps to the ground
+    // truth [data.min, data.max].
+    const auto clamp = [&data](double v) {
+        return std::min(std::max(v, static_cast<double>(data.min)),
+                        static_cast<double>(data.max));
+    };
     q = std::min(std::max(q, 0.0), 1.0);
     // Rank of the quantile among the recorded values (1-based).
     const uint64_t rank = std::max<uint64_t>(
@@ -272,16 +281,20 @@ histogramQuantile(const HistogramData &data, double q)
         if (seen + in_bucket >= rank) {
             // Bucket i spans [2^(i-1), 2^i - 1] (bucket 0 holds 0).
             if (i == 0)
-                return 0.0;
+                return clamp(0.0);
             const double lo = static_cast<double>(uint64_t{1} << (i - 1));
-            const double hi = lo * 2.0;
+            // Interpolate across the *inclusive* span [lo, 2*lo - 1]:
+            // using 2*lo as the top meant frac == 1.0 (rank at the last
+            // value in the bucket) reported the next bucket's lower
+            // edge, a value this bucket cannot contain.
+            const double hi = lo * 2.0 - 1.0;
             const double frac = static_cast<double>(rank - seen) /
                                 static_cast<double>(in_bucket);
-            return lo + (hi - lo) * frac;
+            return clamp(lo + (hi - lo) * frac);
         }
         seen += in_bucket;
     }
-    return static_cast<double>(data.max);
+    return clamp(static_cast<double>(data.max));
 }
 
 void

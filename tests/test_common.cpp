@@ -424,6 +424,39 @@ TEST(Env, FlagSpellings)
     EXPECT_FALSE(envFlag("UNIZK_TEST_FLAG").has_value());
 }
 
+TEST(Env, ChoiceMatchesAllowedSpellings)
+{
+    // The UNIZK_SIMD contract: exact lowercase spellings map to their
+    // index in the allowed list.
+    const auto allowed = {"auto", "avx2", "scalar"};
+    {
+        ScopedEnv e("UNIZK_TEST_CHOICE", "auto");
+        EXPECT_EQ(envChoice("UNIZK_TEST_CHOICE", allowed), 0u);
+    }
+    {
+        ScopedEnv e("UNIZK_TEST_CHOICE", "avx2");
+        EXPECT_EQ(envChoice("UNIZK_TEST_CHOICE", allowed), 1u);
+    }
+    {
+        ScopedEnv e("UNIZK_TEST_CHOICE", "scalar");
+        EXPECT_EQ(envChoice("UNIZK_TEST_CHOICE", allowed), 2u);
+    }
+}
+
+TEST(Env, ChoiceRejectsUnknownSpellingsAndUnset)
+{
+    const auto allowed = {"auto", "avx2", "scalar"};
+    // Strict parsing: case variants, whitespace, and typos all warn
+    // and fall back rather than silently meaning something.
+    for (const char *bad : {"AVX2", " scalar", "scalar ", "sse", ""}) {
+        ScopedEnv e("UNIZK_TEST_CHOICE", bad);
+        EXPECT_FALSE(envChoice("UNIZK_TEST_CHOICE", allowed).has_value())
+            << "'" << bad << "'";
+    }
+    ScopedEnv unset("UNIZK_TEST_CHOICE", nullptr);
+    EXPECT_FALSE(envChoice("UNIZK_TEST_CHOICE", allowed).has_value());
+}
+
 TEST(Env, ThreadCountFallsBackOnMalformedEnv)
 {
     {

@@ -141,6 +141,27 @@ TEST(Merkle, PermutationCountAccounting)
     EXPECT_EQ(MerkleTree::permutationCount(8, 3, 0), 7u);
 }
 
+TEST(Merkle, PermutationCountEmptyLeafMatchesExecutedHashes)
+{
+    // Regression: permutationCount used to charge 0 permutations for
+    // leaf_len == 0, but the executed path (hashOrNoop -> hashNoPad)
+    // permutes once on empty input, so the simulator's kernel-op
+    // accounting undercounted by one permutation per leaf. The count
+    // must delegate to the hashing layer's own accounting.
+    EXPECT_EQ(hashOrNoopPermutationCount(0), 1u);
+    EXPECT_EQ(hashOrNoopPermutationCount(0), permutationCountForLength(0));
+    // 8 empty leaves, cap height 0: 8 leaf perms + 7 interior.
+    EXPECT_EQ(MerkleTree::permutationCount(8, 0, 0), 8u + 7u);
+
+    // The noop path (1..4 elements) really does execute zero
+    // permutations, and the hashing path matches hashNoPad chunking.
+    for (size_t len = 1; len <= 4; ++len)
+        EXPECT_EQ(hashOrNoopPermutationCount(len), 0u) << "len=" << len;
+    EXPECT_EQ(hashOrNoopPermutationCount(5), 1u);
+    EXPECT_EQ(hashOrNoopPermutationCount(135),
+              permutationCountForLength(135));
+}
+
 TEST(Merkle, TruncatedProofInteriorNodeForgeryFails)
 {
     // Regression test for the proof-length soundness hole: with short

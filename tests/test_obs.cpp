@@ -652,14 +652,62 @@ TEST(Histogram, QuantileEstimates)
     // estimate to within 2x of the true value.
     obs::HistogramData mixed;
     mixed.count = 100;
+    mixed.min = 300;
+    mixed.max = 5000;
     mixed.buckets[9] = 90;  // bit-width 9: [256, 511]
     mixed.buckets[13] = 10; // bit-width 13: [4096, 8191]
     const double p50 = obs::histogramQuantile(mixed, 0.5);
-    EXPECT_GE(p50, 256.0);
+    EXPECT_GE(p50, 300.0);
     EXPECT_LT(p50, 512.0);
     const double p99 = obs::histogramQuantile(mixed, 0.99);
     EXPECT_GE(p99, 4096.0);
-    EXPECT_LT(p99, 8192.0);
+    EXPECT_LE(p99, 5000.0);
+}
+
+TEST(Histogram, QuantileStaysInsideBucketSpan)
+{
+    // One sample of the value 1000 (bucket 10 spans [512, 1023]). With
+    // one sample, rank - seen == in_bucket, so frac == 1.0: the old
+    // interpolation returned the *exclusive* edge 1024, a value the
+    // bucket cannot contain. The inclusive span tops out at 1023, and
+    // the [min, max] clamp then pins the estimate to the exact sample.
+    obs::HistogramData one;
+    one.count = 1;
+    one.min = 1000;
+    one.max = 1000;
+    one.buckets[10] = 1;
+    for (const double q : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_EQ(obs::histogramQuantile(one, q), 1000.0);
+}
+
+TEST(Histogram, QuantileClampedToRecordedRange)
+{
+    // 4 samples, all of value 700, in bucket 10 ([512, 1023]). Any
+    // interpolated estimate above 700 would exceed the true maximum --
+    // exactly the reported-p99-above-max bug -- and frac == 0.25 would
+    // put the raw p25 estimate below min without the low clamp.
+    obs::HistogramData flat;
+    flat.count = 4;
+    flat.min = 700;
+    flat.max = 700;
+    flat.buckets[10] = 4;
+    for (const double q : {0.25, 0.5, 0.75, 0.99, 1.0}) {
+        const double est = obs::histogramQuantile(flat, q);
+        EXPECT_GE(est, 700.0) << "q=" << q;
+        EXPECT_LE(est, 700.0) << "q=" << q;
+    }
+
+    // Bucket-0 (value 0) samples alongside a nonzero min cannot happen
+    // in practice, but the max-fallthrough exit must clamp too: a rank
+    // past every bucket returns data.max.
+    obs::HistogramData spread;
+    spread.count = 10;
+    spread.min = 600;
+    spread.max = 900;
+    spread.buckets[10] = 10;
+    const double p100 = obs::histogramQuantile(spread, 1.0);
+    EXPECT_GE(p100, 600.0);
+    EXPECT_LE(p100, 900.0);
 }
 
 } // namespace

@@ -9,9 +9,12 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "hash/challenger.h"
+#include "hash/goldilocks_simd.h"
 #include "hash/hashing.h"
 #include "hash/poseidon.h"
+#include "unizk/pipeline.h"
 
 namespace unizk {
 namespace {
@@ -186,6 +189,41 @@ TEST(Hashing, HashOrNoopPacksShortInputs)
     EXPECT_TRUE(h.elems[2].isZero());
 }
 
+TEST(Hashing, HashOrNoopDigestsPinnedForShortLengths)
+{
+    // Pin the noop/hash behaviour for every length the SIMD batch path
+    // must reproduce exactly. Lengths 1..4 pack the inputs zero-padded
+    // into the digest; length 0 *hashes* (one permutation), so the
+    // empty leaf can neither collide with the all-zero length-4 leaf
+    // nor diverge from hashOrNoopPermutationCount's accounting.
+    for (size_t len = 1; len <= 4; ++len) {
+        std::vector<Fp> in;
+        for (size_t i = 0; i < len; ++i)
+            in.push_back(Fp(100 + i));
+        const HashOut h = hashOrNoop(in);
+        for (size_t i = 0; i < 4; ++i) {
+            if (i < len)
+                EXPECT_EQ(h.elems[i], Fp(100 + i))
+                    << "len=" << len << " elem=" << i;
+            else
+                EXPECT_TRUE(h.elems[i].isZero())
+                    << "len=" << len << " elem=" << i;
+        }
+    }
+
+    // Length 0: the hashing path, byte-identical to hashNoPad({}).
+    const HashOut empty = hashOrNoop({});
+    EXPECT_EQ(empty, hashNoPad({}));
+    EXPECT_NE(empty, hashOrNoop(std::vector<Fp>(4, Fp(0))));
+
+    // Length 5 crosses the noop/hash boundary: a real digest, not a
+    // prefix packing.
+    const std::vector<Fp> five{Fp(1), Fp(2), Fp(3), Fp(4), Fp(5)};
+    const HashOut h5 = hashOrNoop(five);
+    EXPECT_EQ(h5, hashNoPad(five));
+    EXPECT_NE(h5.elems[0], Fp(1));
+}
+
 TEST(Hashing, PermutationCountMatchesAbsorption)
 {
     EXPECT_EQ(permutationCountForLength(0), 1u);
@@ -193,6 +231,180 @@ TEST(Hashing, PermutationCountMatchesAbsorption)
     EXPECT_EQ(permutationCountForLength(8), 1u);
     EXPECT_EQ(permutationCountForLength(9), 2u);
     EXPECT_EQ(permutationCountForLength(135), 17u); // paper's leaf width
+}
+
+/** Run @p fn under a forced SIMD level, restoring the old level after. */
+template <typename Fn>
+void
+withSimdLevel(SimdLevel level, Fn &&fn)
+{
+    const SimdLevel prev = activeSimdLevel();
+    ASSERT_TRUE(setSimdLevel(level));
+    fn();
+    ASSERT_TRUE(setSimdLevel(prev));
+}
+
+TEST(SimdDispatch, ScalarAlwaysAvailable)
+{
+    EXPECT_TRUE(simdLevelAvailable(SimdLevel::Scalar));
+    EXPECT_STREQ(simdLevelName(SimdLevel::Scalar), "scalar");
+    EXPECT_STREQ(simdLevelName(SimdLevel::Avx2), "avx2");
+}
+
+TEST(SimdDispatch, SetSimdLevelRejectsUnavailable)
+{
+    const SimdLevel prev = activeSimdLevel();
+    if (!simdLevelAvailable(SimdLevel::Avx2)) {
+        EXPECT_FALSE(setSimdLevel(SimdLevel::Avx2));
+        // A rejected override must leave the level untouched.
+        EXPECT_EQ(activeSimdLevel(), prev);
+    } else {
+        EXPECT_TRUE(setSimdLevel(SimdLevel::Avx2));
+        EXPECT_EQ(activeSimdLevel(), SimdLevel::Avx2);
+        EXPECT_TRUE(setSimdLevel(prev));
+    }
+}
+
+TEST(SimdDispatch, BatchMatchesNaiveForEveryBatchSize)
+{
+    // The exhaustive dispatch-equivalence suite: permuteBatch against
+    // the textbook permuteNaive oracle for every batch size 1..9 (two
+    // full groups of four plus every ragged tail), at every level this
+    // host can execute.
+    const auto &p = Poseidon::instance();
+    std::vector<SimdLevel> levels{SimdLevel::Scalar};
+    if (simdLevelAvailable(SimdLevel::Avx2))
+        levels.push_back(SimdLevel::Avx2);
+
+    for (const SimdLevel level : levels) {
+        withSimdLevel(level, [&] {
+            for (size_t n = 1; n <= 9; ++n) {
+                std::vector<PoseidonState> batch(n);
+                std::vector<PoseidonState> oracle(n);
+                for (size_t i = 0; i < n; ++i) {
+                    batch[i] = randomState(1000 * n + i);
+                    oracle[i] = batch[i];
+                    p.permuteNaive(oracle[i]);
+                }
+                p.permuteBatch(batch.data(), n);
+                for (size_t i = 0; i < n; ++i)
+                    EXPECT_EQ(batch[i], oracle[i])
+                        << simdLevelName(level) << " n=" << n
+                        << " state=" << i;
+            }
+        });
+    }
+}
+
+TEST(SimdDispatch, Avx2KernelMatchesScalarKernel)
+{
+#if defined(UNIZK_HAVE_AVX2)
+    if (!simdLevelAvailable(SimdLevel::Avx2))
+        GTEST_SKIP() << "CPU lacks AVX2";
+    // Differential test of the two backend kernels directly (no
+    // dispatch): identical inputs must give bit-identical outputs.
+    const auto &p = Poseidon::instance();
+    for (uint64_t seed = 0; seed < 25; ++seed) {
+        PoseidonState a[kSimdBatchWidth];
+        PoseidonState b[kSimdBatchWidth];
+        for (size_t i = 0; i < kSimdBatchWidth; ++i) {
+            a[i] = randomState(7000 + seed * 4 + i);
+            b[i] = a[i];
+        }
+        poseidonPermuteBatch4Scalar(p, a);
+        poseidonPermuteBatch4Avx2(p, b);
+        for (size_t i = 0; i < kSimdBatchWidth; ++i)
+            EXPECT_EQ(a[i], b[i]) << "seed=" << seed << " state=" << i;
+    }
+#else
+    GTEST_SKIP() << "AVX2 backend not compiled in";
+#endif
+}
+
+TEST(SimdDispatch, BatchHashingMatchesScalarHashing)
+{
+    // The hashing.h batch entry points against their scalar
+    // counterparts, covering equal-length runs, mixed lengths (which
+    // force the scalar fallback inside the batcher), noop-path leaves,
+    // empty inputs, and ragged tails.
+    SplitMix64 rng(42);
+    std::vector<std::vector<Fp>> inputs;
+    for (const size_t len : {135u, 135u, 135u, 135u, 135u, 8u, 9u, 0u,
+                             3u, 135u, 135u, 135u, 135u, 1u, 4u, 5u}) {
+        std::vector<Fp> in;
+        for (size_t i = 0; i < len; ++i)
+            in.push_back(randomFp(rng));
+        inputs.push_back(std::move(in));
+    }
+
+    std::vector<SimdLevel> levels{SimdLevel::Scalar};
+    if (simdLevelAvailable(SimdLevel::Avx2))
+        levels.push_back(SimdLevel::Avx2);
+
+    for (const SimdLevel level : levels) {
+        withSimdLevel(level, [&] {
+            std::vector<HashOut> batch(inputs.size());
+            hashNoPadBatch(inputs.data(), inputs.size(), batch.data());
+            for (size_t i = 0; i < inputs.size(); ++i)
+                EXPECT_EQ(batch[i], hashNoPad(inputs[i]))
+                    << simdLevelName(level) << " input " << i;
+
+            hashOrNoopBatch(inputs.data(), inputs.size(), batch.data());
+            for (size_t i = 0; i < inputs.size(); ++i)
+                EXPECT_EQ(batch[i], hashOrNoop(inputs[i]))
+                    << simdLevelName(level) << " input " << i;
+
+            // Two-to-one over 9 pairs: two full batches + ragged tail.
+            std::vector<HashOut> children(18);
+            for (auto &c : children)
+                for (auto &e : c.elems)
+                    e = randomFp(rng);
+            std::vector<HashOut> compressed(9);
+            hashTwoToOneBatch(children.data(), 9, compressed.data());
+            for (size_t i = 0; i < 9; ++i)
+                EXPECT_EQ(compressed[i],
+                          hashTwoToOne(children[2 * i],
+                                       children[2 * i + 1]))
+                    << simdLevelName(level) << " pair " << i;
+        });
+    }
+}
+
+TEST(SimdDispatch, ProofBytesIdenticalAcrossLevelsAndThreads)
+{
+    // The acceptance bar from the issue: end-to-end proofs must be
+    // byte-identical across UNIZK_SIMD=scalar|avx2 at 1/2/8 threads.
+    // When the host lacks AVX2, the thread sweep still pins scalar
+    // batch determinism across grain boundaries.
+    const FriConfig cfg = FriConfig::testing();
+    const HardwareConfig hw = HardwareConfig::paperDefault();
+
+    std::vector<SimdLevel> levels{SimdLevel::Scalar};
+    if (simdLevelAvailable(SimdLevel::Avx2))
+        levels.push_back(SimdLevel::Avx2);
+
+    const unsigned prev_threads = globalThreadCount();
+    std::vector<uint8_t> reference;
+    for (const SimdLevel level : levels) {
+        withSimdLevel(level, [&] {
+            for (const unsigned threads : {1u, 2u, 8u}) {
+                setGlobalThreadCount(threads);
+                const AppRunResult res =
+                    runPlonky2App(AppId::Factorial, 128, 2, cfg, hw);
+                EXPECT_TRUE(res.verified)
+                    << simdLevelName(level) << " " << threads
+                    << " threads";
+                ASSERT_FALSE(res.proofBlob.empty());
+                if (reference.empty())
+                    reference = res.proofBlob;
+                else
+                    EXPECT_EQ(res.proofBlob, reference)
+                        << simdLevelName(level) << " " << threads
+                        << " threads";
+            }
+        });
+    }
+    setGlobalThreadCount(prev_threads);
 }
 
 TEST(Challenger, DeterministicTranscript)

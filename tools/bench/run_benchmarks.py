@@ -2,9 +2,10 @@
 """Perf-regression harness: run the pinned benchmark set and compare
 against a committed baseline.
 
-Runs two suites from an existing build tree:
+Runs three suites from an existing build tree:
 
-  * ``bench_ntt`` (engine vs seed scalar path) over a small sweep, and
+  * ``bench_ntt`` (engine vs seed scalar path) over a small sweep,
+  * ``bench_poseidon`` (SIMD batch hashing vs the scalar sponge), and
   * a pinned subset of the google-benchmark ``micro_kernels``,
 
 each N times, taking the per-metric median, and emits a
@@ -50,6 +51,12 @@ GATES = {
     # The naive/optimized ratio is small (~1.3) and very stable, so a
     # tighter band is needed for the gate to mean anything.
     "poseidon.naive_over_opt": ("higher", 0.20),
+    # AVX2 batch permutation vs the scalar sponge loop. The issue's
+    # acceptance bar is >= 1.8x on AVX2 hosts; the measured baseline
+    # sits above 2x, and the tolerance keeps the floor near that bar.
+    # On hosts without AVX2 the suite emits a waiver instead of the
+    # metric (a scalar/scalar ratio of ~1.0 would be meaningless).
+    "poseidon.batch_over_scalar": ("higher", 0.20),
 }
 
 
@@ -102,6 +109,48 @@ def run_ntt_bench(build_dir, runs, tmp_dir):
     return metrics
 
 
+def run_poseidon_bench(build_dir, runs, tmp_dir):
+    """Median metrics from `runs` executions of bench_poseidon.
+
+    Returns (metrics, waivers): when the dispatched SIMD level is not
+    avx2, the gated batch_over_scalar metric is omitted and a waiver
+    explains why, so --compare on a non-AVX2 host reports the gate as
+    waived instead of failing it.
+    """
+    exe = os.path.join(build_dir, "bench", "bench_poseidon")
+    samples = {}
+    simd = None
+    for i in range(runs):
+        out = os.path.join(tmp_dir, f"poseidon_{i}.json")
+        run([exe, "--states", "2048", "--reps", "3",
+             "--stats-json", out])
+        with open(out) as f:
+            doc = json.load(f)
+        simd = doc["simd"]
+        for row in doc["rows"]:
+            key = f"poseidon.{row['kernel']}"
+            samples.setdefault(f"{key}.scalar_seconds", []).append(
+                row["scalar_seconds"])
+            samples.setdefault(f"{key}.batch_seconds", []).append(
+                row["batch_seconds"])
+            samples.setdefault(f"{key}.speedup", []).append(
+                row["speedup"])
+    metrics = {}
+    for name, values in samples.items():
+        unit = "seconds" if name.endswith("seconds") else "ratio"
+        metrics[name] = {"value": statistics.median(values),
+                         "unit": unit}
+    waivers = {}
+    src = "poseidon.permute.speedup"
+    if simd == "avx2" and src in metrics:
+        metrics["poseidon.batch_over_scalar"] = dict(metrics[src])
+    else:
+        waivers["poseidon.batch_over_scalar"] = (
+            f"dispatched SIMD level is '{simd}', not avx2: "
+            "batch-vs-scalar gate only applies to AVX2 hosts")
+    return metrics, waivers
+
+
 def run_micro(build_dir, runs, tmp_dir):
     """Median real_time per pinned micro benchmark."""
     exe = os.path.join(build_dir, "bench", "micro_kernels")
@@ -129,7 +178,7 @@ def run_micro(build_dir, runs, tmp_dir):
     return metrics
 
 
-def build_document(metrics):
+def build_document(metrics, waivers=None):
     gates = {}
     for name, (direction, tolerance) in GATES.items():
         if name in metrics:
@@ -143,15 +192,23 @@ def build_document(metrics):
         "revision": git_revision(),
         "metrics": metrics,
         "gates": gates,
+        "waived": dict(waivers or {}),
     }
 
 
 def compare(current, baseline):
     """Return a list of human-readable regression messages (empty =
     pass). Every gate in the baseline must be present and within its
-    tolerance in the current document."""
+    tolerance in the current document, unless the current document
+    carries an explicit waiver for it (e.g. a hardware-conditional gate
+    like the AVX2 batch ratio on a host without AVX2) -- waivers are
+    printed, never silently swallowed."""
     failures = []
     for name, gate in baseline.get("gates", {}).items():
+        waiver = current.get("waived", {}).get(name)
+        if waiver is not None:
+            print(f"  waived {name}: {waiver}")
+            continue
         cur = current.get("gates", {}).get(name)
         if cur is None:
             cur = current.get("metrics", {}).get(name)
@@ -195,9 +252,12 @@ def main(argv=None):
 
     metrics = {}
     metrics.update(run_ntt_bench(args.build_dir, args.runs, tmp_dir))
+    poseidon_metrics, waivers = run_poseidon_bench(
+        args.build_dir, args.runs, tmp_dir)
+    metrics.update(poseidon_metrics)
     if not args.skip_micro:
         metrics.update(run_micro(args.build_dir, args.runs, tmp_dir))
-    doc = build_document(metrics)
+    doc = build_document(metrics, waivers)
 
     output = args.output or f"BENCH_{doc['revision']}.json"
     with open(output, "w") as f:

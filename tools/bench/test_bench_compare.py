@@ -79,6 +79,24 @@ def main():
     expect(compare(gateless, baseline) == [],
            "metrics-section fallback must satisfy baseline gates")
 
+    # An explicit waiver in the current document skips the gate (the
+    # hardware-conditional AVX2 batch ratio on a host without AVX2)...
+    waived = make_doc()
+    del waived["gates"]["ntt.speedup_1t.2pow14"]
+    del waived["metrics"]["ntt.speedup_1t.2pow14"]
+    waived["waived"] = {
+        "ntt.speedup_1t.2pow14": "synthetic waiver for the self-test"}
+    expect(compare(waived, baseline) == [],
+           "explicitly waived gate must not be flagged")
+
+    # ...but a waiver for one gate must not excuse a regression (or
+    # absence) in another.
+    waived_and_slow = copy.deepcopy(waived)
+    waived_and_slow["gates"]["poseidon.naive_over_opt"]["value"] = 1.0
+    failures = compare(waived_and_slow, baseline)
+    expect(len(failures) == 1 and "poseidon.naive_over_opt" in failures[0],
+           f"waiver must not mask other regressions: {failures}")
+
     # "lower" direction (absolute-time style gates) trips on increases.
     low_base = copy.deepcopy(baseline)
     low_base["gates"] = {

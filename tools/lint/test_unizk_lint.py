@@ -446,6 +446,65 @@ class TestRawSyncPrimitive(LintHarness):
         )
 
 
+class TestRawSimdIntrinsic(LintHarness):
+    def test_mm256_call_outside_simd_layer_triggers(self):
+        self.assert_rules(
+            "src/ntt/butterfly.cpp",
+            "__m256i s = _mm256_add_epi64(a, b);\n",
+            ["raw-simd-intrinsic"],
+        )
+
+    def test_mm_prefix_without_width_triggers(self):
+        self.assert_rules(
+            "src/merkle/fast.cpp",
+            "auto x = _mm_shuffle_epi8(v, mask);\n",
+            ["raw-simd-intrinsic"],
+        )
+
+    def test_vector_type_triggers(self):
+        self.assert_rules(
+            "src/poly/eval.h",
+            "struct Lane { __m512d v; };\n",
+            # __m512d also trips float-in-core? no: poly not in scope;
+            # the d suffix is matched by the [id]? group.
+            ["raw-simd-intrinsic"],
+        )
+
+    def test_immintrin_include_triggers(self):
+        self.assert_rules(
+            "tests/test_x.cpp",
+            "#include <immintrin.h>\n",
+            ["raw-simd-intrinsic"],
+        )
+
+    def test_allowed_in_goldilocks_simd_header(self):
+        self.assert_clean(
+            "src/hash/goldilocks_simd.h",
+            "__m256i v;\n",
+        )
+
+    def test_allowed_in_avx2_backend_tu(self):
+        # The exclude is a path *prefix*, so the separate -mavx2 TU is
+        # covered too.
+        self.assert_clean(
+            "src/hash/goldilocks_simd_avx2.cpp",
+            "#include <immintrin.h>\n"
+            "__m256i s = _mm256_mul_epu32(a, b);\n",
+        )
+
+    def test_batch_template_without_intrinsics_is_fine(self):
+        self.assert_clean(
+            "src/hash/poseidon_batch.h",
+            "template <typename V> void f(V &x) { x = V::add(x, x); }\n",
+        )
+
+    def test_mention_in_comment_is_fine(self):
+        self.assert_clean(
+            "src/ntt/butterfly.cpp",
+            "// could use _mm256_add_epi64 here one day\nint x = 0;\n",
+        )
+
+
 class TestUnguardedMutexMember(LintHarness):
     GUARDED = (
         "class Q {\n"

@@ -32,6 +32,14 @@ codebase's proof-soundness and determinism contracts:
                     ScopedKernelTimer) or obs spans (UNIZK_SPAN), so
                     instrumentation stays centralized, thread-safe, and
                     can be compiled out (UNIZK_DISABLE_OBS).
+  raw-simd-intrinsic
+                    Raw vector intrinsics (_mm*/__m128/__m256/__m512,
+                    <immintrin.h> and friends) are confined to
+                    src/hash/goldilocks_simd*: everywhere else goes
+                    through Poseidon::permuteBatch / the hashing.h batch
+                    entry points so runtime dispatch (UNIZK_SIMD) stays
+                    the only arbiter of which backend runs, and no TU
+                    compiled without -mavx2 can leak AVX2 codegen.
   raw-sync-primitive
                     No bare std::mutex / std::condition_variable /
                     std::lock_guard (or friends) outside
@@ -401,6 +409,25 @@ RULES: Tuple[Rule, ...] = (
             r"|#\s*include\s*<chrono>"
         ),
         include=TIMED_KERNEL_PATHS,
+    ),
+    Rule(
+        name="raw-simd-intrinsic",
+        summary="raw vector intrinsics outside src/hash/goldilocks_simd*",
+        message=(
+            "raw vector intrinsic outside src/hash/goldilocks_simd*; go "
+            "through Poseidon::permuteBatch or the hashing.h batch entry "
+            "points so UNIZK_SIMD runtime dispatch stays the only "
+            "arbiter of the executed backend (and no TU built without "
+            "-mavx2 can emit AVX2 instructions)"
+        ),
+        pattern=re.compile(
+            r"\b_mm(?:\d+)?_\w+\s*\("
+            r"|\b__m(?:64|128|256|512)[id]?\b"
+            r"|#\s*include\s*<(?:immintrin|emmintrin|smmintrin"
+            r"|tmmintrin|nmmintrin|wmmintrin|xmmintrin|pmmintrin"
+            r"|avx\w*intrin|x86intrin)\.h>"
+        ),
+        exclude=("src/hash/goldilocks_simd",),
     ),
     Rule(
         name="raw-sync-primitive",
