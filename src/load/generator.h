@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic request-schedule generation for load scenarios.
+ *
+ * A schedule is the fully materialized request sequence for one run:
+ * which circuit key each request draws, the concrete ProveRequest that
+ * key maps to, the arrival offset (open-loop only), and the issuing
+ * connection (closed-loop only). Everything is derived from
+ * (scenario, seed) through SplitMix64 — no wall clock, no global
+ * state — so the same seed always produces a byte-identical schedule
+ * (scheduleBytes() is the canonical encoding the tests and the load
+ * smoke compare).
+ */
+
+#ifndef UNIZK_LOAD_GENERATOR_H
+#define UNIZK_LOAD_GENERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "load/scenario.h"
+#include "service/protocol.h"
+
+namespace unizk {
+namespace load {
+
+/** One scheduled request. */
+struct LoadRequest
+{
+    service::ProveRequest request;
+
+    /** Circuit key this request was drawn for (0 = zipfian-hottest). */
+    uint64_t key = 0;
+
+    /** Arrival offset from run start (open-loop; 0 for closed-loop). */
+    uint64_t arrivalNs = 0;
+
+    /** Issuing connection (closed-loop round-robin assignment). */
+    uint32_t connection = 0;
+};
+
+struct Schedule
+{
+    std::vector<LoadRequest> requests;
+};
+
+/**
+ * Materialize the schedule for @p scenario under @p seed. The scenario
+ * must already be validated (validateScenario).
+ */
+Schedule buildSchedule(const Scenario &scenario, uint64_t seed);
+
+/** Canonical byte encoding of a schedule (for identity comparison). */
+std::vector<uint8_t> scheduleBytes(const Schedule &schedule);
+
+/** FNV-1a of scheduleBytes: a printable schedule fingerprint. */
+uint64_t scheduleFingerprint(const Schedule &schedule);
+
+// ---------------------------------------------------------------------
+// Samplers, exposed for the distribution-shape tests.
+
+/** Uniform draw in [0, n) (thin wrapper over SplitMix64::nextBelow). */
+uint64_t uniformDraw(SplitMix64 &rng, uint64_t n);
+
+/**
+ * Zipfian draw in [0, n): key k is returned with probability
+ * proportional to (k+1)^-theta, so key 0 is the hottest. Implemented
+ * by rejection sampling (propose uniformly, accept with probability
+ * (k+1)^-theta), which needs no precomputed zeta table and consumes
+ * only SplitMix64 outputs, keeping schedules byte-deterministic.
+ */
+uint64_t zipfianDraw(SplitMix64 &rng, uint64_t n, double theta);
+
+/**
+ * One exponential interarrival gap (seconds) for a Poisson process of
+ * @p rate_rps arrivals per second, via inversion of the CDF.
+ */
+double poissonGapSeconds(SplitMix64 &rng, double rate_rps);
+
+/**
+ * The fixed request shape of one circuit key: a weighted mix-entry
+ * pick and a power-of-two row draw, both from a SplitMix64 stream
+ * seeded by (seed, key) only — re-drawing the same key always yields
+ * the identical request.
+ */
+service::ProveRequest requestForKey(const Scenario &scenario,
+                                    uint64_t seed, uint64_t key);
+
+} // namespace load
+} // namespace unizk
+
+#endif // UNIZK_LOAD_GENERATOR_H

@@ -1,5 +1,8 @@
 #include "service/server.h"
 
+#include <cerrno>
+#include <cstring>
+
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -30,6 +33,33 @@ setRecvTimeout(int fd)
 }
 
 } // namespace
+
+int
+acceptRetryDelayMs(int error, unsigned consecutive_failures)
+{
+    switch (error) {
+      case EINTR:
+      case ECONNABORTED: // the pending connection died; queue advanced
+#if defined(EAGAIN)
+      case EAGAIN: // raced another accepter; nothing left to take
+#endif
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+      case EWOULDBLOCK:
+#endif
+        return 0;
+      default:
+        break;
+    }
+    // EMFILE/ENFILE/ENOBUFS/ENOMEM and anything unexpected: exponential
+    // backoff from 10 ms, capped at 1 s. The cap also bounds the warn()
+    // rate during a sustained fd-exhaustion episode.
+    constexpr int kBaseMs = 10;
+    constexpr int kMaxMs = 1000;
+    const unsigned shift =
+        consecutive_failures < 7 ? consecutive_failures : 7;
+    const int delay = kBaseMs << shift;
+    return delay < kMaxMs ? delay : kMaxMs;
+}
 
 struct ProofService::Job
 {
@@ -153,12 +183,37 @@ ProofService::runStats() const
 void
 ProofService::acceptLoop()
 {
+    unsigned accept_failures = 0;
     while (!stopRequested()) {
         if (!waitReadable(listen_fd_.get(), wake_.readFd()))
             break; // woken for shutdown
         Fd client(::accept(listen_fd_.get(), nullptr, nullptr));
-        if (!client.valid())
+        if (!client.valid()) {
+            // Under fd exhaustion (EMFILE/ENFILE) the listener stays
+            // readable and accept() fails instantly; an immediate
+            // retry would busy-spin this thread at 100% CPU while
+            // silently swallowing errno. Count, log, and back off
+            // (bounded), staying responsive to shutdown by sleeping
+            // on the wake pipe.
+            const int err = errno;
+            {
+                MutexLock lock(stats_mutex_);
+                counters_.acceptErrors++;
+            }
+            UNIZK_COUNTER_ADD("service.accept_errors", 1);
+            if (err != EINTR) {
+                warn("unizkd: accept failed: ", std::strerror(err),
+                     " (errno ", err, ")");
+            }
+            const int delay =
+                acceptRetryDelayMs(err, accept_failures);
+            if (accept_failures < ~0u)
+                accept_failures++;
+            if (delay > 0)
+                waitReadableMs(wake_.readFd(), delay);
             continue;
+        }
+        accept_failures = 0;
         setRecvTimeout(client.get());
         auto conn = std::make_unique<Connection>();
         conn->fd = std::move(client);

@@ -72,7 +72,20 @@ struct ServiceCounters
     uint64_t rejectedShutdown = 0;
     uint64_t malformedFrames = 0;
     uint64_t disconnects = 0; ///< clients gone mid-request or mid-frame
+    uint64_t acceptErrors = 0; ///< failed accept() calls (e.g. EMFILE)
 };
+
+/**
+ * Backoff (milliseconds) before retrying accept() after it failed with
+ * @p error, given @p consecutive_failures so far. EINTR and
+ * ECONNABORTED retry immediately (the triggering condition is already
+ * consumed); resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) and
+ * unexpected errors back off exponentially up to a 1-second cap --
+ * under fd exhaustion the listener stays readable and accept() fails
+ * instantly, so an unthrottled loop spins a core at 100% while logging
+ * nothing. Pure function, unit-tested directly.
+ */
+int acceptRetryDelayMs(int error, unsigned consecutive_failures);
 
 class ProofService
 {

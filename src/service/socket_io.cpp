@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 
 #include <poll.h>
 #include <sys/socket.h>
@@ -106,14 +107,19 @@ readFrame(int fd, uint64_t max_payload, std::vector<uint8_t> &payload)
 {
     uint8_t header[8];
     // Distinguish a clean close (EOF before any header byte) from a
-    // peer that vanished mid-frame.
+    // peer that vanished mid-frame. EINTR retries iteratively: the
+    // recursive retry this replaced grew one stack frame per delivered
+    // signal, so a signal storm against a blocked reader could run the
+    // connection thread off its stack.
     {
-        const ssize_t n = ::recv(fd, header, sizeof(header), MSG_PEEK);
+        ssize_t n;
+        do {
+            n = ::recv(fd, header, sizeof(header), MSG_PEEK);
+        } while (n < 0 && errno == EINTR);
         if (n == 0)
             return FrameResult::Eof;
         if (n < 0)
-            return errno == EINTR ? readFrame(fd, max_payload, payload)
-                                  : FrameResult::IoError;
+            return FrameResult::IoError;
     }
     if (!readAll(fd, header, sizeof(header)))
         return FrameResult::Truncated;
@@ -181,6 +187,36 @@ waitReadable(int fd, int wake_fd)
             return false;
         if (fds[0].revents != 0)
             return true;
+    }
+}
+
+bool
+waitReadableMs(int fd, int timeout_ms)
+{
+    auto now_ms = [] {
+        timespec ts{};
+        ::clock_gettime(CLOCK_MONOTONIC, &ts);
+        return static_cast<int64_t>(ts.tv_sec) * 1000 +
+               ts.tv_nsec / 1000000;
+    };
+    const int64_t deadline = now_ms() + timeout_ms;
+    int64_t remaining_ms = timeout_ms;
+    for (;;) {
+        pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int n =
+            ::poll(&pfd, 1, static_cast<int>(remaining_ms));
+        if (n > 0)
+            return pfd.revents != 0;
+        if (n < 0 && errno != EINTR)
+            return false;
+        // Timeout, or EINTR: recompute the budget against the
+        // deadline so interruptions cannot extend the wait.
+        remaining_ms = deadline - now_ms();
+        if (n == 0 || remaining_ms <= 0)
+            return false;
     }
 }
 

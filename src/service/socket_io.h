@@ -101,6 +101,14 @@ class WakePipe
  */
 bool waitReadable(int fd, int wake_fd);
 
+/**
+ * Wait up to @p timeout_ms for @p fd to become readable. Returns true
+ * when it is (the accept loop uses this on the wake pipe to back off
+ * after accept failures while staying responsive to shutdown), false
+ * on timeout. EINTR restarts the wait with the remaining budget.
+ */
+bool waitReadableMs(int fd, int timeout_ms);
+
 } // namespace service
 } // namespace unizk
 

@@ -9,14 +9,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/stats.h"
 #include "serialize/bytes.h"
 #include "service/client.h"
 #include "service/protocol.h"
@@ -265,6 +269,115 @@ TEST_F(FramePair, OversizedClaimRejectedBeforeAllocation)
     EXPECT_EQ(readFrame(b_.get(), kMaxRequestFrameBytes, got),
               FrameResult::TooLarge);
     EXPECT_TRUE(got.empty());
+}
+
+void
+ignoreSigusr1(int)
+{
+}
+
+TEST_F(FramePair, SignalStormDuringBlockedReadRetriesIteratively)
+{
+    // Regression: readFrame used to *recurse* once per EINTR on the
+    // header peek, so a signal storm against a blocked reader grew the
+    // stack without bound. The retry is now an iterative loop; this
+    // pins that a reader surviving a storm of interruptions still
+    // delivers the frame intact.
+    //
+    // SA_RESTART deliberately off: recv must actually return EINTR
+    // instead of the kernel restarting it.
+    struct sigaction sa = {};
+    sa.sa_handler = ignoreSigusr1;
+    sa.sa_flags = 0;
+    sigemptyset(&sa.sa_mask);
+    struct sigaction old = {};
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    std::atomic<bool> reader_started{false};
+    FrameResult result = FrameResult::IoError;
+    std::vector<uint8_t> got;
+    std::thread reader([&] {
+        reader_started.store(true, std::memory_order_release);
+        result = readFrame(b_.get(), 1024, got);
+    });
+    while (!reader_started.load(std::memory_order_acquire))
+        std::this_thread::yield();
+
+    // Storm the blocked reader. Each delivered signal interrupts the
+    // recv; the old code would have pushed one stack frame per hit.
+    for (int i = 0; i < 500; ++i) {
+        ::pthread_kill(reader.native_handle(), SIGUSR1);
+        if (i % 50 == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    const std::vector<uint8_t> payload = {1, 2, 3, 4};
+    ASSERT_TRUE(writeFrame(a_.get(), payload));
+    // Keep interrupting while the payload drains, too.
+    for (int i = 0; i < 100; ++i)
+        ::pthread_kill(reader.native_handle(), SIGUSR1);
+    reader.join();
+    ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
+
+    EXPECT_EQ(result, FrameResult::Ok);
+    EXPECT_EQ(got, payload);
+}
+
+// ---------------------------------------------------------------------
+// Accept-failure backoff policy (regression: EMFILE busy-spin).
+
+TEST(AcceptRetryDelay, TransientErrorsRetryImmediately)
+{
+    // The triggering condition is consumed (signal delivered,
+    // connection aborted, another accepter won the race): no backoff.
+    EXPECT_EQ(acceptRetryDelayMs(EINTR, 0), 0);
+    EXPECT_EQ(acceptRetryDelayMs(EINTR, 100), 0);
+    EXPECT_EQ(acceptRetryDelayMs(ECONNABORTED, 3), 0);
+    EXPECT_EQ(acceptRetryDelayMs(EAGAIN, 0), 0);
+}
+
+TEST(AcceptRetryDelay, ResourceExhaustionBacksOffExponentially)
+{
+    // Under EMFILE the listener stays readable and accept() fails
+    // instantly; the loop used to spin a core at 100%. The policy must
+    // always impose a positive, growing, bounded delay.
+    int prev = 0;
+    for (unsigned failures = 0; failures < 20; ++failures) {
+        const int d = acceptRetryDelayMs(EMFILE, failures);
+        EXPECT_GT(d, 0) << "failures=" << failures;
+        EXPECT_GE(d, prev) << "failures=" << failures;
+        EXPECT_LE(d, 1000) << "failures=" << failures;
+        prev = d;
+    }
+    // The cap must actually engage (no unbounded doubling).
+    EXPECT_EQ(acceptRetryDelayMs(EMFILE, 1000u), 1000);
+    EXPECT_EQ(acceptRetryDelayMs(ENFILE, 1000u), 1000);
+    EXPECT_EQ(acceptRetryDelayMs(ENOBUFS, 1000u), 1000);
+}
+
+TEST(AcceptRetryDelay, UnexpectedErrorsAreThrottledToo)
+{
+    // A persistently broken listener (EBADF, EINVAL, ...) must not
+    // spin either; it logs at a bounded rate instead.
+    EXPECT_GT(acceptRetryDelayMs(EBADF, 0), 0);
+    EXPECT_EQ(acceptRetryDelayMs(EINVAL, 1000u), 1000);
+}
+
+TEST(AcceptRetryDelay, BackoffSleepWakesOnStopSignal)
+{
+    // The backoff sleep polls the wake pipe so a draining daemon never
+    // sits out a full backoff interval.
+    WakePipe wake;
+    wake.signal();
+    const Stopwatch clock;
+    EXPECT_TRUE(waitReadableMs(wake.readFd(), 10000));
+    EXPECT_LT(clock.elapsedSeconds(), 5.0);
+}
+
+TEST(AcceptRetryDelay, BackoffSleepTimesOutWithoutSignal)
+{
+    WakePipe wake;
+    EXPECT_FALSE(waitReadableMs(wake.readFd(), 10));
 }
 
 // ---------------------------------------------------------------------
