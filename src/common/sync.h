@@ -35,7 +35,9 @@
 #ifndef UNIZK_COMMON_SYNC_H
 #define UNIZK_COMMON_SYNC_H
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #if defined(__clang__) && defined(__has_attribute)
@@ -161,6 +163,23 @@ class CondVar
         std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
         cv_.wait(native);
         native.release();
+    }
+
+    /**
+     * Timed wait: release/reacquire like wait(), but wake after at
+     * most @p timeout_ms. Returns true when notified before the
+     * timeout expired. Spurious wakeups report as notifications, so
+     * callers re-check their predicate (and their deadline) in a loop
+     * exactly as with wait().
+     */
+    bool
+    waitForMs(Mutex &mu, int64_t timeout_ms) UNIZK_REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+        const std::cv_status status = cv_.wait_for(
+            native, std::chrono::milliseconds(timeout_ms));
+        native.release();
+        return status == std::cv_status::no_timeout;
     }
 
     void notifyOne() { cv_.notify_one(); }

@@ -107,6 +107,11 @@ buildSchedule(const Scenario &scenario, uint64_t seed)
                                      scenario.zipfianTheta)
                        : uniformDraw(rng, scenario.keySpace);
         item.request = requestForKey(scenario, seed, item.key);
+        // Every scheduled request is traced: the id is the 1-based
+        // schedule position (0 would downgrade to an untraced frame),
+        // which makes server-side spans and response decompositions
+        // joinable back to the schedule row.
+        item.request.traceId = i + 1;
         if (scenario.arrival == Arrival::OpenPoisson) {
             arrival_ns += static_cast<uint64_t>(
                 poissonGapSeconds(rng, scenario.openRateRps) * 1e9);
@@ -132,6 +137,7 @@ scheduleBytes(const Schedule &schedule)
         w.putU64(item.request.reps);
         w.putU64(item.request.fast ? 1 : 0);
         w.putU64(item.request.verify ? 1 : 0);
+        w.putU64(item.request.traceId);
         w.putU64(item.arrivalNs);
         w.putU64(item.connection);
     }

@@ -33,6 +33,8 @@ struct RunState
     std::vector<QueueSample> queueDepth UNIZK_GUARDED_BY(mutex);
     /** ok counts, indexed like scenario.mix. */
     std::vector<uint64_t> perApp UNIZK_GUARDED_BY(mutex);
+    std::vector<RequestSample> samples UNIZK_GUARDED_BY(mutex);
+    uint64_t breakdownViolations UNIZK_GUARDED_BY(mutex) = 0;
 };
 
 size_t
@@ -99,6 +101,23 @@ issueOne(ServiceClient &client, const Scenario &scenario,
     state.ok += 1;
     state.queueDepth.push_back({t_ns, resp->prove.queueDepth});
     state.perApp[mixIndexOf(scenario, item.request)] += 1;
+    const service::ProveResponse &p = resp->prove;
+    if (p.hasServerTiming) {
+        RequestSample sample;
+        sample.traceId = p.traceId;
+        sample.laneId = p.laneId;
+        sample.clientNs = latency_ns;
+        sample.serverNs = p.latencyNs;
+        sample.queuedNs = p.queuedNs;
+        sample.proveNs = p.proveNs;
+        sample.serializeNs = p.serializeNs;
+        state.samples.push_back(sample);
+        if (p.traceId != item.request.traceId ||
+            p.queuedNs + p.proveNs + p.serializeNs > p.latencyNs ||
+            p.latencyNs > latency_ns) {
+            state.breakdownViolations += 1;
+        }
+    }
     return true;
 }
 
@@ -225,6 +244,8 @@ runScenario(const Scenario &scenario, const Schedule &schedule,
         report.shuttingDown = state.shuttingDown;
         report.errors = state.errors;
         report.queueDepth = std::move(state.queueDepth);
+        report.samples = std::move(state.samples);
+        report.breakdownViolations = state.breakdownViolations;
         for (size_t i = 0; i < scenario.mix.size(); ++i) {
             PerAppCount entry;
             entry.protocol = scenario.mix[i].protocol;
@@ -244,6 +265,10 @@ runScenario(const Scenario &scenario, const Schedule &schedule,
     std::sort(report.queueDepth.begin(), report.queueDepth.end(),
               [](const QueueSample &a, const QueueSample &b) {
                   return a.tNs < b.tNs;
+              });
+    std::sort(report.samples.begin(), report.samples.end(),
+              [](const RequestSample &a, const RequestSample &b) {
+                  return a.traceId < b.traceId;
               });
     if (report.elapsedSeconds > 0.0) {
         report.throughputRps =
@@ -319,6 +344,52 @@ reportToJson(const Scenario &scenario, uint64_t seed,
     w.kv("p50", report.latency.p50Ns);
     w.kv("p90", report.latency.p90Ns);
     w.kv("p99", report.latency.p99Ns);
+    w.endObject();
+
+    // Client-observed vs server-observed latency. Means first, then
+    // one entry per traced ok response so the schema validator can
+    // re-check the per-request inequality chain.
+    w.key("breakdown").beginObject();
+    w.kv("traced", static_cast<uint64_t>(report.samples.size()));
+    w.kv("violations", report.breakdownViolations);
+    if (!report.samples.empty()) {
+        uint64_t sum_client = 0;
+        uint64_t sum_server = 0;
+        uint64_t sum_queued = 0;
+        uint64_t sum_prove = 0;
+        uint64_t sum_serialize = 0;
+        for (const RequestSample &s : report.samples) {
+            sum_client += s.clientNs;
+            sum_server += s.serverNs;
+            sum_queued += s.queuedNs;
+            sum_prove += s.proveNs;
+            sum_serialize += s.serializeNs;
+        }
+        const double n = static_cast<double>(report.samples.size());
+        w.kv("meanClientNs", static_cast<double>(sum_client) / n);
+        w.kv("meanServerNs", static_cast<double>(sum_server) / n);
+        w.kv("meanQueuedNs", static_cast<double>(sum_queued) / n);
+        w.kv("meanProveNs", static_cast<double>(sum_prove) / n);
+        w.kv("meanSerializeNs",
+             static_cast<double>(sum_serialize) / n);
+        w.kv("meanResidualNs",
+             (static_cast<double>(sum_client) -
+              static_cast<double>(sum_server)) /
+                 n);
+    }
+    w.key("samples").beginArray();
+    for (const RequestSample &s : report.samples) {
+        w.beginObject();
+        w.kv("traceId", s.traceId);
+        w.kv("laneId", s.laneId);
+        w.kv("clientNs", s.clientNs);
+        w.kv("serverNs", s.serverNs);
+        w.kv("queuedNs", s.queuedNs);
+        w.kv("proveNs", s.proveNs);
+        w.kv("serializeNs", s.serializeNs);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
 
     w.key("queueDepth").beginArray();

@@ -67,6 +67,27 @@ struct PerAppCount
     uint64_t count = 0;
 };
 
+/**
+ * Client-observed vs server-observed timing of one ok response.
+ * Schedules trace every request (generator assigns traceId =
+ * schedule position + 1), so the server decomposition comes back on
+ * each response and
+ *   queuedNs + proveNs + serializeNs <= serverNs <= clientNs
+ * must hold per sample; clientNs - serverNs is the network + framing
+ * residual. Violations are counted in RunReport::breakdownViolations
+ * and re-checked by tools/load/validate_load_json.py.
+ */
+struct RequestSample
+{
+    uint64_t traceId = 0;
+    uint64_t laneId = 0;
+    uint64_t clientNs = 0; ///< send -> response decoded, our clock
+    uint64_t serverNs = 0; ///< admission -> serialized, daemon clock
+    uint64_t queuedNs = 0;
+    uint64_t proveNs = 0;
+    uint64_t serializeNs = 0;
+};
+
 struct RunReport
 {
     uint64_t issued = 0;
@@ -81,6 +102,10 @@ struct RunReport
     LatencySummary latency;
     std::vector<QueueSample> queueDepth; ///< one per ok, by tNs
     std::vector<PerAppCount> perApp;     ///< ok counts, mix order
+
+    /** One entry per traced ok response, sorted by traceId. */
+    std::vector<RequestSample> samples;
+    uint64_t breakdownViolations = 0;
 };
 
 /**

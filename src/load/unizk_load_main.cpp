@@ -130,12 +130,17 @@ main(int argc, char **argv)
 
     std::printf("unizk_load: ok=%llu queue_full=%llu "
                 "shutting_down=%llu errors=%llu rps=%.2f "
-                "p50_ms=%.2f p99_ms=%.2f\n",
+                "p50_ms=%.2f p99_ms=%.2f traced=%zu "
+                "breakdown_violations=%llu\n",
                 static_cast<unsigned long long>(report.ok),
                 static_cast<unsigned long long>(report.queueFull),
                 static_cast<unsigned long long>(report.shuttingDown),
                 static_cast<unsigned long long>(report.errors),
                 report.throughputRps, report.latency.p50Ns / 1e6,
-                report.latency.p99Ns / 1e6);
-    return report.errors ? 1 : 0;
+                report.latency.p99Ns / 1e6, report.samples.size(),
+                static_cast<unsigned long long>(
+                    report.breakdownViolations));
+    // A breakdown violation means the daemon's timing decomposition
+    // contradicted itself (or our clock): fail loudly.
+    return (report.errors || report.breakdownViolations) ? 1 : 0;
 }

@@ -1,0 +1,79 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+
+namespace unizk {
+namespace obs {
+
+namespace {
+
+void
+appendHelpType(std::string &out, const std::string &metric,
+               const std::string &raw, const char *type)
+{
+    out += "# HELP " + metric + " obs " + type + " \"" + raw + "\".\n";
+    out += "# TYPE " + metric + " " + type + "\n";
+}
+
+} // namespace
+
+std::string
+promMetricName(const std::string &raw)
+{
+    std::string out = "unizk_";
+    out.reserve(out.size() + raw.size());
+    for (const char c : raw) {
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                        c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+renderExposition(const std::map<std::string, uint64_t> &counters,
+                 const std::map<std::string, HistogramData> &histograms)
+{
+    std::string out;
+
+    for (const auto &[name, value] : counters) {
+        std::string metric = promMetricName(name);
+        // Counter families end in _total by convention; "_total_total"
+        // would be silly if a raw name already carries the suffix.
+        if (metric.size() < 6 ||
+            metric.compare(metric.size() - 6, 6, "_total") != 0) {
+            metric += "_total";
+        }
+        appendHelpType(out, metric, name, "counter");
+        out += metric + " " + std::to_string(value) + "\n";
+    }
+
+    for (const auto &[name, data] : histograms) {
+        const std::string metric = promMetricName(name);
+        appendHelpType(out, metric, name, "histogram");
+        // Cumulative bucket counts up to the highest populated bucket;
+        // every le edge in between is emitted (even empty ones) so the
+        // series is trivially monotonic and ordered.
+        size_t top = 0;
+        for (size_t i = 0; i < kHistogramBuckets; ++i) {
+            if (data.buckets[i] != 0)
+                top = i;
+        }
+        uint64_t running = 0;
+        for (size_t i = 0; i <= top && data.count != 0; ++i) {
+            running += data.buckets[i];
+            out += metric + "_bucket{le=\"" +
+                   std::to_string(bucketRange(i).second) + "\"} " +
+                   std::to_string(running) + "\n";
+        }
+        out += metric + "_bucket{le=\"+Inf\"} " +
+               std::to_string(data.count) + "\n";
+        out += metric + "_sum " + std::to_string(data.sum) + "\n";
+        out += metric + "_count " + std::to_string(data.count) + "\n";
+    }
+
+    return out;
+}
+
+} // namespace obs
+} // namespace unizk

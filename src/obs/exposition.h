@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Prometheus-style text exposition for the obs counters and
+ * histograms (the "text-based exposition format", version 0.0.4):
+ * counters render as monotonic `_total` samples, log2-bucket
+ * histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+ * `_count`, each family preceded by `# HELP` / `# TYPE` lines.
+ *
+ * Values are always the *cumulative* totals -- Prometheus semantics
+ * require monotonic counters and let the scraper compute rates --
+ * which is exactly the cumulative side of obs::snapshotDelta() (or a
+ * plain counterSnapshot()/histogramSnapshot()). The grammar emitted
+ * here is validated by tools/obs/validate_exposition.py; update both
+ * together (DESIGN.md section 6.10 documents the mapping).
+ */
+
+#ifndef UNIZK_OBS_EXPOSITION_H
+#define UNIZK_OBS_EXPOSITION_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace unizk {
+namespace obs {
+
+/**
+ * Map an obs metric name ("service.request_latency_ns") to a valid
+ * Prometheus metric name ("unizk_service_request_latency_ns"):
+ * prefix "unizk_", every character outside [a-zA-Z0-9_] becomes '_'.
+ */
+std::string promMetricName(const std::string &raw);
+
+/**
+ * Render every counter and histogram as one exposition document.
+ * Counter names gain a "_total" suffix per convention; histogram
+ * bucket edges are the inclusive upper bounds of the log2 buckets
+ * (so `le` values are 0, 1, 3, 7, ... 2^i - 1), closed by `+Inf`.
+ */
+std::string
+renderExposition(const std::map<std::string, uint64_t> &counters,
+                 const std::map<std::string, HistogramData> &histograms);
+
+} // namespace obs
+} // namespace unizk
+
+#endif // UNIZK_OBS_EXPOSITION_H

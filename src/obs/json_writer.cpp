@@ -20,8 +20,10 @@ JsonWriter::beforeValue()
         if (has_element_.back())
             out_ += ",";
         has_element_.back() = true;
-        out_ += "\n";
-        indent();
+        if (!compact_) {
+            out_ += "\n";
+            indent();
+        }
     }
 }
 
@@ -46,7 +48,7 @@ JsonWriter::endObject()
     unizk_assert(!has_element_.empty());
     const bool had = has_element_.back();
     has_element_.pop_back();
-    if (had) {
+    if (had && !compact_) {
         out_ += "\n";
         indent();
     }
@@ -69,7 +71,7 @@ JsonWriter::endArray()
     unizk_assert(!has_element_.empty());
     const bool had = has_element_.back();
     has_element_.pop_back();
-    if (had) {
+    if (had && !compact_) {
         out_ += "\n";
         indent();
     }
@@ -84,9 +86,13 @@ JsonWriter::key(const std::string &name)
     if (has_element_.back())
         out_ += ",";
     has_element_.back() = true;
-    out_ += "\n";
-    indent();
-    out_ += "\"" + escape(name) + "\": ";
+    if (compact_) {
+        out_ += "\"" + escape(name) + "\":";
+    } else {
+        out_ += "\n";
+        indent();
+        out_ += "\"" + escape(name) + "\": ";
+    }
     pending_key_ = true;
     return *this;
 }
@@ -200,6 +206,16 @@ bool
 writeFile(const std::string &path, const std::string &contents)
 {
     std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f << contents;
+    return static_cast<bool>(f);
+}
+
+bool
+appendFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::app);
     if (!f)
         return false;
     f << contents;

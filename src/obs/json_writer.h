@@ -18,6 +18,10 @@ namespace obs {
 class JsonWriter
 {
   public:
+    /** Pretty-printed by default; @p compact emits a single line with
+     *  no whitespace (for JSONL streams like the unizkd window log). */
+    explicit JsonWriter(bool compact = false) : compact_(compact) {}
+
     JsonWriter &beginObject();
     JsonWriter &endObject();
     JsonWriter &beginArray();
@@ -57,10 +61,14 @@ class JsonWriter
     // been written (so later elements get a leading comma).
     std::vector<bool> has_element_;
     bool pending_key_ = false;
+    bool compact_ = false;
 };
 
 /** Write @p contents to @p path; returns false on I/O failure. */
 bool writeFile(const std::string &path, const std::string &contents);
+
+/** Append @p contents to @p path (creating it); false on I/O failure. */
+bool appendFile(const std::string &path, const std::string &contents);
 
 } // namespace obs
 } // namespace unizk

@@ -8,97 +8,49 @@
 
 #include "common/logging.h"
 #include "common/sync.h"
+#include "obs/registry.h"
 
 namespace unizk {
 namespace obs {
 
 namespace {
 
-constexpr size_t kMaxCounters = 128;
-constexpr size_t kMaxHistograms = 64;
+using internal::CounterBlock;
+using internal::HistoBlock;
+using internal::HistoSlot;
+using internal::Registry;
+using internal::SpanBuffer;
 
 /**
  * Relaxed ordering is sufficient for the master switch: the flag gates
  * *whether* instrumentation records, but no data is prepared before
  * the store that readers must observe afterwards (counter blocks and
- * span buffers are registered under g_registry_mutex, which provides
+ * span buffers are registered under the registry mutex, which provides
  * the publication edge). A thread seeing the flip late merely skips or
  * records a few extra events. Pinned by the TSAN-leg test
  * ObsConcurrency.RelaxedAtomicsSafeUnderConcurrentExport.
  */
 std::atomic<bool> g_enabled{false};
 
-/** Per-thread span buffer; owned by the registry, written by one thread. */
-struct SpanBuffer
-{
-    uint32_t threadId = 0;
-    std::vector<SpanEvent> events;
-};
-
-/**
- * Per-thread counter block. The owning thread does relaxed fetch_adds;
- * snapshot readers do relaxed loads, so concurrent snapshots observe a
- * consistent-enough value without any data race.
- */
-struct CounterBlock
-{
-    std::array<std::atomic<uint64_t>, kMaxCounters> values{};
-};
-
-/**
- * Per-thread histogram block: one bucket array plus sum/count/min/max
- * per registered histogram. Same ownership discipline as CounterBlock
- * (owning thread writes relaxed, snapshot readers load relaxed).
- */
-struct HistoSlot
-{
-    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
-    std::atomic<uint64_t> count{0};
-    std::atomic<uint64_t> sum{0};
-    std::atomic<uint64_t> min{UINT64_MAX};
-    std::atomic<uint64_t> max{0};
-};
-
-struct HistoBlock
-{
-    std::array<HistoSlot, kMaxHistograms> slots{};
-};
-
-/** Guards the registries (buffer/block lists and counter names). */
-Mutex g_registry_mutex;
-std::vector<std::unique_ptr<SpanBuffer>> g_span_buffers
-    UNIZK_GUARDED_BY(g_registry_mutex);
-std::vector<std::unique_ptr<CounterBlock>> g_counter_blocks
-    UNIZK_GUARDED_BY(g_registry_mutex);
-std::vector<std::unique_ptr<HistoBlock>> g_histo_blocks
-    UNIZK_GUARDED_BY(g_registry_mutex);
-std::vector<std::string> g_counter_names
-    UNIZK_GUARDED_BY(g_registry_mutex);
-std::vector<std::string> g_histogram_names
-    UNIZK_GUARDED_BY(g_registry_mutex);
-// Relaxed fetch_add is sufficient: the id only needs to be unique, no
-// data is published under it.
-std::atomic<uint32_t> g_next_thread_id{0};
-
-std::chrono::steady_clock::time_point g_epoch =
-    std::chrono::steady_clock::now();
-
 thread_local SpanBuffer *tl_span_buffer = nullptr;
 thread_local CounterBlock *tl_counter_block = nullptr;
 thread_local HistoBlock *tl_histo_block = nullptr;
 /** Names of the spans currently open on this thread, outermost first. */
 thread_local std::vector<const char *> tl_span_stack;
+/** Request trace id tagged onto spans opened on this thread. */
+thread_local uint64_t tl_trace_id = 0;
 
 SpanBuffer &
 threadSpanBuffer()
 {
     if (tl_span_buffer == nullptr) {
+        Registry &reg = Registry::instance();
         auto buf = std::make_unique<SpanBuffer>();
-        buf->threadId = g_next_thread_id.fetch_add(
-            1, std::memory_order_relaxed);
-        MutexLock lock(g_registry_mutex);
+        buf->threadId =
+            reg.nextThreadId.fetch_add(1, std::memory_order_relaxed);
+        MutexLock lock(reg.mutex);
         tl_span_buffer = buf.get();
-        g_span_buffers.push_back(std::move(buf));
+        reg.spanBuffers.push_back(std::move(buf));
     }
     return *tl_span_buffer;
 }
@@ -107,10 +59,11 @@ CounterBlock &
 threadCounterBlock()
 {
     if (tl_counter_block == nullptr) {
+        Registry &reg = Registry::instance();
         auto block = std::make_unique<CounterBlock>();
-        MutexLock lock(g_registry_mutex);
+        MutexLock lock(reg.mutex);
         tl_counter_block = block.get();
-        g_counter_blocks.push_back(std::move(block));
+        reg.counterBlocks.push_back(std::move(block));
     }
     return *tl_counter_block;
 }
@@ -119,10 +72,11 @@ HistoBlock &
 threadHistoBlock()
 {
     if (tl_histo_block == nullptr) {
+        Registry &reg = Registry::instance();
         auto block = std::make_unique<HistoBlock>();
-        MutexLock lock(g_registry_mutex);
+        MutexLock lock(reg.mutex);
         tl_histo_block = block.get();
-        g_histo_blocks.push_back(std::move(block));
+        reg.histoBlocks.push_back(std::move(block));
     }
     return *tl_histo_block;
 }
@@ -166,6 +120,34 @@ storeMax(std::atomic<uint64_t> &slot, uint64_t value)
     }
 }
 
+/** a - b, clamped at 0: a resetAll() between rotations can shrink the
+ *  cumulative totals below a stale baseline; never underflow. */
+uint64_t
+monotonicDelta(uint64_t a, uint64_t b)
+{
+    return a >= b ? a - b : 0;
+}
+
+SpanBufferStats
+spanBufferStatsLocked(Registry &reg) UNIZK_REQUIRES(reg.mutex)
+{
+    SpanBufferStats out;
+    out.dropped = reg.spansDropped.load(std::memory_order_relaxed);
+    for (const auto &buf : reg.spanBuffers) {
+        SpanBufferInfo info;
+        info.threadId = buf->threadId;
+        info.buffered = buf->buffered.load(std::memory_order_relaxed);
+        info.highWater =
+            buf->highWater.load(std::memory_order_relaxed);
+        out.perThread.push_back(info);
+    }
+    std::sort(out.perThread.begin(), out.perThread.end(),
+              [](const SpanBufferInfo &a, const SpanBufferInfo &b) {
+                  return a.threadId < b.threadId;
+              });
+    return out;
+}
+
 } // namespace
 
 void
@@ -183,7 +165,8 @@ enabled()
 uint64_t
 nowNs()
 {
-    const auto elapsed = std::chrono::steady_clock::now() - g_epoch;
+    const auto elapsed =
+        std::chrono::steady_clock::now() - Registry::instance().epoch;
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
             .count());
@@ -192,11 +175,13 @@ nowNs()
 std::vector<SpanEvent>
 drainSpans()
 {
+    Registry &reg = Registry::instance();
     std::vector<SpanEvent> out;
-    MutexLock lock(g_registry_mutex);
-    for (auto &buf : g_span_buffers) {
+    MutexLock lock(reg.mutex);
+    for (auto &buf : reg.spanBuffers) {
         out.insert(out.end(), buf->events.begin(), buf->events.end());
         buf->events.clear();
+        buf->buffered.store(0, std::memory_order_relaxed);
     }
     std::sort(out.begin(), out.end(),
               [](const SpanEvent &a, const SpanEvent &b) {
@@ -207,16 +192,25 @@ drainSpans()
     return out;
 }
 
+SpanBufferStats
+spanBufferStats()
+{
+    Registry &reg = Registry::instance();
+    MutexLock lock(reg.mutex);
+    return spanBufferStatsLocked(reg);
+}
+
 std::map<std::string, uint64_t>
 counterSnapshot()
 {
+    Registry &reg = Registry::instance();
     std::map<std::string, uint64_t> out;
-    MutexLock lock(g_registry_mutex);
-    for (size_t i = 0; i < g_counter_names.size(); ++i) {
+    MutexLock lock(reg.mutex);
+    for (size_t i = 0; i < reg.counterNames.size(); ++i) {
         uint64_t total = 0;
-        for (const auto &block : g_counter_blocks)
+        for (const auto &block : reg.counterBlocks)
             total += block->values[i].load(std::memory_order_relaxed);
-        out[g_counter_names[i]] = total;
+        out[reg.counterNames[i]] = total;
     }
     return out;
 }
@@ -224,8 +218,9 @@ counterSnapshot()
 std::map<std::string, HistogramData>
 histogramSnapshot()
 {
+    Registry &reg = Registry::instance();
     std::map<std::string, HistogramData> out;
-    MutexLock lock(g_registry_mutex);
+    MutexLock lock(reg.mutex);
     // Bucket/count/sum/min/max are independent relaxed atomics written
     // by their owning threads; a snapshot taken mid-record may observe
     // e.g. a bucket increment whose matching sum update is not yet
@@ -233,10 +228,10 @@ histogramSnapshot()
     // records and is the documented contract ("exact only at quiescent
     // points") -- no acquire ordering would remove it without making
     // every record a release-write, so the hot path stays relaxed.
-    for (size_t i = 0; i < g_histogram_names.size(); ++i) {
+    for (size_t i = 0; i < reg.histogramNames.size(); ++i) {
         HistogramData data;
         uint64_t min_seen = UINT64_MAX;
-        for (const auto &block : g_histo_blocks) {
+        for (const auto &block : reg.histoBlocks) {
             const HistoSlot &slot = block->slots[i];
             data.count += slot.count.load(std::memory_order_relaxed);
             data.sum += slot.sum.load(std::memory_order_relaxed);
@@ -250,9 +245,105 @@ histogramSnapshot()
             }
         }
         data.min = data.count == 0 ? 0 : min_seen;
-        out[g_histogram_names[i]] = data;
+        out[reg.histogramNames[i]] = data;
     }
     return out;
+}
+
+StatsSnapshot
+snapshotDelta()
+{
+    Registry &reg = Registry::instance();
+    StatsSnapshot snap;
+    MutexLock lock(reg.mutex);
+    snap.windowEndNs = nowNs();
+    snap.windowStartNs = reg.windowStartNs;
+    snap.sequence = ++reg.snapshotSequence;
+
+    for (size_t i = 0; i < reg.counterNames.size(); ++i) {
+        uint64_t total = 0;
+        for (const auto &block : reg.counterBlocks)
+            total += block->values[i].load(std::memory_order_relaxed);
+        uint64_t &baseline = reg.counterBaseline[reg.counterNames[i]];
+        CounterWindow window;
+        window.cumulative = total;
+        window.delta = monotonicDelta(total, baseline);
+        baseline = total;
+        snap.counters[reg.counterNames[i]] = window;
+    }
+
+    for (size_t i = 0; i < reg.histogramNames.size(); ++i) {
+        HistogramData cum;
+        uint64_t min_seen = UINT64_MAX;
+        uint64_t window_min = UINT64_MAX;
+        uint64_t window_max = 0;
+        for (auto &block : reg.histoBlocks) {
+            HistoSlot &slot = block->slots[i];
+            cum.count += slot.count.load(std::memory_order_relaxed);
+            cum.sum += slot.sum.load(std::memory_order_relaxed);
+            min_seen = std::min(
+                min_seen, slot.min.load(std::memory_order_relaxed));
+            cum.max = std::max(
+                cum.max, slot.max.load(std::memory_order_relaxed));
+            for (size_t b = 0; b < kHistogramBuckets; ++b) {
+                cum.buckets[b] +=
+                    slot.buckets[b].load(std::memory_order_relaxed);
+            }
+            // Consume the per-window watermarks: the exchange both
+            // reads this window's extreme and re-arms the slot for the
+            // next window. A record racing the rotation lands its
+            // watermark in one window or the other, never both.
+            window_min = std::min(
+                window_min,
+                slot.windowMin.exchange(UINT64_MAX,
+                                        std::memory_order_relaxed));
+            window_max = std::max(
+                window_max,
+                slot.windowMax.exchange(0,
+                                        std::memory_order_relaxed));
+        }
+        cum.min = cum.count == 0 ? 0 : min_seen;
+
+        HistogramData &baseline =
+            reg.histogramBaseline[reg.histogramNames[i]];
+        HistogramData delta;
+        delta.count = monotonicDelta(cum.count, baseline.count);
+        delta.sum = monotonicDelta(cum.sum, baseline.sum);
+        for (size_t b = 0; b < kHistogramBuckets; ++b) {
+            delta.buckets[b] =
+                monotonicDelta(cum.buckets[b], baseline.buckets[b]);
+        }
+        if (delta.count == 0) {
+            delta.min = 0;
+            delta.max = 0;
+        } else if (window_min != UINT64_MAX) {
+            delta.min = window_min;
+            delta.max = window_max;
+        } else {
+            // The count moved but the watermark update is not visible
+            // yet (a record in flight across the rotation): fall back
+            // to the cumulative range rather than reporting 0.
+            delta.min = cum.min;
+            delta.max = cum.max;
+        }
+        baseline = cum;
+        snap.histograms[reg.histogramNames[i]] =
+            HistogramWindow{delta, cum};
+    }
+
+    snap.spans = spanBufferStatsLocked(reg);
+    reg.windowStartNs = snap.windowEndNs;
+    return snap;
+}
+
+std::pair<uint64_t, uint64_t>
+bucketRange(size_t i)
+{
+    if (i == 0)
+        return {0, 0};
+    const uint64_t lo = uint64_t{1} << (i - 1);
+    const uint64_t hi = i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1;
+    return {lo, hi};
 }
 
 double
@@ -300,24 +391,44 @@ histogramQuantile(const HistogramData &data, double q)
 void
 resetAll()
 {
-    MutexLock lock(g_registry_mutex);
-    for (auto &buf : g_span_buffers)
+    Registry &reg = Registry::instance();
+    MutexLock lock(reg.mutex);
+    for (auto &buf : reg.spanBuffers) {
         buf->events.clear();
-    for (auto &block : g_counter_blocks) {
+        buf->buffered.store(0, std::memory_order_relaxed);
+        buf->highWater.store(0, std::memory_order_relaxed);
+    }
+    for (auto &block : reg.counterBlocks) {
         for (auto &v : block->values)
             v.store(0, std::memory_order_relaxed);
     }
-    for (auto &block : g_histo_blocks) {
+    for (auto &block : reg.histoBlocks) {
         for (auto &slot : block->slots) {
             for (auto &b : slot.buckets)
                 b.store(0, std::memory_order_relaxed);
             slot.count.store(0, std::memory_order_relaxed);
             slot.sum.store(0, std::memory_order_relaxed);
+            // Both watermark generations: the cumulative min/max and
+            // the open window's min/max. Leaving either behind lets a
+            // warmup outlier survive into the measured window's
+            // quantile clamp (regression-pinned in test_obs).
             slot.min.store(UINT64_MAX, std::memory_order_relaxed);
             slot.max.store(0, std::memory_order_relaxed);
+            slot.windowMin.store(UINT64_MAX,
+                                 std::memory_order_relaxed);
+            slot.windowMax.store(0, std::memory_order_relaxed);
         }
     }
-    g_epoch = std::chrono::steady_clock::now();
+    // Restart the rotation stream: stale baselines would otherwise
+    // zero out every delta until the cumulative totals caught back up
+    // to their pre-reset values.
+    reg.snapshotSequence = 0;
+    reg.windowStartNs = 0;
+    reg.counterBaseline.clear();
+    reg.histogramBaseline.clear();
+    reg.spansDropped.store(0, std::memory_order_relaxed);
+    reg.dropWarned.store(false, std::memory_order_relaxed);
+    reg.epoch = std::chrono::steady_clock::now();
 }
 
 void
@@ -326,6 +437,22 @@ resetForMeasurement()
     if (!enabled())
         return;
     resetAll();
+}
+
+ScopedTraceId::ScopedTraceId(uint64_t id) : prev_(tl_trace_id)
+{
+    tl_trace_id = id;
+}
+
+ScopedTraceId::~ScopedTraceId()
+{
+    tl_trace_id = prev_;
+}
+
+uint64_t
+currentTraceId()
+{
+    return tl_trace_id;
 }
 
 Span::Span(const char *name)
@@ -350,11 +477,24 @@ Span::~Span()
     tl_span_stack.pop_back();
     SpanBuffer &buf = threadSpanBuffer();
     if (buf.events.size() < kMaxBufferedSpansPerThread) {
-        buf.events.push_back(
-            {name_, parent_, start_ns_, end_ns, buf.threadId, depth_});
+        buf.events.push_back({name_, parent_, start_ns_, end_ns,
+                              buf.threadId, depth_, tl_trace_id});
+        const uint64_t occupancy = buf.events.size();
+        buf.buffered.store(occupancy, std::memory_order_relaxed);
+        storeMax(buf.highWater, occupancy);
     } else {
+        Registry &reg = Registry::instance();
+        reg.spansDropped.fetch_add(1, std::memory_order_relaxed);
         static Counter dropped("obs.spans_dropped");
         dropped.add(1);
+        if (!reg.dropWarned.exchange(true,
+                                     std::memory_order_relaxed)) {
+            warn("obs: span buffer full on thread ", buf.threadId,
+                 " (", kMaxBufferedSpansPerThread,
+                 " spans); dropping further spans -- counters and "
+                 "histograms keep recording, obs.spans_dropped "
+                 "counts the loss");
+        }
     }
     static Histogram duration_histo("obs.span_duration_ns");
     duration_histo.record(end_ns - start_ns_);
@@ -362,17 +502,18 @@ Span::~Span()
 
 Counter::Counter(const char *name) : id_(0)
 {
-    MutexLock lock(g_registry_mutex);
-    for (size_t i = 0; i < g_counter_names.size(); ++i) {
-        if (g_counter_names[i] == name) {
+    Registry &reg = Registry::instance();
+    MutexLock lock(reg.mutex);
+    for (size_t i = 0; i < reg.counterNames.size(); ++i) {
+        if (reg.counterNames[i] == name) {
             id_ = i;
             return;
         }
     }
-    if (g_counter_names.size() >= kMaxCounters)
+    if (reg.counterNames.size() >= internal::kMaxCounters)
         unizk_panic("obs counter registry full: ", name);
-    id_ = g_counter_names.size();
-    g_counter_names.emplace_back(name);
+    id_ = reg.counterNames.size();
+    reg.counterNames.emplace_back(name);
 }
 
 void
@@ -386,17 +527,18 @@ Counter::add(uint64_t delta)
 
 Histogram::Histogram(const char *name) : id_(0)
 {
-    MutexLock lock(g_registry_mutex);
-    for (size_t i = 0; i < g_histogram_names.size(); ++i) {
-        if (g_histogram_names[i] == name) {
+    Registry &reg = Registry::instance();
+    MutexLock lock(reg.mutex);
+    for (size_t i = 0; i < reg.histogramNames.size(); ++i) {
+        if (reg.histogramNames[i] == name) {
             id_ = i;
             return;
         }
     }
-    if (g_histogram_names.size() >= kMaxHistograms)
+    if (reg.histogramNames.size() >= internal::kMaxHistograms)
         unizk_panic("obs histogram registry full: ", name);
-    id_ = g_histogram_names.size();
-    g_histogram_names.emplace_back(name);
+    id_ = reg.histogramNames.size();
+    reg.histogramNames.emplace_back(name);
 }
 
 void
@@ -411,6 +553,8 @@ Histogram::record(uint64_t value)
     slot.sum.fetch_add(value, std::memory_order_relaxed);
     storeMin(slot.min, value);
     storeMax(slot.max, value);
+    storeMin(slot.windowMin, value);
+    storeMax(slot.windowMax, value);
 }
 
 } // namespace obs

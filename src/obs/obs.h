@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace unizk {
@@ -47,6 +48,9 @@ struct SpanEvent
     uint64_t endNs = 0;
     uint32_t threadId = 0; ///< small stable per-thread id
     uint32_t depth = 0;    ///< nesting depth on the owning thread
+    /** Request trace id active on the thread when the span opened
+     *  (see ScopedTraceId); 0 = untraced. */
+    uint64_t traceId = 0;
 };
 
 /**
@@ -110,16 +114,112 @@ double histogramQuantile(const HistogramData &data, double q);
  */
 constexpr size_t kMaxBufferedSpansPerThread = size_t{1} << 20;
 
-/** Clear spans, counters and histograms; restart the epoch clock. */
+/** Inclusive value range [lo, hi] of log2 bucket @p i (bucket 0 holds
+ *  exactly the value 0; bucket 64's hi saturates at UINT64_MAX). */
+std::pair<uint64_t, uint64_t> bucketRange(size_t i);
+
+/** One counter as seen by a snapshot window. */
+struct CounterWindow
+{
+    uint64_t delta = 0;      ///< increase during this window
+    uint64_t cumulative = 0; ///< monotonic total at window end
+};
+
+/** One histogram as seen by a snapshot window. The delta's min/max are
+ *  the extremes recorded during the window (best effort mid-traffic,
+ *  exact at quiescent points); the cumulative side matches
+ *  histogramSnapshot(). */
+struct HistogramWindow
+{
+    HistogramData delta;
+    HistogramData cumulative;
+};
+
+/** Occupancy of one thread's span buffer. */
+struct SpanBufferInfo
+{
+    uint32_t threadId = 0;
+    uint64_t buffered = 0;  ///< spans currently held (0 after a drain)
+    uint64_t highWater = 0; ///< peak occupancy since the last resetAll
+};
+
+/** Drop accounting and per-thread occupancy of the span buffers. Safe
+ *  to call while spans are being recorded (reads mirrored atomics,
+ *  never the buffers themselves). */
+struct SpanBufferStats
+{
+    uint64_t dropped = 0; ///< spans lost to full buffers (lifetime)
+    uint64_t capPerThread = kMaxBufferedSpansPerThread;
+    std::vector<SpanBufferInfo> perThread; ///< sorted by threadId
+};
+
+SpanBufferStats spanBufferStats();
+
+/**
+ * One rotation of the stats window: everything that changed since the
+ * previous snapshotDelta() call, alongside the cumulative totals.
+ * Sequence numbers are monotonic and window intervals chain
+ * (windowStartNs of rotation N+1 == windowEndNs of rotation N), so a
+ * series of snapshots partitions the cumulative totals exactly: at any
+ * quiescent point, the sum of all deltas ever returned equals the
+ * cumulative value (pinned by the TSAN-leg stress test).
+ */
+struct StatsSnapshot
+{
+    uint64_t sequence = 0; ///< 1 for the first rotation after reset
+    uint64_t windowStartNs = 0;
+    uint64_t windowEndNs = 0;
+    std::map<std::string, CounterWindow> counters;
+    std::map<std::string, HistogramWindow> histograms;
+    SpanBufferStats spans;
+};
+
+/**
+ * Atomically rotate the stats window and return its contents. There is
+ * one process-wide rotation stream: concurrent callers (a periodic
+ * exporter and GetStats pollers, say) each receive disjoint windows
+ * that together still partition the cumulative totals. Recording
+ * threads are never blocked; like the plain snapshots, a window taken
+ * mid-traffic may split an in-flight record's fields across two
+ * windows, which the "exact only at quiescence" contract covers.
+ */
+StatsSnapshot snapshotDelta();
+
+/** Clear spans, counters and histograms (including drop accounting
+ *  and window-rotation baselines); restart the epoch clock. */
 void resetAll();
 
 /**
  * Mark the warmup -> measured boundary: discard everything recorded so
- * far (spans, counters, histograms) so setup and warmup work cannot
- * bleed into exported artifacts. No-op when obs is disabled. Like
- * drainSpans(), call only at a quiescent point.
+ * far (spans, counters, histograms -- including the cumulative and
+ * per-window min/max watermarks, so a warmup outlier cannot survive
+ * into the measured window's quantile clamp) and restart the window
+ * rotation stream. No-op when obs is disabled. Like drainSpans(), call
+ * only at a quiescent point.
  */
 void resetForMeasurement();
+
+/**
+ * Tag spans opened on this thread with a request trace id for the
+ * lifetime of the scope (restores the previous id on destruction, so
+ * nesting works). The id is recorded into SpanEvent::traceId and
+ * surfaces in the Chrome-trace export; 0 means untraced.
+ */
+class ScopedTraceId
+{
+  public:
+    explicit ScopedTraceId(uint64_t id);
+    ~ScopedTraceId();
+
+    ScopedTraceId(const ScopedTraceId &) = delete;
+    ScopedTraceId &operator=(const ScopedTraceId &) = delete;
+
+  private:
+    uint64_t prev_;
+};
+
+/** Trace id currently active on the calling thread (0 = none). */
+uint64_t currentTraceId();
 
 /**
  * RAII span. Construct via the UNIZK_SPAN macro with a static string;

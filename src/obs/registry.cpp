@@ -1,0 +1,19 @@
+#include "obs/registry.h"
+
+namespace unizk {
+namespace obs {
+namespace internal {
+
+Registry &
+Registry::instance()
+{
+    // Intentionally leaked (never destroyed): span destructors and
+    // counter adds can run during static teardown of other TUs, and a
+    // destroyed registry would turn those into use-after-free.
+    static Registry *const registry = new Registry();
+    return *registry;
+}
+
+} // namespace internal
+} // namespace obs
+} // namespace unizk

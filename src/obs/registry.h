@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Internal storage of the obs subsystem: the per-thread span buffers,
+ * counter blocks and histogram blocks, the name registries, and the
+ * window-rotation bookkeeping behind obs::snapshotDelta().
+ *
+ * This header is private to src/obs. Everything outside src/obs must
+ * go through the snapshot APIs in obs/obs.h (counterSnapshot,
+ * histogramSnapshot, snapshotDelta, spanBufferStats, drainSpans) --
+ * the lint rule `obs-registry-direct` rejects direct includes and
+ * `obs::internal` references elsewhere. The rotation state below
+ * (baselines, sequence, window start) is only consistent when every
+ * consumer rotates through snapshotDelta(); an exporter iterating the
+ * blocks directly would observe totals that a concurrent rotation is
+ * in the middle of re-baselining.
+ */
+
+#ifndef UNIZK_OBS_REGISTRY_H
+#define UNIZK_OBS_REGISTRY_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+#include "obs/obs.h"
+
+namespace unizk {
+namespace obs {
+namespace internal {
+
+constexpr size_t kMaxCounters = 128;
+constexpr size_t kMaxHistograms = 64;
+
+/** Per-thread span buffer; owned by the registry, written by one
+ *  thread. The events vector itself may only be touched by its owner
+ *  or, at quiescent points, under the registry mutex (drainSpans /
+ *  resetAll); live pollers read the mirrored atomics instead. */
+struct SpanBuffer
+{
+    uint32_t threadId = 0;
+    std::vector<SpanEvent> events;
+    /** events.size(), mirrored with relaxed stores by the owning
+     *  thread so spanBufferStats() can report occupancy without
+     *  racing the vector. */
+    std::atomic<uint64_t> buffered{0};
+    /** Largest occupancy observed since the last resetAll(). */
+    std::atomic<uint64_t> highWater{0};
+};
+
+/**
+ * Per-thread counter block. The owning thread does relaxed
+ * fetch_adds; snapshot readers do relaxed loads, so concurrent
+ * snapshots observe a consistent-enough value without any data race.
+ */
+struct CounterBlock
+{
+    std::array<std::atomic<uint64_t>, kMaxCounters> values{};
+};
+
+/**
+ * Per-thread histogram block: one bucket array plus sum/count/min/max
+ * per registered histogram. Same ownership discipline as CounterBlock
+ * (owning thread writes relaxed, snapshot readers load relaxed).
+ *
+ * min/max are cumulative watermarks; windowMin/windowMax cover only
+ * the currently open snapshot window and are consumed (exchanged back
+ * to their empty values) by snapshotDelta(), so a per-window delta can
+ * report real extremes instead of inheriting a warmup outlier from an
+ * earlier window.
+ */
+struct HistoSlot
+{
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+    std::atomic<uint64_t> windowMin{UINT64_MAX};
+    std::atomic<uint64_t> windowMax{0};
+};
+
+struct HistoBlock
+{
+    std::array<HistoSlot, kMaxHistograms> slots{};
+};
+
+/**
+ * The process-wide obs registry. A leaked singleton: thread-local
+ * blocks and function-local static Counter/Histogram handles may fire
+ * during static teardown, so the registry must outlive every other
+ * object with static storage duration.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Guards the registries (buffer/block lists and name tables) and
+     *  the window-rotation state. */
+    Mutex mutex;
+    std::vector<std::unique_ptr<SpanBuffer>> spanBuffers
+        UNIZK_GUARDED_BY(mutex);
+    std::vector<std::unique_ptr<CounterBlock>> counterBlocks
+        UNIZK_GUARDED_BY(mutex);
+    std::vector<std::unique_ptr<HistoBlock>> histoBlocks
+        UNIZK_GUARDED_BY(mutex);
+    std::vector<std::string> counterNames UNIZK_GUARDED_BY(mutex);
+    std::vector<std::string> histogramNames UNIZK_GUARDED_BY(mutex);
+
+    /**
+     * Window-rotation state for snapshotDelta(): the cumulative totals
+     * published by the previous rotation (per name), the monotonic
+     * window sequence number, and the start timestamp of the window
+     * currently open. Updated atomically with respect to other
+     * rotations because every rotation holds the registry mutex --
+     * which is why consumers must not iterate the blocks directly.
+     */
+    uint64_t snapshotSequence UNIZK_GUARDED_BY(mutex) = 0;
+    uint64_t windowStartNs UNIZK_GUARDED_BY(mutex) = 0;
+    std::map<std::string, uint64_t> counterBaseline
+        UNIZK_GUARDED_BY(mutex);
+    std::map<std::string, HistogramData> histogramBaseline
+        UNIZK_GUARDED_BY(mutex);
+
+    // Relaxed fetch_add is sufficient: the id only needs to be unique,
+    // no data is published under it.
+    std::atomic<uint32_t> nextThreadId{0};
+
+    /** Spans dropped by full buffers; mirrors the "obs.spans_dropped"
+     *  counter so pollers get the number without a name lookup. */
+    std::atomic<uint64_t> spansDropped{0};
+    /** Set once the first drop has been logged (rate-limits the warn). */
+    std::atomic<bool> dropWarned{false};
+
+    /**
+     * Epoch of the nowNs() clock. Written only by resetAll() (a
+     * quiescent-point operation by contract) and read without the
+     * mutex on every span hit, mirroring the pre-registry behaviour.
+     */
+    std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+
+  private:
+    Registry() = default;
+};
+
+} // namespace internal
+} // namespace obs
+} // namespace unizk
+
+#endif // UNIZK_OBS_REGISTRY_H

@@ -135,16 +135,46 @@ writeSimReport(JsonWriter &w, const SimReport &sim)
     w.endObject();
 }
 
-/** Inclusive value range of log2 bucket @p i. */
-std::pair<uint64_t, uint64_t>
-bucketRange(size_t i)
+/** One HistogramData as {count,sum,min,max,buckets:[{lo,hi,count}]}. */
+void
+writeHistogramData(JsonWriter &w, const HistogramData &data)
 {
-    if (i == 0)
-        return {0, 0};
-    const uint64_t lo = uint64_t{1} << (i - 1);
-    const uint64_t hi =
-        i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1;
-    return {lo, hi};
+    w.beginObject();
+    w.kv("count", data.count);
+    w.kv("sum", data.sum);
+    w.kv("min", data.min);
+    w.kv("max", data.max);
+    w.key("buckets").beginArray();
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+        if (data.buckets[i] == 0)
+            continue;
+        const auto [lo, hi] = bucketRange(i);
+        w.beginObject();
+        w.kv("lo", lo);
+        w.kv("hi", hi);
+        w.kv("count", data.buckets[i]);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeSpanBufferStats(JsonWriter &w, const SpanBufferStats &spans)
+{
+    w.beginObject();
+    w.kv("dropped", spans.dropped);
+    w.kv("capPerThread", spans.capPerThread);
+    w.key("perThread").beginArray();
+    for (const SpanBufferInfo &t : spans.perThread) {
+        w.beginObject();
+        w.kv("threadId", static_cast<uint64_t>(t.threadId));
+        w.kv("buffered", t.buffered);
+        w.kv("highWater", t.highWater);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
 }
 
 } // namespace
@@ -192,26 +222,50 @@ statsToJson(const std::vector<RunStats> &runs,
 
     w.key("histograms").beginObject();
     for (const auto &[name, data] : histograms) {
+        w.key(name);
+        writeHistogramData(w, data);
+    }
+    w.endObject();
+
+    w.key("spanBuffers");
+    writeSpanBufferStats(w, spanBufferStats());
+
+    w.endObject();
+    return w.str();
+}
+
+std::string
+snapshotToJson(const StatsSnapshot &snap)
+{
+    JsonWriter w(/*compact=*/true);
+    w.beginObject();
+    w.kv("schema", "unizk-stats-v3");
+    w.kv("sequence", snap.sequence);
+    w.kv("windowStartNs", snap.windowStartNs);
+    w.kv("windowEndNs", snap.windowEndNs);
+
+    w.key("counters").beginObject();
+    for (const auto &[name, window] : snap.counters) {
         w.key(name).beginObject();
-        w.kv("count", data.count);
-        w.kv("sum", data.sum);
-        w.kv("min", data.min);
-        w.kv("max", data.max);
-        w.key("buckets").beginArray();
-        for (size_t i = 0; i < kHistogramBuckets; ++i) {
-            if (data.buckets[i] == 0)
-                continue;
-            const auto [lo, hi] = bucketRange(i);
-            w.beginObject();
-            w.kv("lo", lo);
-            w.kv("hi", hi);
-            w.kv("count", data.buckets[i]);
-            w.endObject();
-        }
-        w.endArray();
+        w.kv("delta", window.delta);
+        w.kv("cumulative", window.cumulative);
         w.endObject();
     }
     w.endObject();
+
+    w.key("histograms").beginObject();
+    for (const auto &[name, window] : snap.histograms) {
+        w.key(name).beginObject();
+        w.key("delta");
+        writeHistogramData(w, window.delta);
+        w.key("cumulative");
+        writeHistogramData(w, window.cumulative);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("spanBuffers");
+    writeSpanBufferStats(w, snap.spans);
 
     w.endObject();
     return w.str();

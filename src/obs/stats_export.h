@@ -42,13 +42,25 @@ struct RunStats
 
 /**
  * Render runs (plus counter and histogram snapshots) as a
- * "unizk-stats-v2" JSON document. The schema is validated by
+ * "unizk-stats-v2" JSON document. Also embeds the span-buffer
+ * occupancy/drop accounting (obs::spanBufferStats) under
+ * "spanBuffers". The schema is validated by
  * tools/obs/validate_obs_json.py; update both together.
  */
 std::string
 statsToJson(const std::vector<RunStats> &runs,
             const std::map<std::string, uint64_t> &counters,
             const std::map<std::string, HistogramData> &histograms = {});
+
+/**
+ * Render one window rotation (obs::snapshotDelta) as a single-line
+ * compact "unizk-stats-v3" JSON record, suitable for appending to a
+ * JSONL stream (unizkd --stats-windows). Carries the window identity
+ * (sequence, start/end), per-name {delta, cumulative} for counters
+ * and histograms, and the span-buffer stats captured at rotation.
+ * Validated by tools/obs/validate_obs_json.py --kind windows.
+ */
+std::string snapshotToJson(const StatsSnapshot &snap);
 
 } // namespace obs
 } // namespace unizk

@@ -42,6 +42,7 @@ ChromeTraceBuilder::addSpans(const std::vector<SpanEvent> &spans)
             static_cast<double>(s.endNs - s.startNs) * 1e-3;
         e.pid = 1;
         e.tid = s.threadId;
+        e.traceId = s.traceId;
         events_.push_back(std::move(e));
     }
 }
@@ -140,9 +141,12 @@ ChromeTraceBuilder::build() const
         w.kv("dur", e.durMicros);
         w.kv("pid", static_cast<uint64_t>(e.pid));
         w.kv("tid", static_cast<uint64_t>(e.tid));
-        if (e.simCycles != 0) {
+        if (e.simCycles != 0 || e.traceId != 0) {
             w.key("args").beginObject();
-            w.kv("cycles", e.simCycles);
+            if (e.simCycles != 0)
+                w.kv("cycles", e.simCycles);
+            if (e.traceId != 0)
+                w.kv("traceId", e.traceId);
             w.endObject();
         }
         w.endObject();

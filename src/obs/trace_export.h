@@ -55,6 +55,7 @@ class ChromeTraceBuilder
         uint32_t pid = 0;
         uint32_t tid = 0;
         uint64_t simCycles = 0; ///< sim lanes only (0 on CPU spans)
+        uint64_t traceId = 0;   ///< request trace id (0 = untagged)
     };
 
     /** One "C" (counter) sample on a sim lane. */

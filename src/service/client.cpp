@@ -26,6 +26,12 @@ ServiceClient::shutdownServer()
     return roundTrip(encodeShutdown());
 }
 
+std::optional<ResponseFrame>
+ServiceClient::getStats()
+{
+    return roundTrip(encodeGetStats());
+}
+
 bool
 ServiceClient::sendRaw(const std::vector<uint8_t> &payload)
 {

@@ -35,6 +35,10 @@ class ServiceClient
     std::optional<ResponseFrame> ping();
     std::optional<ResponseFrame> shutdownServer();
 
+    /** Rotate and fetch the daemon's stats window (Tag::GetStats).
+     *  Safe to issue while other connections are mid-request. */
+    std::optional<ResponseFrame> getStats();
+
     /** Send raw payload bytes as one frame (tests: malformed input). */
     bool sendRaw(const std::vector<uint8_t> &payload);
 

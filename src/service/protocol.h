@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "fri/fri_config.h"
+#include "obs/obs.h"
 #include "workloads/apps.h"
 
 namespace unizk {
@@ -35,19 +36,33 @@ namespace service {
 constexpr uint64_t kMaxRequestFrameBytes = uint64_t{1} << 16;
 constexpr uint64_t kMaxResponseFrameBytes = uint64_t{1} << 28;
 
-/** Payload tags. Requests are client -> server, responses the reverse. */
+/**
+ * Payload tags. Requests are client -> server, responses the reverse.
+ *
+ * Versioning: ProveV2/ProveOkV2 extend the v1 prove frames with a
+ * trace id (and, on the response, the server-side latency
+ * decomposition). The v1 layouts are frozen -- a v1 client talking to
+ * a v2 server (or the reverse) keeps working, because a prove request
+ * without a trace id is encoded as Tag::Prove and answered with
+ * Tag::ProveOk, while a traced request uses the V2 pair end to end
+ * (traceId != 0 <=> V2 frames; regression-tested both directions).
+ */
 enum class Tag : uint64_t
 {
     // Requests.
     Prove = 1,
     Ping = 2,
     Shutdown = 3,
+    ProveV2 = 4,  ///< Prove + trailing non-zero traceId
+    GetStats = 5, ///< rotate + fetch the daemon's stats window
 
     // Responses.
     ProveOk = 101,
     Pong = 102,
     ShutdownAck = 103,
     Error = 104,
+    ProveOkV2 = 105, ///< ProveOk + trace echo and timing decomposition
+    StatsOk = 106,
 };
 
 /** Typed error codes carried by Tag::Error frames. */
@@ -77,15 +92,66 @@ struct ProveRequest
     uint64_t reps = 0; ///< 0 = the app's default (Plonky2 only)
     bool fast = true;  ///< reduced FRI security, as unizk_cli --fast
     bool verify = true;
+    /** Client-generated trace id; 0 = untraced (encoded as a legacy
+     *  Tag::Prove frame). Non-zero selects the ProveV2 frame, tags the
+     *  daemon's per-request span tree, and is echoed in the response
+     *  together with the server-side timing decomposition. */
+    uint64_t traceId = 0;
 };
 
 /** Successful proof response. */
 struct ProveResponse
 {
     bool verified = false;
-    uint64_t latencyNs = 0;   ///< queue admission -> proof completion
+    uint64_t latencyNs = 0;   ///< queue admission -> response serialized
     uint64_t queueDepth = 0;  ///< jobs ahead of this one at admission
     std::vector<uint8_t> proof; ///< canonical serialized proof bytes
+
+    /** True iff the ProveOkV2 fields below are populated (the request
+     *  carried a trace id). The server guarantees
+     *  queuedNs + proveNs + serializeNs <= latencyNs by sampling
+     *  latencyNs last. */
+    bool hasServerTiming = false;
+    uint64_t traceId = 0;     ///< echo of the request's trace id
+    uint64_t laneId = 0;      ///< prover lane that ran the request
+    uint64_t queuedNs = 0;    ///< admission -> lane dequeue
+    uint64_t proveNs = 0;     ///< prover pipeline (prove + verify)
+    uint64_t serializeNs = 0; ///< response proof-section serialization
+};
+
+/** One counter as carried by a StatsOk frame. */
+struct StatsCounterWindow
+{
+    std::string name;
+    uint64_t delta = 0;
+    uint64_t cumulative = 0;
+};
+
+/** One histogram as carried by a StatsOk frame (dense buckets). */
+struct StatsHistogramWindow
+{
+    std::string name;
+    obs::HistogramData delta;
+    obs::HistogramData cumulative;
+};
+
+/**
+ * One stats window (GetStats response): the obs snapshot rotation
+ * (sequence, interval, per-name delta+cumulative) plus live service
+ * gauges (queue occupancy, lane occupancy, span drops).
+ */
+struct StatsResponse
+{
+    uint64_t sequence = 0;
+    uint64_t windowStartNs = 0;
+    uint64_t windowEndNs = 0;
+    uint64_t queueDepth = 0;
+    uint64_t queueCapacity = 0;
+    uint64_t lanes = 0;
+    uint64_t lanesBusy = 0;
+    uint64_t spansDropped = 0;
+    std::vector<StatsCounterWindow> counters;     ///< sorted by name
+    std::vector<StatsHistogramWindow> histograms; ///< sorted by name
 };
 
 /** Typed error response. */
@@ -95,19 +161,24 @@ struct ErrorResponse
     std::string message;
 };
 
-/** A decoded request payload (tag + per-tag body). */
+/** A decoded request payload (tag + per-tag body). Traced prove
+ *  requests decode with tag == Tag::Prove (the prove body's traceId
+ *  distinguishes them), so server dispatch stays tag-version-blind. */
 struct RequestFrame
 {
     Tag tag = Tag::Ping;
     ProveRequest prove; ///< valid iff tag == Tag::Prove
 };
 
-/** A decoded response payload (tag + per-tag body). */
+/** A decoded response payload (tag + per-tag body). V2 prove
+ *  responses decode with tag == Tag::ProveOk and
+ *  prove.hasServerTiming == true. */
 struct ResponseFrame
 {
     Tag tag = Tag::Pong;
     ProveResponse prove; ///< valid iff tag == Tag::ProveOk
     ErrorResponse error; ///< valid iff tag == Tag::Error
+    StatsResponse stats; ///< valid iff tag == Tag::StatsOk
 };
 
 // Request-field ceilings enforced by decodeRequest: the prover pads
@@ -127,15 +198,37 @@ FriConfig requestFriConfig(const ProveRequest &req);
 size_t requestRows(const ProveRequest &req);
 size_t requestReps(const ProveRequest &req);
 
+/** Emits Tag::Prove when req.traceId == 0, Tag::ProveV2 otherwise. */
 std::vector<uint8_t> encodeProveRequest(const ProveRequest &req);
 std::vector<uint8_t> encodePing();
 std::vector<uint8_t> encodeShutdown();
+std::vector<uint8_t> encodeGetStats();
 
+/** Emits Tag::ProveOk, or Tag::ProveOkV2 when resp.hasServerTiming. */
 std::vector<uint8_t> encodeProveResponse(const ProveResponse &resp);
+
+/**
+ * Two-step prove-response encoding for the server's serialization
+ * clock: encodeProofSection serializes the (dominant) length-prefixed
+ * proof bytes, finishProveResponse prepends the header fields. The
+ * split lets a prover lane time the proof serialization *before* it
+ * samples the final latencyNs that goes into the header, so
+ * queuedNs + proveNs + serializeNs <= latencyNs holds by
+ * construction. For any resp,
+ *   finishProveResponse(resp, encodeProofSection(resp.proof))
+ *     == encodeProveResponse(resp)   (pinned by test_service).
+ */
+std::vector<uint8_t>
+encodeProofSection(const std::vector<uint8_t> &proof);
+std::vector<uint8_t>
+finishProveResponse(const ProveResponse &resp,
+                    const std::vector<uint8_t> &proof_section);
+
 std::vector<uint8_t> encodePong();
 std::vector<uint8_t> encodeShutdownAck();
 std::vector<uint8_t> encodeError(ErrorCode code,
                                  const std::string &message);
+std::vector<uint8_t> encodeStatsResponse(const StatsResponse &stats);
 
 /**
  * Decode a request payload. Returns std::nullopt for unknown tags,

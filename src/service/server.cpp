@@ -66,7 +66,12 @@ struct ProofService::Job
     ProveRequest request;
     size_t admissionDepth = 0; ///< written under the queue lock by tryPush
     Stopwatch admitted; ///< starts the latency clock at admission
-    std::promise<ProveResponse> promise;
+    /** The lane delivers the fully *encoded* response payload, not a
+     *  ProveResponse: serialization is part of the lane's timing
+     *  decomposition (serializeNs), and handing back bytes means the
+     *  connection thread cannot accidentally re-serialize outside the
+     *  measured interval. */
+    std::promise<std::vector<uint8_t>> promise;
 };
 
 struct ProofService::Connection
@@ -99,7 +104,7 @@ ProofService::start()
                                ? config_.proverLanes
                                : 1;
     for (unsigned i = 0; i < lanes; ++i)
-        lanes_.emplace_back([this] { proverLane(); });
+        lanes_.emplace_back([this, i] { proverLane(i); });
     accept_thread_ = std::thread([this] { acceptLoop(); });
     inform("unizkd: serving on ", config_.socketPath, " (queue ",
            config_.queueCapacity, ", lanes ", lanes, ", pool ",
@@ -130,6 +135,22 @@ ProofService::waitForStopRequest()
     MutexLock lock(stop_mutex_);
     while (!stopRequested())
         stop_cv_.wait(stop_mutex_);
+}
+
+bool
+ProofService::waitForStopRequestFor(double seconds)
+{
+    const Stopwatch started;
+    MutexLock lock(stop_mutex_);
+    while (!stopRequested()) {
+        const double remaining = seconds - started.elapsedSeconds();
+        if (remaining <= 0)
+            return false;
+        const int64_t ms =
+            static_cast<int64_t>(remaining * 1000.0) + 1;
+        stop_cv_.waitForMs(stop_mutex_, ms);
+    }
+    return true;
 }
 
 void
@@ -178,6 +199,42 @@ ProofService::runStats() const
 {
     MutexLock lock(stats_mutex_);
     return run_stats_;
+}
+
+StatsResponse
+ProofService::statsWindow()
+{
+    const obs::StatsSnapshot snap = obs::snapshotDelta();
+
+    StatsResponse stats;
+    stats.sequence = snap.sequence;
+    stats.windowStartNs = snap.windowStartNs;
+    stats.windowEndNs = snap.windowEndNs;
+    stats.queueDepth = queue_->depth();
+    stats.queueCapacity = queue_->capacity();
+    stats.lanes = lanes_.size();
+    stats.lanesBusy = lanes_busy_.load(std::memory_order_relaxed);
+    stats.spansDropped = snap.spans.dropped;
+    stats.counters.reserve(snap.counters.size());
+    for (const auto &entry : snap.counters) {
+        StatsCounterWindow c;
+        c.name = entry.first;
+        c.delta = entry.second.delta;
+        c.cumulative = entry.second.cumulative;
+        stats.counters.push_back(std::move(c));
+    }
+    stats.histograms.reserve(snap.histograms.size());
+    for (const auto &entry : snap.histograms) {
+        StatsHistogramWindow h;
+        h.name = entry.first;
+        h.delta = entry.second.delta;
+        h.cumulative = entry.second.cumulative;
+        stats.histograms.push_back(std::move(h));
+    }
+
+    if (config_.windowSink)
+        config_.windowSink(snap);
+    return stats;
 }
 
 void
@@ -303,6 +360,12 @@ ProofService::handleRequest(Connection &conn,
     case Tag::Ping:
         return writeFrame(fd, encodePong());
 
+    case Tag::GetStats:
+        // Rotation is safe mid-traffic (recording threads never block
+        // on it); the gauges are sampled immediately after the window
+        // boundary, so they describe the start of the *next* window.
+        return writeFrame(fd, encodeStatsResponse(statsWindow()));
+
     case Tag::Shutdown:
         // Flip the stop flag before acking so a client that sees the
         // ack can rely on stopRequested() being observable.
@@ -321,7 +384,8 @@ ProofService::handleRequest(Connection &conn,
         }
         auto job = std::make_shared<Job>();
         job->request = frame->prove;
-        std::future<ProveResponse> result = job->promise.get_future();
+        std::future<std::vector<uint8_t>> result =
+            job->promise.get_future();
         // admissionDepth is filled in under the queue lock, before a
         // lane can see the job -- writing it after tryPush would race
         // with proverLane reading it.
@@ -351,9 +415,10 @@ ProofService::handleRequest(Connection &conn,
 
         // Closed-loop: wait for the lane, answer, then read the next
         // frame. The future is always fulfilled -- lanes drain the
-        // queue even during shutdown.
-        const ProveResponse response = result.get();
-        if (!writeFrame(fd, encodeProveResponse(response))) {
+        // queue even during shutdown. The lane hands back the encoded
+        // frame (see Job::promise), so this thread only writes bytes.
+        const std::vector<uint8_t> response = result.get();
+        if (!writeFrame(fd, response)) {
             // Client vanished mid-request; the proof is discarded.
             MutexLock lock(stats_mutex_);
             counters_.disconnects++;
@@ -373,45 +438,89 @@ ProofService::handleRequest(Connection &conn,
 }
 
 void
-ProofService::proverLane()
+ProofService::proverLane(unsigned lane_id)
 {
     while (auto popped = queue_->pop()) {
         const std::shared_ptr<Job> job = *popped;
         const ProveRequest &req = job->request;
-        UNIZK_SPAN("service/request");
 
-        const FriConfig cfg = requestFriConfig(req);
-        const HardwareConfig hw = HardwareConfig::paperDefault();
-        const size_t rows = requestRows(req);
-        const size_t reps = requestReps(req);
-
-        const AppRunResult result =
-            req.protocol == WireProtocol::Plonky2
-                ? runPlonky2App(req.app, rows, reps, cfg, hw,
-                                req.verify)
-                : runStarkyApp(req.app, rows, cfg, hw, req.verify);
-
-        ProveResponse response;
-        response.verified = result.verified;
-        response.queueDepth = job->admissionDepth;
-        response.latencyNs = static_cast<uint64_t>(
+        // The latency clock started at admission; everything before
+        // this point is queueing.
+        const uint64_t queued_ns = static_cast<uint64_t>(
             job->admitted.elapsedSeconds() * 1e9);
-        response.proof = result.proofBlob;
 
-        UNIZK_OBS_HISTO("service.request_latency_ns",
-                        response.latencyNs);
-        UNIZK_COUNTER_ADD("service.requests_completed", 1);
+        lanes_busy_.fetch_add(1, std::memory_order_relaxed);
+        const Stopwatch busy;
+
+        // Declared before the span so the request span (and every
+        // nested pipeline span on this thread) carries the trace id.
+        // Spans recorded by pool workers do not inherit it -- the id is
+        // thread-local -- which DESIGN.md section 6.10 calls out.
+        const obs::ScopedTraceId trace(req.traceId);
         {
-            MutexLock lock(stats_mutex_);
-            if (run_stats_.size() < config_.maxStoredRuns) {
-                run_stats_.push_back(toRunStats(
-                    result,
-                    req.protocol == WireProtocol::Plonky2 ? "plonky2"
-                                                          : "starky",
-                    globalThreadCount()));
+            UNIZK_SPAN("service/request");
+
+            const FriConfig cfg = requestFriConfig(req);
+            const HardwareConfig hw = HardwareConfig::paperDefault();
+            const size_t rows = requestRows(req);
+            const size_t reps = requestReps(req);
+
+            const Stopwatch proving;
+            const AppRunResult result =
+                req.protocol == WireProtocol::Plonky2
+                    ? runPlonky2App(req.app, rows, reps, cfg, hw,
+                                    req.verify)
+                    : runStarkyApp(req.app, rows, cfg, hw,
+                                   req.verify);
+            const uint64_t prove_ns = static_cast<uint64_t>(
+                proving.elapsedSeconds() * 1e9);
+
+            ProveResponse response;
+            response.verified = result.verified;
+            response.queueDepth = job->admissionDepth;
+            response.proof = result.proofBlob;
+            response.hasServerTiming = req.traceId != 0;
+            response.traceId = req.traceId;
+            response.laneId = lane_id;
+            response.queuedNs = queued_ns;
+            response.proveNs = prove_ns;
+
+            // Serialize the proof section first, then sample the total
+            // latency: queuedNs + proveNs + serializeNs <= latencyNs
+            // holds by construction because the three are disjoint
+            // subintervals of [admission, latency sample].
+            const Stopwatch serializing;
+            const std::vector<uint8_t> proof_section =
+                encodeProofSection(response.proof);
+            response.serializeNs = static_cast<uint64_t>(
+                serializing.elapsedSeconds() * 1e9);
+            response.latencyNs = static_cast<uint64_t>(
+                job->admitted.elapsedSeconds() * 1e9);
+
+            UNIZK_OBS_HISTO("service.request_latency_ns",
+                            response.latencyNs);
+            UNIZK_OBS_HISTO("service.queued_ns", queued_ns);
+            UNIZK_OBS_HISTO("service.prove_ns", prove_ns);
+            UNIZK_COUNTER_ADD("service.requests_completed", 1);
+            {
+                MutexLock lock(stats_mutex_);
+                if (run_stats_.size() < config_.maxStoredRuns) {
+                    run_stats_.push_back(toRunStats(
+                        result,
+                        req.protocol == WireProtocol::Plonky2
+                            ? "plonky2"
+                            : "starky",
+                        globalThreadCount()));
+                }
             }
+            job->promise.set_value(
+                finishProveResponse(response, proof_section));
         }
-        job->promise.set_value(std::move(response));
+
+        UNIZK_COUNTER_ADD(
+            "service.lane_busy_ns",
+            static_cast<uint64_t>(busy.elapsedSeconds() * 1e9));
+        lanes_busy_.fetch_sub(1, std::memory_order_relaxed);
     }
 }
 

@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -60,6 +61,17 @@ struct ServiceConfig
 
     /** Cap on per-request RunStats retained for the stats export. */
     size_t maxStoredRuns = 1024;
+
+    /**
+     * Observer for every stats-window rotation the service performs
+     * (periodic exporter ticks *and* GetStats requests both go through
+     * statsWindow(), which is the single process-wide rotation stream).
+     * unizkd uses this to append each window to the --stats-interval
+     * JSONL log, so logged sequence numbers stay contiguous even while
+     * unizk_top is polling. Called with the rotation lock *not* held;
+     * may run on a connection thread, so keep it fast. Empty = no-op.
+     */
+    std::function<void(const obs::StatsSnapshot &)> windowSink;
 };
 
 /** Monotonic counters describing one service lifetime. */
@@ -110,6 +122,11 @@ class ProofService
     /** Block until a stop is requested (daemon main loop). */
     void waitForStopRequest();
 
+    /** Like waitForStopRequest, but give up after @p seconds. Returns
+     *  true iff a stop was requested (the periodic stats exporter uses
+     *  the false branch as its tick). */
+    bool waitForStopRequestFor(double seconds);
+
     /** Drain and join everything; idempotent. start() may not be
      *  called again afterwards. */
     void stop();
@@ -120,6 +137,16 @@ class ProofService
     /** Per-request run stats collected so far (capped, FIFO). */
     std::vector<obs::RunStats> runStats() const;
 
+    /**
+     * Rotate the obs stats window (obs::snapshotDelta) and return it
+     * together with live service gauges (queue/lane occupancy, span
+     * drops). Serves Tag::GetStats and the periodic exporter; every
+     * rotation is reported to config_.windowSink, so a JSONL window log
+     * sees the full rotation stream and its delta sums still reconcile
+     * exactly against the cumulative totals.
+     */
+    StatsResponse statsWindow();
+
     const ServiceConfig &config() const { return config_; }
 
   private:
@@ -128,7 +155,7 @@ class ProofService
 
     void acceptLoop();
     void connectionLoop(Connection &conn);
-    void proverLane();
+    void proverLane(unsigned lane_id);
 
     /** Handle one decoded request; returns false to drop the client. */
     bool handleRequest(Connection &conn,
@@ -150,6 +177,9 @@ class ProofService
     std::unique_ptr<BoundedQueue<std::shared_ptr<Job>>> queue_;
     std::thread accept_thread_;
     std::vector<std::thread> lanes_;
+
+    /** Lanes currently running a request (gauge for GetStats). */
+    std::atomic<uint64_t> lanes_busy_{0};
 
     Mutex connections_mutex_;
     std::vector<std::unique_ptr<Connection>> connections_

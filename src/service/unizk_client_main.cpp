@@ -6,13 +6,19 @@
  *                [--connections 4] [--requests 4] \
  *                [--protocol mixed|plonky2|starky] [--app NAME] \
  *                [--rows N] [--reps R] [--check] [--proof-out FILE] \
- *                [--ping] [--shutdown]
+ *                [--no-trace] [--ping] [--shutdown]
  *
  * Default mode drives N concurrent connections, each issuing M
  * closed-loop requests drawn from a deterministic mixed
  * Plonky2/Starky workload cycle. --check recomputes every distinct
  * request through the in-process pipeline (the same path unizk_cli
  * takes) and asserts the daemon's proofs are byte-identical.
+ *
+ * Requests carry a trace id by default (ProveV2 frames), so responses
+ * come back with the server's latency decomposition (queued / prove /
+ * serialize) and the summary reports it against the client-observed
+ * round-trip time -- the residual is network + framing. --no-trace
+ * falls back to the v1 frames, e.g. when talking to an old daemon.
  *
  * Exits 0 iff every request got a well-formed response and all --check
  * comparisons passed. Backpressure rejections (queue-full /
@@ -25,8 +31,9 @@
 #include <vector>
 
 #include "common/cli.h"
-#include "common/sync.h"
 #include "common/logging.h"
+#include "common/stats.h"
+#include "common/sync.h"
 #include "obs/json_writer.h"
 #include "service/client.h"
 #include "unizk/pipeline.h"
@@ -118,13 +125,24 @@ struct Tally
     uint64_t otherErrors UNIZK_GUARDED_BY(mutex) = 0;
     /** --check byte diffs */
     uint64_t mismatches UNIZK_GUARDED_BY(mutex) = 0;
+
+    // Server-side decomposition, summed over traced ok responses.
+    uint64_t traced UNIZK_GUARDED_BY(mutex) = 0;
+    uint64_t sumQueuedNs UNIZK_GUARDED_BY(mutex) = 0;
+    uint64_t sumProveNs UNIZK_GUARDED_BY(mutex) = 0;
+    uint64_t sumSerializeNs UNIZK_GUARDED_BY(mutex) = 0;
+    uint64_t sumServerNs UNIZK_GUARDED_BY(mutex) = 0;
+    uint64_t sumClientNs UNIZK_GUARDED_BY(mutex) = 0;
+    /** responses violating queued+prove+serialize <= serverNs
+     *  <= clientNs, or echoing the wrong trace id */
+    uint64_t breakdownViolations UNIZK_GUARDED_BY(mutex) = 0;
 };
 
 void
 runConnection(const std::string &socket_path, size_t conn_index,
               size_t requests, const std::vector<ProveRequest> &specs,
               const std::vector<std::vector<uint8_t>> &expected,
-              Tally &tally)
+              bool trace, Tally &tally)
 {
     ServiceClient client(socket_path);
     if (!client.connected()) {
@@ -136,7 +154,15 @@ runConnection(const std::string &socket_path, size_t conn_index,
     for (size_t i = 0; i < requests; ++i) {
         const size_t which =
             (conn_index * requests + i) % specs.size();
-        const auto resp = client.prove(specs[which]);
+        ProveRequest req = specs[which];
+        // Trace ids only need to be unique within the run; 0 would
+        // silently downgrade to a v1 frame, hence the +1.
+        req.traceId =
+            trace ? conn_index * requests + i + 1 : 0;
+        const Stopwatch round_trip;
+        const auto resp = client.prove(req);
+        const uint64_t client_ns = static_cast<uint64_t>(
+            round_trip.elapsedSeconds() * 1e9);
         if (!resp) {
             MutexLock lock(tally.mutex);
             tally.otherErrors += 1;
@@ -161,7 +187,7 @@ runConnection(const std::string &socket_path, size_t conn_index,
             continue;
         }
         if (resp->tag != Tag::ProveOk ||
-            (specs[which].verify && !resp->prove.verified)) {
+            (req.verify && !resp->prove.verified)) {
             MutexLock lock(tally.mutex);
             tally.otherErrors += 1;
             continue;
@@ -177,6 +203,24 @@ runConnection(const std::string &socket_path, size_t conn_index,
         }
         MutexLock lock(tally.mutex);
         tally.ok += 1;
+        const service::ProveResponse &p = resp->prove;
+        if (p.hasServerTiming) {
+            tally.traced += 1;
+            tally.sumQueuedNs += p.queuedNs;
+            tally.sumProveNs += p.proveNs;
+            tally.sumSerializeNs += p.serializeNs;
+            tally.sumServerNs += p.latencyNs;
+            tally.sumClientNs += client_ns;
+            if (p.traceId != req.traceId ||
+                p.queuedNs + p.proveNs + p.serializeNs >
+                    p.latencyNs ||
+                p.latencyNs > client_ns) {
+                warn("unizk_client: timing breakdown violated "
+                     "(trace ",
+                     req.traceId, ")");
+                tally.breakdownViolations += 1;
+            }
+        }
     }
 }
 
@@ -195,6 +239,7 @@ main(int argc, char **argv)
     const std::string protocol =
         cli.getString("protocol", "mixed");
     const bool check = cli.has("check");
+    const bool trace = !cli.has("no-trace");
     const std::string proof_out = cli.getString("proof-out", "");
 
     if (cli.has("ping")) {
@@ -236,7 +281,7 @@ main(int argc, char **argv)
     for (size_t c = 0; c < connections; ++c) {
         workers.emplace_back([&, c] {
             runConnection(socket_path, c, requests, specs, expected,
-                          tally);
+                          trace, tally);
         });
     }
     for (auto &w : workers)
@@ -277,5 +322,30 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(tally.shuttingDown),
                 static_cast<unsigned long long>(tally.otherErrors),
                 static_cast<unsigned long long>(tally.mismatches));
-    return (tally.otherErrors || tally.mismatches) ? 1 : 0;
+    if (tally.traced > 0) {
+        const double n = static_cast<double>(tally.traced);
+        // Residual = client round-trip minus everything the server
+        // accounted for: socket writes, framing, scheduling.
+        const double residual_ms =
+            (static_cast<double>(tally.sumClientNs) -
+             static_cast<double>(tally.sumServerNs)) /
+            n / 1e6;
+        std::printf(
+            "unizk_client: traced=%llu mean ms: queued=%.2f "
+            "prove=%.2f serialize=%.2f server=%.2f client=%.2f "
+            "residual=%.2f violations=%llu\n",
+            static_cast<unsigned long long>(tally.traced),
+            static_cast<double>(tally.sumQueuedNs) / n / 1e6,
+            static_cast<double>(tally.sumProveNs) / n / 1e6,
+            static_cast<double>(tally.sumSerializeNs) / n / 1e6,
+            static_cast<double>(tally.sumServerNs) / n / 1e6,
+            static_cast<double>(tally.sumClientNs) / n / 1e6,
+            residual_ms,
+            static_cast<unsigned long long>(
+                tally.breakdownViolations));
+    }
+    return (tally.otherErrors || tally.mismatches ||
+            tally.breakdownViolations)
+               ? 1
+               : 0;
 }

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * unizk_top: live monitoring for a running unizkd.
+ *
+ *   unizk_top --socket /tmp/unizkd.sock \
+ *             [--interval 2] [--count N] [--once] [--prom]
+ *
+ * Polls Tag::GetStats every --interval seconds; each poll rotates the
+ * daemon's stats window and prints one line: window QPS, queue / lane
+ * occupancy, p50/p99 request latency over the window, lane utilization
+ * (busy-time delta over lanes * wall time), and span-drop count.
+ *
+ * --once fetches a single window and exits; --prom renders that window
+ * in Prometheus text exposition format instead of the human line, so a
+ * scrape job can shell out to `unizk_top --once --prom`. Exposition
+ * output uses the *cumulative* side of the window (Prometheus rates
+ * client-side); the human lines use the deltas.
+ *
+ * Exits non-zero when the daemon is unreachable or answers with a
+ * malformed frame.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <ctime>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "obs/exposition.h"
+#include "obs/obs.h"
+#include "service/client.h"
+
+namespace {
+
+using namespace unizk;
+using service::ServiceClient;
+using service::StatsResponse;
+using service::Tag;
+
+/** Delta of the named counter in this window (0 when absent). */
+uint64_t
+counterDelta(const StatsResponse &s, const std::string &name)
+{
+    for (const auto &c : s.counters) {
+        if (c.name == name)
+            return c.delta;
+    }
+    return 0;
+}
+
+/** Window-delta view of the named histogram, if present and hit. */
+const obs::HistogramData *
+histogramDelta(const StatsResponse &s, const std::string &name)
+{
+    for (const auto &h : s.histograms) {
+        if (h.name == name)
+            return h.delta.count > 0 ? &h.delta : nullptr;
+    }
+    return nullptr;
+}
+
+void
+printHeader()
+{
+    std::printf("%6s %8s %8s %7s %7s %9s %9s %7s %6s\n", "seq",
+                "window", "qps", "queue", "lanes", "p50ms", "p99ms",
+                "util%", "drops");
+}
+
+void
+printWindow(const StatsResponse &s)
+{
+    const double window_s =
+        s.windowEndNs > s.windowStartNs
+            ? static_cast<double>(s.windowEndNs - s.windowStartNs) /
+                  1e9
+            : 0.0;
+    const uint64_t completed =
+        counterDelta(s, "service.requests_completed");
+    const double qps = window_s > 0
+                           ? static_cast<double>(completed) / window_s
+                           : 0.0;
+
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    if (const obs::HistogramData *lat =
+            histogramDelta(s, "service.request_latency_ns")) {
+        p50_ms = obs::histogramQuantile(*lat, 0.5) / 1e6;
+        p99_ms = obs::histogramQuantile(*lat, 0.99) / 1e6;
+    }
+
+    // Lane utilization: busy nanoseconds accumulated this window over
+    // the window's lane capacity. Can exceed 100% transiently because
+    // lanes report their busy time in one lump when a request ends.
+    const uint64_t busy_ns =
+        counterDelta(s, "service.lane_busy_ns");
+    const double capacity_ns =
+        window_s * 1e9 * static_cast<double>(s.lanes);
+    const double util =
+        capacity_ns > 0
+            ? 100.0 * static_cast<double>(busy_ns) / capacity_ns
+            : 0.0;
+
+    char queue[32];
+    char lanes[32];
+    std::snprintf(queue, sizeof(queue), "%llu/%llu",
+                  static_cast<unsigned long long>(s.queueDepth),
+                  static_cast<unsigned long long>(s.queueCapacity));
+    std::snprintf(lanes, sizeof(lanes), "%llu/%llu",
+                  static_cast<unsigned long long>(s.lanesBusy),
+                  static_cast<unsigned long long>(s.lanes));
+    std::printf("%6llu %7.1fs %8.2f %7s %7s %9.1f %9.1f %6.1f%% "
+                "%6llu\n",
+                static_cast<unsigned long long>(s.sequence), window_s,
+                qps, queue, lanes, p50_ms, p99_ms, util,
+                static_cast<unsigned long long>(s.spansDropped));
+    std::fflush(stdout);
+}
+
+/** Render the cumulative side of a window as Prometheus exposition. */
+void
+printExposition(const StatsResponse &s)
+{
+    std::map<std::string, uint64_t> counters;
+    for (const auto &c : s.counters)
+        counters[c.name] = c.cumulative;
+    std::map<std::string, obs::HistogramData> histograms;
+    for (const auto &h : s.histograms)
+        histograms[h.name] = h.cumulative;
+    // Service gauges ride along as counters; scrapers treat them as
+    // untyped samples.
+    counters["service.queue_depth_now"] = s.queueDepth;
+    counters["service.lanes_busy_now"] = s.lanesBusy;
+    counters["obs.spans_dropped"] = s.spansDropped;
+    std::fputs(obs::renderExposition(counters, histograms).c_str(),
+               stdout);
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli(argc, argv);
+
+    const std::string socket_path =
+        cli.getString("socket", "unizkd.sock");
+    const double interval = cli.getDouble("interval", 2.0);
+    const uint64_t count = cli.getUint("count", 0); // 0 = forever
+    const bool once = cli.has("once");
+    const bool prom = cli.has("prom");
+
+    // A daemon shutdown mid-poll surfaces as EPIPE on the socket
+    // write; report it as "unreachable" instead of dying silently.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (!prom && !once)
+        printHeader();
+
+    uint64_t polls = 0;
+    for (;;) {
+        ServiceClient client(socket_path);
+        std::optional<service::ResponseFrame> resp;
+        if (client.connected())
+            resp = client.getStats();
+        if (!resp || resp->tag != Tag::StatsOk) {
+            warn("unizk_top: no stats from ", socket_path);
+            return 1;
+        }
+        if (prom)
+            printExposition(resp->stats);
+        else
+            printWindow(resp->stats);
+        polls++;
+        if (once || (count > 0 && polls >= count))
+            break;
+        timespec ts;
+        ts.tv_sec = static_cast<time_t>(interval);
+        ts.tv_nsec = static_cast<long>(
+            (interval - static_cast<double>(ts.tv_sec)) * 1e9);
+        nanosleep(&ts, nullptr);
+    }
+    return 0;
+}

@@ -383,10 +383,30 @@ TEST(LoadRunner, ClosedLoopAgainstLiveService)
     EXPECT_EQ(per_app_sum, report.ok);
     EXPECT_GT(report.throughputRps, 0.0);
 
+    // The generator traces every schedule entry (traceId = position
+    // + 1), so every ok response must carry the server decomposition
+    // and nest inside the client observation.
+    ASSERT_EQ(report.samples.size(), report.ok);
+    EXPECT_EQ(report.breakdownViolations, 0u);
+    uint64_t last_trace = 0;
+    for (const RequestSample &sample : report.samples) {
+        EXPECT_GT(sample.traceId, last_trace); // sorted, unique
+        last_trace = sample.traceId;
+        EXPECT_LE(sample.traceId, s.requests);
+        EXPECT_LT(sample.laneId, cfg.proverLanes);
+        EXPECT_GT(sample.proveNs, 0u);
+        EXPECT_LE(sample.queuedNs + sample.proveNs +
+                      sample.serializeNs,
+                  sample.serverNs);
+        EXPECT_LE(sample.serverNs, sample.clientNs);
+    }
+
     const std::string json = reportToJson(s, 3, report);
     EXPECT_NE(json.find("\"schema\": \"unizk-load-v1\""),
               std::string::npos);
     EXPECT_NE(json.find("\"name\": \"test-tiny\""), std::string::npos);
+    EXPECT_NE(json.find("\"breakdown\""), std::string::npos);
+    EXPECT_NE(json.find("\"violations\": 0"), std::string::npos);
 }
 
 TEST(LoadRunner, OpenLoopAgainstLiveService)
@@ -416,6 +436,9 @@ TEST(LoadRunner, OpenLoopAgainstLiveService)
     // 4 requests against queue capacity 8: nothing should be lost.
     EXPECT_EQ(report.ok, s.requests);
     EXPECT_EQ(report.errors, 0u);
+    // Open-loop runs trace end to end too.
+    EXPECT_EQ(report.samples.size(), report.ok);
+    EXPECT_EQ(report.breakdownViolations, 0u);
 }
 
 TEST(LoadRunner, DeadSocketChargesErrorsNotSilence)

@@ -11,9 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <initializer_list>
+#include <map>
 #include <limits>
 #include <set>
 #include <stdexcept>
@@ -22,9 +24,11 @@
 
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "obs/exposition.h"
 #include "obs/folded_export.h"
 #include "obs/json_writer.h"
 #include "obs/obs.h"
+#include "obs/stats_export.h"
 #include "obs/trace_export.h"
 #include "unizk/pipeline.h"
 
@@ -634,6 +638,324 @@ TEST_F(ObsTest, ProofBytesIdenticalWithObsOnAndOff)
     EXPECT_EQ(off.proofBlob, on.proofBlob);
     EXPECT_TRUE(off.verified);
     EXPECT_TRUE(on.verified);
+}
+
+TEST_F(ObsTest, SnapshotDeltaPartitionsCumulative)
+{
+    SKIP_IF_OBS_DISABLED();
+    UNIZK_COUNTER_ADD("test.obs.window", 5);
+    UNIZK_OBS_HISTO("test.obs.window_histo", 100);
+
+    const obs::StatsSnapshot first = obs::snapshotDelta();
+    EXPECT_EQ(first.sequence, 1u);
+    EXPECT_LE(first.windowStartNs, first.windowEndNs);
+    {
+        const obs::CounterWindow &c =
+            first.counters.at("test.obs.window");
+        EXPECT_EQ(c.delta, 5u);
+        EXPECT_EQ(c.cumulative, 5u);
+    }
+    {
+        const obs::HistogramWindow &h =
+            first.histograms.at("test.obs.window_histo");
+        EXPECT_EQ(h.delta.count, 1u);
+        EXPECT_EQ(h.delta.sum, 100u);
+        EXPECT_EQ(h.cumulative.count, 1u);
+    }
+
+    UNIZK_COUNTER_ADD("test.obs.window", 3);
+    const obs::StatsSnapshot second = obs::snapshotDelta();
+    EXPECT_EQ(second.sequence, 2u);
+    // Window intervals chain: no gap, no overlap.
+    EXPECT_EQ(second.windowStartNs, first.windowEndNs);
+    {
+        const obs::CounterWindow &c =
+            second.counters.at("test.obs.window");
+        EXPECT_EQ(c.delta, 3u);
+        EXPECT_EQ(c.cumulative, 8u);
+    }
+    // Nothing recorded in between: the histogram window is empty but
+    // the cumulative side persists.
+    {
+        const obs::HistogramWindow &h =
+            second.histograms.at("test.obs.window_histo");
+        EXPECT_EQ(h.delta.count, 0u);
+        EXPECT_EQ(h.cumulative.count, 1u);
+    }
+
+    const obs::StatsSnapshot third = obs::snapshotDelta();
+    EXPECT_EQ(third.sequence, 3u);
+    EXPECT_EQ(third.counters.at("test.obs.window").delta, 0u);
+    EXPECT_EQ(third.counters.at("test.obs.window").cumulative, 8u);
+}
+
+TEST_F(ObsTest, SnapshotDeltaWindowMinMaxCoverOnlyTheWindow)
+{
+    SKIP_IF_OBS_DISABLED();
+    // Window 1 records an outlier; window 2 must not inherit it into
+    // its delta extremes (the cumulative side keeps it, as documented).
+    UNIZK_OBS_HISTO("test.obs.window_extremes", 1000000);
+    (void)obs::snapshotDelta();
+
+    UNIZK_OBS_HISTO("test.obs.window_extremes", 10);
+    UNIZK_OBS_HISTO("test.obs.window_extremes", 20);
+    const obs::StatsSnapshot snap = obs::snapshotDelta();
+    const obs::HistogramWindow &h =
+        snap.histograms.at("test.obs.window_extremes");
+    EXPECT_EQ(h.delta.count, 2u);
+    EXPECT_EQ(h.delta.min, 10u);
+    EXPECT_EQ(h.delta.max, 20u);
+    EXPECT_EQ(h.cumulative.min, 10u);
+    EXPECT_EQ(h.cumulative.max, 1000000u);
+}
+
+TEST_F(ObsTest, ResetForMeasurementResetsHistogramWatermarks)
+{
+    SKIP_IF_OBS_DISABLED();
+    // Regression: resetForMeasurement() used to zero counts and
+    // buckets but leave the min/max watermarks, so a warmup outlier
+    // survived into the measured window's quantile clamp.
+    UNIZK_OBS_HISTO("test.obs.watermark", 1000000);
+    obs::resetForMeasurement();
+    UNIZK_OBS_HISTO("test.obs.watermark", 10);
+    UNIZK_OBS_HISTO("test.obs.watermark", 20);
+
+    const auto histos = obs::histogramSnapshot();
+    const obs::HistogramData &h = histos.at("test.obs.watermark");
+    EXPECT_EQ(h.count, 2u);
+    EXPECT_EQ(h.min, 10u);
+    EXPECT_EQ(h.max, 20u);
+    // The quantile clamp must use the post-reset extremes.
+    EXPECT_LE(obs::histogramQuantile(h, 1.0), 20.0);
+
+    // The rotation stream restarted too.
+    const obs::StatsSnapshot snap = obs::snapshotDelta();
+    EXPECT_EQ(snap.sequence, 1u);
+    EXPECT_EQ(snap.histograms.at("test.obs.watermark").delta.count, 2u);
+}
+
+/**
+ * The windowed-snapshot contract under fire (TSAN leg in CI): writers
+ * hammer a counter and a histogram while a rotator loops
+ * snapshotDelta(). Every window must chain onto the previous one with
+ * a consecutive sequence number, and at quiescence the deltas summed
+ * across every window ever taken must equal the cumulative totals
+ * EXACTLY -- rotation loses nothing and double-counts nothing.
+ */
+TEST_F(ObsConcurrency, SnapshotDeltaConcurrentWritersPartitionExactly)
+{
+    SKIP_IF_OBS_DISABLED();
+    constexpr unsigned kWriters = 4;
+    constexpr uint64_t kPerWriter = 20000;
+
+    obs::Counter counter("test.obs.part_counter");
+    obs::Histogram histo("test.obs.part_histo");
+    std::atomic<bool> writers_done{false};
+
+    std::vector<std::thread> writers;
+    for (unsigned w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            for (uint64_t i = 0; i < kPerWriter; ++i) {
+                counter.add(1);
+                histo.record(w * kPerWriter + i);
+            }
+        });
+    }
+
+    uint64_t counter_delta_sum = 0;
+    uint64_t histo_count_sum = 0;
+    uint64_t histo_value_sum = 0;
+    uint64_t last_sequence = 0;
+    uint64_t last_end_ns = 0;
+    auto fold = [&](const obs::StatsSnapshot &snap) {
+        if (last_sequence != 0) {
+            EXPECT_EQ(snap.sequence, last_sequence + 1);
+            EXPECT_EQ(snap.windowStartNs, last_end_ns);
+        }
+        last_sequence = snap.sequence;
+        last_end_ns = snap.windowEndNs;
+        const auto c = snap.counters.find("test.obs.part_counter");
+        if (c != snap.counters.end()) {
+            counter_delta_sum += c->second.delta;
+            // Mid-traffic the delta view may trail the live total but
+            // never exceeds it.
+            EXPECT_LE(c->second.cumulative, kWriters * kPerWriter);
+        }
+        const auto h = snap.histograms.find("test.obs.part_histo");
+        if (h != snap.histograms.end()) {
+            histo_count_sum += h->second.delta.count;
+            histo_value_sum += h->second.delta.sum;
+        }
+    };
+
+    std::thread rotator([&] {
+        while (!writers_done.load(std::memory_order_acquire))
+            fold(obs::snapshotDelta());
+    });
+
+    for (auto &t : writers)
+        t.join();
+    writers_done.store(true, std::memory_order_release);
+    rotator.join();
+
+    // Close the final window at quiescence; now the telescope must be
+    // exact.
+    const obs::StatsSnapshot last = obs::snapshotDelta();
+    fold(last);
+    EXPECT_EQ(counter_delta_sum, kWriters * kPerWriter);
+    EXPECT_EQ(last.counters.at("test.obs.part_counter").cumulative,
+              kWriters * kPerWriter);
+    EXPECT_EQ(histo_count_sum, kWriters * kPerWriter);
+    uint64_t expected_sum = 0;
+    for (unsigned w = 0; w < kWriters; ++w) {
+        for (uint64_t i = 0; i < kPerWriter; ++i)
+            expected_sum += w * kPerWriter + i;
+    }
+    EXPECT_EQ(histo_value_sum, expected_sum);
+    EXPECT_EQ(last.histograms.at("test.obs.part_histo").cumulative.sum,
+              expected_sum);
+}
+
+TEST_F(ObsTest, SpanBufferStatsReportOccupancy)
+{
+    SKIP_IF_OBS_DISABLED();
+    {
+        obs::Span a("occ-a");
+        obs::Span b("occ-b");
+    }
+    {
+        obs::Span c("occ-c");
+    }
+    const obs::SpanBufferStats stats = obs::spanBufferStats();
+    EXPECT_EQ(stats.dropped, 0u);
+    EXPECT_EQ(stats.capPerThread, obs::kMaxBufferedSpansPerThread);
+    ASSERT_FALSE(stats.perThread.empty());
+    uint64_t buffered = 0;
+    uint32_t last_tid = 0;
+    for (size_t i = 0; i < stats.perThread.size(); ++i) {
+        const obs::SpanBufferInfo &info = stats.perThread[i];
+        if (i > 0)
+            EXPECT_GT(info.threadId, last_tid);
+        last_tid = info.threadId;
+        EXPECT_LE(info.buffered, info.highWater);
+        EXPECT_LE(info.highWater, stats.capPerThread);
+        buffered += info.buffered;
+    }
+    EXPECT_EQ(buffered, 3u);
+
+    // A drain empties the buffers but the high-water marks persist
+    // until resetAll.
+    (void)obs::drainSpans();
+    const obs::SpanBufferStats after = obs::spanBufferStats();
+    uint64_t after_buffered = 0;
+    uint64_t high_water = 0;
+    for (const obs::SpanBufferInfo &info : after.perThread) {
+        after_buffered += info.buffered;
+        high_water = std::max(high_water, info.highWater);
+    }
+    EXPECT_EQ(after_buffered, 0u);
+    EXPECT_GE(high_water, 2u);
+}
+
+TEST_F(ObsTest, ScopedTraceIdNestsAndTagsSpans)
+{
+    SKIP_IF_OBS_DISABLED();
+    EXPECT_EQ(obs::currentTraceId(), 0u);
+    {
+        obs::ScopedTraceId outer(7);
+        EXPECT_EQ(obs::currentTraceId(), 7u);
+        {
+            obs::Span span("traced");
+        }
+        {
+            obs::ScopedTraceId inner(9);
+            EXPECT_EQ(obs::currentTraceId(), 9u);
+        }
+        // Restored, not cleared, on nested destruction.
+        EXPECT_EQ(obs::currentTraceId(), 7u);
+    }
+    EXPECT_EQ(obs::currentTraceId(), 0u);
+    {
+        obs::Span span("untraced");
+    }
+
+    const std::vector<obs::SpanEvent> spans = obs::drainSpans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_STREQ(spans[0].name, "traced");
+    EXPECT_EQ(spans[0].traceId, 7u);
+    EXPECT_STREQ(spans[1].name, "untraced");
+    EXPECT_EQ(spans[1].traceId, 0u);
+}
+
+TEST(ObsExposition, PromMetricNameMapsInvalidCharacters)
+{
+    EXPECT_EQ(obs::promMetricName("service.request_latency_ns"),
+              "unizk_service_request_latency_ns");
+    EXPECT_EQ(obs::promMetricName("obs.spans-dropped"),
+              "unizk_obs_spans_dropped");
+}
+
+TEST(ObsExposition, RendererEmitsValidFamilies)
+{
+    std::map<std::string, uint64_t> counters;
+    counters["service.requests_completed"] = 42;
+
+    obs::HistogramData histo;
+    histo.count = 12;
+    histo.sum = 24000;
+    histo.min = 1;
+    histo.max = 2000;
+    histo.buckets[1] = 3;  // [1, 1]
+    histo.buckets[11] = 9; // [1024, 2047]
+    std::map<std::string, obs::HistogramData> histograms;
+    histograms["service.request_latency_ns"] = histo;
+
+    const std::string text =
+        obs::renderExposition(counters, histograms);
+
+    for (const char *needle :
+         {"# HELP unizk_service_requests_completed_total ",
+          "# TYPE unizk_service_requests_completed_total counter",
+          "unizk_service_requests_completed_total 42",
+          "# TYPE unizk_service_request_latency_ns histogram",
+          // Bucket edges are the inclusive log2 upper bounds; counts
+          // are cumulative (3 through the empty middle buckets, then
+          // 3 + 9).
+          "unizk_service_request_latency_ns_bucket{le=\"1\"} 3",
+          "unizk_service_request_latency_ns_bucket{le=\"511\"} 3",
+          "unizk_service_request_latency_ns_bucket{le=\"2047\"} 12",
+          "unizk_service_request_latency_ns_bucket{le=\"+Inf\"} 12",
+          "unizk_service_request_latency_ns_sum 24000",
+          "unizk_service_request_latency_ns_count 12"}) {
+        EXPECT_NE(text.find(needle), std::string::npos)
+            << "missing " << needle << " in:\n"
+            << text;
+    }
+    // The bucket list is truncated after the highest populated bucket
+    // (the +Inf closer covers the rest), not padded to all 65 edges.
+    EXPECT_EQ(text.find("le=\"4095\""), std::string::npos) << text;
+}
+
+TEST_F(ObsTest, SnapshotJsonWindowSchema)
+{
+    SKIP_IF_OBS_DISABLED();
+    UNIZK_COUNTER_ADD("test.obs.json_window", 4);
+    UNIZK_OBS_HISTO("test.obs.json_histo", 64);
+    const obs::StatsSnapshot snap = obs::snapshotDelta();
+    const std::string json = obs::snapshotToJson(snap);
+    // One window = one compact JSONL line, so the needles carry no
+    // pretty-printing whitespace.
+    for (const char *needle :
+         {"\"schema\":\"unizk-stats-v3\"", "\"sequence\":1",
+          "\"windowStartNs\":", "\"windowEndNs\":", "\"counters\":",
+          "\"test.obs.json_window\":", "\"delta\":4",
+          "\"cumulative\":4", "\"histograms\":",
+          "\"test.obs.json_histo\":", "\"spanBuffers\":",
+          "\"dropped\":0"}) {
+        EXPECT_NE(json.find(needle), std::string::npos)
+            << "missing " << needle << " in:\n"
+            << json;
+    }
 }
 
 TEST(Histogram, QuantileEstimates)

@@ -190,6 +190,255 @@ TEST(Protocol, ErrorMessageLengthClaimIsBounded)
 }
 
 // ---------------------------------------------------------------------
+// Versioned prove frames and the stats window frame.
+
+TEST(ProtocolV2, TracedProveRequestRoundTrip)
+{
+    ProveRequest req = smallRequest();
+    req.traceId = 77;
+    const auto bytes = encodeProveRequest(req);
+    // The V2 tag goes on the wire, but decode normalizes so server
+    // dispatch stays version-blind.
+    ByteReader peek(bytes);
+    EXPECT_EQ(peek.getU64(), static_cast<uint64_t>(Tag::ProveV2));
+    const auto frame = decodeRequest(bytes);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->tag, Tag::Prove);
+    EXPECT_EQ(frame->prove.traceId, 77u);
+    EXPECT_EQ(frame->prove.rows, 64u);
+}
+
+TEST(ProtocolV2, UntracedProveRequestKeepsFrozenV1Layout)
+{
+    // Byte-layout pin: a traceId of 0 must produce exactly the v1
+    // frame, so a v2 client keeps working against a v1 server.
+    const ProveRequest req = smallRequest();
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::Prove));
+    w.putU64(static_cast<uint64_t>(req.protocol));
+    w.putU64(static_cast<uint64_t>(req.app));
+    w.putU64(req.rows);
+    w.putU64(req.reps);
+    w.putU64(3); // fast | verify
+    EXPECT_EQ(encodeProveRequest(req), w.take());
+}
+
+TEST(ProtocolV2, ProveV2WithZeroTraceIdRejected)
+{
+    // traceId != 0 <=> V2 frame; a hand-rolled V2 frame claiming id 0
+    // would make the two encodings ambiguous and is rejected.
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::ProveV2));
+    w.putU64(0); // plonky2
+    w.putU64(0); // factorial
+    w.putU64(64);
+    w.putU64(1);
+    w.putU64(3);
+    w.putU64(0); // traceId 0: invalid in a V2 frame
+    EXPECT_FALSE(decodeRequest(w.take()).has_value());
+}
+
+TEST(ProtocolV2, TracedProveResponseRoundTrip)
+{
+    ProveResponse resp;
+    resp.verified = true;
+    resp.latencyNs = 5000;
+    resp.queueDepth = 2;
+    resp.proof = {1, 2, 3};
+    resp.hasServerTiming = true;
+    resp.traceId = 42;
+    resp.laneId = 1;
+    resp.queuedNs = 1000;
+    resp.proveNs = 3000;
+    resp.serializeNs = 500;
+
+    const auto bytes = encodeProveResponse(resp);
+    ByteReader peek(bytes);
+    EXPECT_EQ(peek.getU64(), static_cast<uint64_t>(Tag::ProveOkV2));
+
+    const auto frame = decodeResponse(bytes);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->tag, Tag::ProveOk);
+    ASSERT_TRUE(frame->prove.hasServerTiming);
+    EXPECT_EQ(frame->prove.traceId, 42u);
+    EXPECT_EQ(frame->prove.laneId, 1u);
+    EXPECT_EQ(frame->prove.queuedNs, 1000u);
+    EXPECT_EQ(frame->prove.proveNs, 3000u);
+    EXPECT_EQ(frame->prove.serializeNs, 500u);
+    EXPECT_EQ(frame->prove.latencyNs, 5000u);
+    EXPECT_EQ(frame->prove.proof, resp.proof);
+}
+
+TEST(ProtocolV2, UntracedProveResponseKeepsFrozenV1Layout)
+{
+    ProveResponse resp;
+    resp.verified = true;
+    resp.latencyNs = 999;
+    resp.queueDepth = 1;
+    resp.proof = {7, 8};
+
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::ProveOk));
+    w.putU64(1);
+    w.putU64(999);
+    w.putU64(1);
+    w.putU64(2); // proof length prefix
+    w.putRaw(resp.proof.data(), resp.proof.size());
+    EXPECT_EQ(encodeProveResponse(resp), w.take());
+
+    const auto frame = decodeResponse(encodeProveResponse(resp));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_FALSE(frame->prove.hasServerTiming);
+}
+
+TEST(ProtocolV2, ProveOkV2WithZeroTraceIdRejected)
+{
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::ProveOkV2));
+    w.putU64(1);   // verified
+    w.putU64(100); // latencyNs
+    w.putU64(0);   // queueDepth
+    w.putU64(0);   // traceId 0: invalid in a V2 frame
+    w.putU64(0);   // laneId
+    w.putU64(10);
+    w.putU64(20);
+    w.putU64(30);
+    w.putU64(0); // empty proof
+    EXPECT_FALSE(decodeResponse(w.take()).has_value());
+}
+
+TEST(ProtocolV2, FinishProveResponseMatchesSingleShotEncoder)
+{
+    // The two-step path (lane times encodeProofSection, then stamps
+    // the header) must be byte-identical to the one-shot encoder, for
+    // both frame versions.
+    ProveResponse resp;
+    resp.verified = true;
+    resp.latencyNs = 1234;
+    resp.queueDepth = 4;
+    resp.proof = {9, 9, 9, 9};
+    EXPECT_EQ(finishProveResponse(resp, encodeProofSection(resp.proof)),
+              encodeProveResponse(resp));
+
+    resp.hasServerTiming = true;
+    resp.traceId = 6;
+    resp.laneId = 0;
+    resp.queuedNs = 100;
+    resp.proveNs = 1000;
+    resp.serializeNs = 50;
+    EXPECT_EQ(finishProveResponse(resp, encodeProofSection(resp.proof)),
+              encodeProveResponse(resp));
+}
+
+StatsResponse
+sampleStats()
+{
+    StatsResponse stats;
+    stats.sequence = 3;
+    stats.windowStartNs = 1000;
+    stats.windowEndNs = 2000;
+    stats.queueDepth = 1;
+    stats.queueCapacity = 16;
+    stats.lanes = 2;
+    stats.lanesBusy = 1;
+    stats.spansDropped = 0;
+    StatsCounterWindow c;
+    c.name = "service.requests_completed";
+    c.delta = 5;
+    c.cumulative = 40;
+    stats.counters.push_back(c);
+    StatsHistogramWindow h;
+    h.name = "service.request_latency_ns";
+    h.delta.count = 5;
+    h.delta.sum = 5000;
+    h.delta.min = 800;
+    h.delta.max = 1500;
+    h.delta.buckets[10] = 4;
+    h.delta.buckets[11] = 1;
+    h.cumulative = h.delta;
+    h.cumulative.count = 40;
+    stats.histograms.push_back(h);
+    return stats;
+}
+
+TEST(ProtocolV2, StatsResponseRoundTrip)
+{
+    const StatsResponse stats = sampleStats();
+    const auto frame = decodeResponse(encodeStatsResponse(stats));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->tag, Tag::StatsOk);
+    const StatsResponse &got = frame->stats;
+    EXPECT_EQ(got.sequence, 3u);
+    EXPECT_EQ(got.windowStartNs, 1000u);
+    EXPECT_EQ(got.windowEndNs, 2000u);
+    EXPECT_EQ(got.queueDepth, 1u);
+    EXPECT_EQ(got.queueCapacity, 16u);
+    EXPECT_EQ(got.lanes, 2u);
+    EXPECT_EQ(got.lanesBusy, 1u);
+    EXPECT_EQ(got.spansDropped, 0u);
+    ASSERT_EQ(got.counters.size(), 1u);
+    EXPECT_EQ(got.counters[0].name, "service.requests_completed");
+    EXPECT_EQ(got.counters[0].delta, 5u);
+    EXPECT_EQ(got.counters[0].cumulative, 40u);
+    ASSERT_EQ(got.histograms.size(), 1u);
+    EXPECT_EQ(got.histograms[0].name, "service.request_latency_ns");
+    EXPECT_EQ(got.histograms[0].delta.count, 5u);
+    EXPECT_EQ(got.histograms[0].delta.min, 800u);
+    EXPECT_EQ(got.histograms[0].delta.max, 1500u);
+    EXPECT_EQ(got.histograms[0].delta.buckets[10], 4u);
+    EXPECT_EQ(got.histograms[0].cumulative.count, 40u);
+}
+
+TEST(ProtocolV2, V2FramesRejectTruncationAndTrailingBytes)
+{
+    ProveRequest req = smallRequest();
+    req.traceId = 5;
+    std::vector<std::vector<uint8_t>> frames;
+    frames.push_back(encodeProveRequest(req));
+    frames.push_back(encodeStatsResponse(sampleStats()));
+    ProveResponse resp;
+    resp.hasServerTiming = true;
+    resp.traceId = 5;
+    resp.proof = {1};
+    frames.push_back(encodeProveResponse(resp));
+
+    for (size_t f = 0; f < frames.size(); ++f) {
+        const auto &full = frames[f];
+        const bool is_request = f == 0;
+        for (size_t cut = 1; cut < full.size(); ++cut) {
+            const std::vector<uint8_t> prefix(
+                full.begin(), full.begin() + static_cast<long>(cut));
+            if (is_request) {
+                EXPECT_FALSE(decodeRequest(prefix).has_value())
+                    << "frame " << f << " cut=" << cut;
+            } else {
+                EXPECT_FALSE(decodeResponse(prefix).has_value())
+                    << "frame " << f << " cut=" << cut;
+            }
+        }
+        auto padded = full;
+        padded.push_back(0);
+        if (is_request) {
+            EXPECT_FALSE(decodeRequest(padded).has_value());
+        } else {
+            EXPECT_FALSE(decodeResponse(padded).has_value());
+        }
+    }
+}
+
+TEST(ProtocolV2, StatsEntryCountClaimIsBounded)
+{
+    // A StatsOk frame claiming 2^40 counters with no payload must be
+    // rejected from the claim alone, never allocated.
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(Tag::StatsOk));
+    for (int i = 0; i < 8; ++i)
+        w.putU64(0); // sequence .. spansDropped
+    w.putU64(uint64_t{1} << 40); // counter-count claim
+    EXPECT_FALSE(decodeResponse(w.take()).has_value());
+}
+
+// ---------------------------------------------------------------------
 // Frame I/O on real sockets.
 
 class FramePair : public ::testing::Test
@@ -654,6 +903,97 @@ TEST(Service, ProtocolShutdownDrains)
     // The socket is gone; new connections fail.
     ServiceClient late(cfg.socketPath);
     EXPECT_FALSE(late.connected());
+}
+
+TEST(Service, TracedProveEchoesDecompositionProofUnchanged)
+{
+    ServiceConfig cfg;
+    cfg.socketPath = testSocketPath("traced");
+    cfg.proverLanes = 1;
+    ProofService svc(cfg);
+    ASSERT_TRUE(svc.start());
+
+    ServiceClient client(cfg.socketPath);
+    ASSERT_TRUE(client.connected());
+
+    // Untraced request: legacy response, no server timing.
+    const auto plain = client.prove(smallRequest());
+    ASSERT_TRUE(plain.has_value());
+    ASSERT_EQ(plain->tag, Tag::ProveOk);
+    EXPECT_FALSE(plain->prove.hasServerTiming);
+
+    // Traced request: decomposition comes back, nested by
+    // construction, and the proof bytes are unaffected by tracing.
+    ProveRequest traced = smallRequest();
+    traced.traceId = 42;
+    const auto resp = client.prove(traced);
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_EQ(resp->tag, Tag::ProveOk);
+    const ProveResponse &p = resp->prove;
+    ASSERT_TRUE(p.hasServerTiming);
+    EXPECT_EQ(p.traceId, 42u);
+    EXPECT_EQ(p.laneId, 0u);
+    EXPECT_GT(p.proveNs, 0u);
+    EXPECT_LE(p.queuedNs + p.proveNs + p.serializeNs, p.latencyNs);
+    EXPECT_EQ(p.proof, plain->prove.proof);
+
+    svc.stop();
+    EXPECT_EQ(svc.counters().requestsCompleted, 2u);
+}
+
+TEST(Service, GetStatsServedWhileLaneIsMidRequest)
+{
+    std::atomic<uint64_t> sink_calls{0};
+    ServiceConfig cfg;
+    cfg.socketPath = testSocketPath("stats");
+    cfg.queueCapacity = 8;
+    cfg.proverLanes = 1;
+    cfg.windowSink = [&sink_calls](const obs::StatsSnapshot &) {
+        sink_calls.fetch_add(1, std::memory_order_relaxed);
+    };
+    ProofService svc(cfg);
+    ASSERT_TRUE(svc.start());
+
+    // Park a prove on the single lane, then poll stats from a second
+    // connection while the first is still being served.
+    ServiceClient prover(cfg.socketPath);
+    ASSERT_TRUE(prover.connected());
+    ProveRequest req = smallRequest();
+    req.traceId = 7;
+    ASSERT_TRUE(prover.sendRaw(encodeProveRequest(req)));
+
+    ServiceClient poller(cfg.socketPath);
+    ASSERT_TRUE(poller.connected());
+    const auto first = poller.getStats();
+    ASSERT_TRUE(first.has_value());
+    ASSERT_EQ(first->tag, Tag::StatsOk);
+    EXPECT_EQ(first->stats.lanes, 1u);
+    EXPECT_EQ(first->stats.queueCapacity, 8u);
+    EXPECT_LE(first->stats.lanesBusy, 1u);
+
+    const auto second = poller.getStats();
+    ASSERT_TRUE(second.has_value());
+    ASSERT_EQ(second->tag, Tag::StatsOk);
+#if !defined(UNIZK_OBS_DISABLE)
+    // One process-wide rotation stream: consecutive polls get
+    // consecutive windows that chain exactly.
+    EXPECT_GE(first->stats.sequence, 1u);
+    EXPECT_EQ(second->stats.sequence, first->stats.sequence + 1);
+    EXPECT_EQ(second->stats.windowStartNs, first->stats.windowEndNs);
+#endif
+
+    // The parked prove still completes with its decomposition intact.
+    const auto resp = prover.readResponse();
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_EQ(resp->tag, Tag::ProveOk);
+    ASSERT_TRUE(resp->prove.hasServerTiming);
+    EXPECT_EQ(resp->prove.traceId, 7u);
+
+    // Every GetStats rotation went through the shared window sink (the
+    // daemon's JSONL contiguity depends on this single path).
+    EXPECT_EQ(sink_calls.load(), 2u);
+
+    svc.stop();
 }
 
 TEST(Service, FourConcurrentClientsMixedWorkload)

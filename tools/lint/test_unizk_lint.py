@@ -592,6 +592,69 @@ class TestUnguardedMutexMember(LintHarness):
         )
 
 
+class TestObsRegistryDirect(LintHarness):
+    def test_registry_include_outside_obs_triggers(self):
+        self.assert_rules(
+            "src/service/exporter.cpp",
+            '#include "obs/registry.h"\n',
+            ["obs-registry-direct"],
+        )
+
+    def test_internal_namespace_reference_triggers(self):
+        self.assert_rules(
+            "src/service/exporter.cpp",
+            "auto &reg = obs::internal::Registry::instance();\n",
+            ["obs-registry-direct"],
+        )
+
+    def test_using_directive_then_registry_triggers(self):
+        # `using namespace unizk::obs;` followed by a bare
+        # internal::Registry reference must still be caught.
+        self.assert_rules(
+            "tests/test_stats.cpp",
+            "using namespace unizk::obs;\n"
+            "auto &reg = internal::Registry::instance();\n",
+            ["obs-registry-direct"],
+        )
+
+    def test_block_type_reference_triggers(self):
+        self.assert_rules(
+            "src/unizk/dump.cpp",
+            "const internal::HistoSlot *slot = lookup(name);\n",
+            ["obs-registry-direct"],
+        )
+
+    def test_allowed_inside_obs_dir(self):
+        self.assert_clean(
+            "src/obs/stats_export2.cpp",
+            '#include "obs/registry.h"\n'
+            "auto &reg = internal::Registry::instance();\n",
+        )
+
+    def test_snapshot_apis_are_fine(self):
+        self.assert_clean(
+            "src/service/exporter.cpp",
+            '#include "obs/obs.h"\n'
+            "const obs::StatsSnapshot snap = obs::snapshotDelta();\n"
+            "const auto counters = obs::counterSnapshot();\n"
+            "const auto bufs = obs::spanBufferStats();\n",
+        )
+
+    def test_unrelated_internal_namespace_is_fine(self):
+        self.assert_clean(
+            "src/service/exporter.cpp",
+            "int x = detail::internalHelper();\n"
+            "auto r = internal::Frame{};\n",
+        )
+
+    def test_mention_in_comment_is_fine(self):
+        self.assert_clean(
+            "src/service/exporter.cpp",
+            "// the registry (obs::internal::Registry) stays private\n"
+            "int x = 0;\n",
+        )
+
+
 class TestSuppressions(LintHarness):
     SNIPPET = "size_t n = 1 << log_n;"
 

@@ -57,6 +57,18 @@ codebase's proof-soundness and determinism contracts:
                     to the thread-safety analysis; if it exists purely to
                     order events (e.g. a condvar handshake), suppress
                     with a comment saying so.
+  obs-registry-direct
+                    obs/registry.h (the per-thread blocks, name tables
+                    and window-rotation baselines) is private to
+                    src/obs: no #include "obs/registry.h" and no
+                    obs::internal reference anywhere else.  The window
+                    sequence/baseline state is only consistent when
+                    every consumer rotates through obs::snapshotDelta();
+                    an exporter iterating the blocks directly observes
+                    totals mid-rebaseline and breaks the
+                    delta-reconciliation guarantee the stats windows
+                    are validated against.  Use the snapshot APIs in
+                    obs/obs.h.
 
 Suppressions (per line, per rule):
 
@@ -168,14 +180,22 @@ def strip_source(lines: Sequence[str]) -> List[str]:
 
     Replaced regions become spaces so column/line structure is preserved.
     Handles multi-line /* */ comments, escape sequences, and C++14 digit
-    separators (1'000'000 is not a char literal).
+    separators (1'000'000 is not a char literal). Quoted #include
+    filenames are *kept*: they name code structure, not data, and rules
+    like obs-registry-direct match on them.
     """
     out: List[str] = []
     in_block_comment = False
+    include_re = re.compile(r'\s*#\s*include\s*"[^"]*"')
     for line in lines:
         res = []
         i = 0
         n = len(line)
+        if not in_block_comment:
+            m = include_re.match(line)
+            if m:
+                res.append(m.group(0))
+                i = m.end()
         while i < n:
             c = line[i]
             if in_block_comment:
@@ -461,6 +481,25 @@ RULES: Tuple[Rule, ...] = (
         ),
         checker=check_unguarded_mutex_members,
         include=("src/",),
+    ),
+    Rule(
+        name="obs-registry-direct",
+        summary="direct obs registry access outside src/obs/",
+        message=(
+            "direct access to the obs registry internals outside "
+            "src/obs; the window-rotation baselines are only "
+            "consistent under obs::snapshotDelta(), so iterate "
+            "snapshots (counterSnapshot, histogramSnapshot, "
+            "snapshotDelta, spanBufferStats) from obs/obs.h instead "
+            "of the blocks themselves"
+        ),
+        pattern=re.compile(
+            r"#\s*include\s*\"obs/registry\.h\""
+            r"|\bobs::internal\b"
+            r"|\binternal::(?:Registry|SpanBuffer|CounterBlock"
+            r"|HistoBlock|HistoSlot)\b"
+        ),
+        exclude=("src/obs/",),
     ),
 )
 

@@ -17,6 +17,14 @@ Cross-field invariants checked, matching the runner's accounting
     bucket), and each within [min/2, 2*max].
   - queueDepth has one sample per ok, sorted by tNs.
   - perApp counts sum to ok, apps drawn from the scenario mix.
+  - breakdown.traced == len(breakdown.samples) <= ok; samples are
+    sorted by strictly increasing traceId (every schedule entry gets a
+    unique id); per sample the server decomposition must nest inside
+    the client observation, queuedNs + proveNs + serializeNs <=
+    serverNs <= clientNs, except for samples the runner already charged
+    to breakdown.violations (the recomputed failure count can only be
+    <= violations: the runner additionally counts traceId-echo
+    mismatches this validator cannot re-derive from the report).
 
 Usage:
     python3 tools/load/validate_load_json.py FILE...
@@ -143,10 +151,55 @@ def validate_latency(lat: Any, ok: int, path: str) -> None:
             f"p99 ({lat['p99']}) above 2*max ({lat['max'] * 2})")
 
 
+def validate_breakdown(bd: Any, ok: int, path: str) -> None:
+    _expect_keys(bd, ("traced", "violations", "samples"), path)
+    _expect_number(bd, "traced", path)
+    _expect_number(bd, "violations", path)
+    samples = bd["samples"]
+    _expect(isinstance(samples, list), path,
+            "'samples' must be an array")
+    _expect(bd["traced"] == len(samples), path,
+            f"traced ({bd['traced']}) != len(samples) ({len(samples)})")
+    _expect(len(samples) <= ok, path,
+            f"{len(samples)} traced samples but only {ok} ok responses")
+    if samples:
+        for key in ("meanClientNs", "meanServerNs", "meanQueuedNs",
+                    "meanProveNs", "meanSerializeNs"):
+            _expect_number(bd, key, path)
+        # meanResidualNs may be negative when violations > 0 (a server
+        # clock ahead of the client's observation), so only presence
+        # and numberhood are checked.
+        _expect("meanResidualNs" in bd, path, "missing 'meanResidualNs'")
+    chain_failures = 0
+    last_trace = 0
+    for i, s in enumerate(samples):
+        spath = f"{path}.samples[{i}]"
+        _expect_keys(s, ("traceId", "laneId", "clientNs", "serverNs",
+                         "queuedNs", "proveNs", "serializeNs"), spath)
+        for key in ("traceId", "laneId", "clientNs", "serverNs",
+                    "queuedNs", "proveNs", "serializeNs"):
+            _expect_number(s, key, spath)
+        _expect(s["traceId"] >= 1, spath,
+                "'traceId' 0 means untraced and cannot appear here")
+        _expect(s["traceId"] > last_trace, spath,
+                "'traceId' must be strictly increasing (sorted, unique)")
+        last_trace = s["traceId"]
+        parts = s["queuedNs"] + s["proveNs"] + s["serializeNs"]
+        if not parts <= s["serverNs"] <= s["clientNs"]:
+            chain_failures += 1
+    _expect(
+        chain_failures <= bd["violations"],
+        path,
+        f"{chain_failures} sample(s) break queued+prove+serialize <= "
+        f"server <= client but violations says {bd['violations']}",
+    )
+
+
 def validate_results(res: Any, mix_pairs: list, path: str) -> None:
     _expect_keys(res, ("issued", "ok", "queueFull", "shuttingDown",
                        "errors", "elapsedSeconds", "throughputRps",
-                       "latencyNs", "queueDepth", "perApp"), path)
+                       "latencyNs", "breakdown", "queueDepth",
+                       "perApp"), path)
     for key in ("issued", "ok", "queueFull", "shuttingDown", "errors"):
         _expect_number(res, key, path)
     accounted = (res["ok"] + res["queueFull"] + res["shuttingDown"] +
@@ -161,6 +214,8 @@ def validate_results(res: Any, mix_pairs: list, path: str) -> None:
     _expect_number(res, "throughputRps", path)
 
     validate_latency(res["latencyNs"], res["ok"], f"{path}.latencyNs")
+    validate_breakdown(res["breakdown"], res["ok"],
+                       f"{path}.breakdown")
 
     qd = res["queueDepth"]
     _expect(isinstance(qd, list), path, "'queueDepth' must be an array")

@@ -1,0 +1,316 @@
+#!/usr/bin/env python3
+"""Validator for the Prometheus text exposition rendered by src/obs.
+
+Checks the output of obs::renderExposition (scraped in practice via
+`unizk_top --once --prom`) against the text exposition format 0.0.4:
+
+  - every sample line belongs to a metric announced by a preceding
+    `# HELP` + `# TYPE` pair, in that order, each exactly once;
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and carry the unizk_
+    prefix the renderer guarantees;
+  - counters end in `_total` and their values never carry labels;
+  - histograms expose `_bucket{le="..."}` series with numerically
+    increasing `le` values, cumulative (non-decreasing) bucket counts,
+    a final `le="+Inf"` bucket, and `_sum` / `_count` samples where
+    `_count` equals the `+Inf` bucket;
+  - sample values are non-negative integers (everything the obs layer
+    exports is a u64 count or sum).
+
+The C++ renderer lives in src/obs/exposition.cpp; update this
+validator and the renderer together.
+
+Usage:
+    python3 tools/obs/validate_exposition.py FILE...
+    python3 tools/obs/validate_exposition.py --self-test
+
+Reads stdin when FILE is `-`. Exit status is nonzero iff any input
+fails validation (or any self-test case misbehaves). Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import List
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LE_LABEL_RE = re.compile(r'^le="(?P<le>[^"]+)"$')
+
+
+class Metric:
+    def __init__(self, name: str, kind: str):
+        self.name = name
+        self.kind = kind  # "counter" | "histogram"
+        self.buckets: List[tuple] = []  # (le_value, count)
+        self.saw_inf = False
+        self.sum = None
+        self.count = None
+        self.value = None
+
+
+def _le_key(le: str) -> float:
+    return float("inf") if le == "+Inf" else float(le)
+
+
+def validate_exposition(text: str, path: str) -> List[str]:
+    errors: List[str] = []
+
+    def err(lineno: int, message: str) -> None:
+        errors.append(f"{path}:{lineno}: {message}")
+
+    metrics = {}
+    helped = {}  # name -> line where HELP appeared
+    current = None  # most recently announced metric
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            if len(parts) != 2 or not parts[1]:
+                err(lineno, "HELP line without help text")
+                continue
+            name = parts[0]
+            if not METRIC_NAME_RE.match(name):
+                err(lineno, f"invalid metric name {name!r}")
+            if name in helped:
+                err(lineno, f"duplicate HELP for {name!r}")
+            helped[name] = lineno
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2:
+                err(lineno, "malformed TYPE line")
+                continue
+            name, kind = parts
+            if kind not in ("counter", "histogram"):
+                err(lineno, f"unsupported type {kind!r}")
+                continue
+            if name not in helped:
+                err(lineno, f"TYPE before HELP for {name!r}")
+            if name in metrics:
+                err(lineno, f"duplicate TYPE for {name!r}")
+                continue
+            current = Metric(name, kind)
+            metrics[name] = current
+            continue
+        if line.startswith("#"):
+            err(lineno, f"unexpected comment {line!r}")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(lineno, f"malformed sample line {line!r}")
+            continue
+        name, labels, value = m.group("name", "labels", "value")
+        try:
+            numeric = int(value)
+        except ValueError:
+            err(lineno, f"non-integer sample value {value!r}")
+            continue
+        if numeric < 0:
+            err(lineno, f"negative sample value {numeric}")
+            continue
+
+        # Map the sample to its announced family.
+        base = name
+        suffix = None
+        for s in ("_bucket", "_sum", "_count"):
+            if name.endswith(s) and name[: -len(s)] in metrics:
+                base = name[: -len(s)]
+                suffix = s
+                break
+        metric = metrics.get(base)
+        if metric is None:
+            err(lineno, f"sample {name!r} without HELP/TYPE")
+            continue
+        if not base.startswith("unizk_"):
+            err(lineno, f"metric {base!r} missing unizk_ prefix")
+        if current is not None and base != current.name:
+            err(lineno,
+                f"sample {name!r} interleaved into {current.name!r}'s "
+                "block")
+
+        if metric.kind == "counter":
+            if suffix is not None or labels is not None:
+                err(lineno, f"counter {base!r} with labels or suffix")
+                continue
+            if not base.endswith("_total"):
+                err(lineno, f"counter {base!r} must end in _total")
+            if metric.value is not None:
+                err(lineno, f"duplicate sample for counter {base!r}")
+            metric.value = numeric
+            continue
+
+        # Histogram family.
+        if suffix == "_bucket":
+            lm = LE_LABEL_RE.match(labels or "")
+            if not lm:
+                err(lineno, f"bucket without an le label: {line!r}")
+                continue
+            le = lm.group("le")
+            try:
+                le_key = _le_key(le)
+            except ValueError:
+                err(lineno, f"unparseable le value {le!r}")
+                continue
+            if metric.buckets and le_key <= metric.buckets[-1][0]:
+                err(lineno,
+                    f"le={le!r} not greater than the previous bucket")
+            if metric.buckets and numeric < metric.buckets[-1][1]:
+                err(lineno,
+                    f"bucket count {numeric} decreased (buckets are "
+                    "cumulative)")
+            if metric.saw_inf:
+                err(lineno, "bucket after the +Inf bucket")
+            if le == "+Inf":
+                metric.saw_inf = True
+            metric.buckets.append((le_key, numeric))
+        elif suffix == "_sum":
+            if metric.sum is not None:
+                err(lineno, f"duplicate _sum for {base!r}")
+            metric.sum = numeric
+        elif suffix == "_count":
+            if metric.count is not None:
+                err(lineno, f"duplicate _count for {base!r}")
+            metric.count = numeric
+        else:
+            err(lineno,
+                f"bare sample {name!r} for histogram family {base!r}")
+
+    for metric in metrics.values():
+        where = f"{path}: metric {metric.name!r}"
+        if metric.kind == "counter":
+            if metric.value is None:
+                errors.append(f"{where}: no sample line")
+            continue
+        if not metric.saw_inf:
+            errors.append(f"{where}: histogram without a +Inf bucket")
+        if metric.sum is None or metric.count is None:
+            errors.append(f"{where}: histogram missing _sum or _count")
+        elif metric.buckets and metric.count != metric.buckets[-1][1]:
+            errors.append(
+                f"{where}: _count ({metric.count}) != +Inf bucket "
+                f"({metric.buckets[-1][1]})")
+    return errors
+
+
+# --------------------------------------------------------------------------
+# Self-test: accepted and rejected exemplars, pinned so renderer edits
+# that break the format fail here before they reach a scrape job.
+# --------------------------------------------------------------------------
+
+GOOD = """\
+# HELP unizk_service_requests_completed_total obs counter "service.requests_completed".
+# TYPE unizk_service_requests_completed_total counter
+unizk_service_requests_completed_total 42
+# HELP unizk_service_request_latency_ns obs histogram "service.request_latency_ns".
+# TYPE unizk_service_request_latency_ns histogram
+unizk_service_request_latency_ns_bucket{le="1023"} 3
+unizk_service_request_latency_ns_bucket{le="2047"} 10
+unizk_service_request_latency_ns_bucket{le="+Inf"} 12
+unizk_service_request_latency_ns_sum 24000
+unizk_service_request_latency_ns_count 12
+"""
+
+BAD_CASES = {
+    "bad metric name charset": GOOD.replace(
+        "unizk_service_requests_completed_total",
+        "unizk_service_requests.completed_total"),
+    "counter without _total": (
+        '# HELP unizk_x obs counter "x".\n'
+        "# TYPE unizk_x counter\n"
+        "unizk_x 1\n"),
+    "type before help": (
+        "# TYPE unizk_x_total counter\n"
+        '# HELP unizk_x_total obs counter "x".\n'
+        "unizk_x_total 1\n"),
+    "sample without help/type": "unizk_orphan_total 5\n",
+    "le out of order": GOOD.replace(
+        'le="1023"} 3', 'le="4095"} 3'),
+    "bucket counts not cumulative": GOOD.replace(
+        'le="2047"} 10', 'le="2047"} 2'),
+    "missing +Inf bucket": GOOD.replace(
+        'unizk_service_request_latency_ns_bucket{le="+Inf"} 12\n', ""),
+    "count disagrees with +Inf": GOOD.replace(
+        "unizk_service_request_latency_ns_count 12",
+        "unizk_service_request_latency_ns_count 11"),
+    "negative value": GOOD.replace(
+        "unizk_service_requests_completed_total 42",
+        "unizk_service_requests_completed_total -1"),
+    "missing unizk prefix": GOOD.replace("unizk_service_requests",
+                                         "service_requests"),
+}
+
+
+def self_test() -> int:
+    failures = 0
+    if validate_exposition(GOOD, "good"):
+        print("self-test: GOOD exemplar rejected:", file=sys.stderr)
+        for e in validate_exposition(GOOD, "good"):
+            print(f"  {e}", file=sys.stderr)
+        failures += 1
+    for label, text in BAD_CASES.items():
+        if not validate_exposition(text, label):
+            print(f"self-test: case {label!r} was not rejected",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"validate_exposition self-test: {failures} failure(s)",
+              file=sys.stderr)
+        return 1
+    print(f"validate_exposition self-test: 1 good + {len(BAD_CASES)} "
+          "bad case(s) OK")
+    return 0
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="validate_exposition",
+        description="validate Prometheus text exposition from unizk",
+    )
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in accept/reject exemplars")
+    parser.add_argument("files", nargs="*",
+                        help="exposition files to validate (- = stdin)")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        parser.error("provide FILE... or --self-test")
+
+    errors: List[str] = []
+    for filename in args.files:
+        try:
+            if filename == "-":
+                text = sys.stdin.read()
+            else:
+                with open(filename, "r", encoding="utf-8") as f:
+                    text = f.read()
+        except OSError as e:
+            errors.append(f"{filename}: {e}")
+            continue
+        if not text.strip():
+            errors.append(f"{filename}: empty exposition")
+            continue
+        errors.extend(validate_exposition(text, filename))
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        print(f"validate_exposition: {len(errors)} error(s)",
+              file=sys.stderr)
+        return 1
+    print(f"validate_exposition: {len(args.files)} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

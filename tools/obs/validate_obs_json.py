@@ -17,6 +17,16 @@ Validates the two documents the instrumented binaries emit:
           complete events (CPU span lanes under pid 1, simulated
           kernel lanes under pid >= 2). Loadable in Perfetto /
           chrome://tracing.
+  windows the "unizk-stats-v3" JSONL log written by unizkd
+          --stats-interval / --stats-windows (one window record per
+          line, appended by ProofService::statsWindow). Beyond per-line
+          shape, the validator checks the *stream* invariants the
+          single-rotation-stream design guarantees: sequence numbers
+          strictly increase, window intervals chain (start of N+1 ==
+          end of N when sequences are adjacent), and for every counter
+          and histogram the deltas reconcile exactly against the
+          cumulative totals (cumulative[i] == cumulative[i-1] +
+          delta[i]).
 
 The C++ emitters live in src/obs/stats_export.cpp and
 src/obs/trace_export.cpp; update this validator and those together.
@@ -24,6 +34,7 @@ src/obs/trace_export.cpp; update this validator and those together.
 Usage:
     python3 tools/obs/validate_obs_json.py --kind stats FILE...
     python3 tools/obs/validate_obs_json.py --kind trace FILE...
+    python3 tools/obs/validate_obs_json.py --kind windows FILE...
     python3 tools/obs/validate_obs_json.py --kind auto FILE...
 
 Exit status is nonzero iff any file fails validation.
@@ -251,6 +262,31 @@ def validate_histograms(histograms: Any, path: str) -> None:
         )
 
 
+def validate_span_buffers(sb: Any, path: str) -> None:
+    _expect_keys(sb, ("dropped", "capPerThread", "perThread"), path)
+    _expect_number(sb, "dropped", path)
+    _expect_number(sb, "capPerThread", path)
+    _expect(sb["capPerThread"] >= 1, path, "'capPerThread' must be >= 1")
+    per_thread = sb["perThread"]
+    _expect(isinstance(per_thread, list), path,
+            "'perThread' must be an array")
+    last_tid = -1
+    for i, t in enumerate(per_thread):
+        tpath = f"{path}.perThread[{i}]"
+        _expect_keys(t, ("threadId", "buffered", "highWater"), tpath)
+        for key in ("threadId", "buffered", "highWater"):
+            _expect_number(t, key, tpath)
+        _expect(t["threadId"] > last_tid, tpath,
+                "'threadId' must be strictly increasing")
+        _expect(t["buffered"] <= t["highWater"], tpath,
+                f"buffered ({t['buffered']}) > highWater "
+                f"({t['highWater']})")
+        _expect(t["highWater"] <= sb["capPerThread"], tpath,
+                f"highWater ({t['highWater']}) > capPerThread "
+                f"({sb['capPerThread']})")
+        last_tid = t["threadId"]
+
+
 def validate_stats(doc: Any, path: str) -> None:
     _expect_keys(doc, ("schema", "runs", "counters"), path)
     _expect(
@@ -303,6 +339,142 @@ def validate_stats(doc: Any, path: str) -> None:
 
     if version >= 2:
         validate_histograms(doc["histograms"], path)
+        # spanBuffers is newer than v2 and optional for backward
+        # compatibility with archived documents.
+        if "spanBuffers" in doc:
+            validate_span_buffers(doc["spanBuffers"],
+                                  f"{path}.spanBuffers")
+
+
+# --------------------------------------------------------------------------
+# Stats-window (unizk-stats-v3 JSONL) schema.
+# --------------------------------------------------------------------------
+
+def validate_window_histogram_data(h: Any, path: str) -> None:
+    """One dense-side HistogramData object inside a window record."""
+    _expect_keys(h, ("count", "sum", "min", "max", "buckets"), path)
+    for key in ("count", "sum", "min", "max"):
+        _expect_number(h, key, path)
+    _expect(isinstance(h["buckets"], list), path,
+            "'buckets' must be an array")
+    bucket_count = 0
+    for i, b in enumerate(h["buckets"]):
+        bpath = f"{path}.buckets[{i}]"
+        _expect_keys(b, ("lo", "hi", "count"), bpath)
+        for key in ("lo", "hi", "count"):
+            _expect_number(b, key, bpath)
+        _expect(b["count"] > 0, bpath, "empty buckets must be omitted")
+        bucket_count += b["count"]
+    _expect(bucket_count == h["count"], path,
+            f"bucket counts sum to {bucket_count}, count says "
+            f"{h['count']}")
+    if h["count"] > 0:
+        _expect(h["min"] <= h["max"], path,
+                f"min ({h['min']}) > max ({h['max']})")
+
+
+def validate_window_record(rec: Any, path: str) -> None:
+    _expect_keys(
+        rec,
+        ("schema", "sequence", "windowStartNs", "windowEndNs",
+         "counters", "histograms", "spanBuffers"),
+        path,
+    )
+    _expect(rec["schema"] == "unizk-stats-v3", path,
+            f"schema is {rec['schema']!r}, expected 'unizk-stats-v3'")
+    for key in ("sequence", "windowStartNs", "windowEndNs"):
+        _expect_number(rec, key, path)
+    _expect(rec["sequence"] >= 1, path, "'sequence' must be >= 1")
+    _expect(rec["windowStartNs"] <= rec["windowEndNs"], path,
+            "window interval is inverted")
+
+    _expect(isinstance(rec["counters"], dict), path,
+            "'counters' must be an object")
+    for name, c in rec["counters"].items():
+        cpath = f"{path}.counters.{name}"
+        _expect_keys(c, ("delta", "cumulative"), cpath)
+        for key in ("delta", "cumulative"):
+            _expect_number(c, key, cpath)
+        _expect(c["delta"] <= c["cumulative"], cpath,
+                f"delta ({c['delta']}) > cumulative "
+                f"({c['cumulative']})")
+
+    _expect(isinstance(rec["histograms"], dict), path,
+            "'histograms' must be an object")
+    for name, h in rec["histograms"].items():
+        hpath = f"{path}.histograms.{name}"
+        _expect_keys(h, ("delta", "cumulative"), hpath)
+        validate_window_histogram_data(h["delta"], f"{hpath}.delta")
+        validate_window_histogram_data(h["cumulative"],
+                                       f"{hpath}.cumulative")
+        _expect(h["delta"]["count"] <= h["cumulative"]["count"], hpath,
+                "delta count exceeds cumulative count")
+        _expect(h["delta"]["sum"] <= h["cumulative"]["sum"], hpath,
+                "delta sum exceeds cumulative sum")
+
+    validate_span_buffers(rec["spanBuffers"], f"{path}.spanBuffers")
+
+
+def validate_windows(lines: List[tuple], path: str) -> None:
+    """Stream-level invariants over a parsed JSONL window log.
+
+    `lines` is a list of (line_number, record) pairs.
+    """
+    _expect(bool(lines), path, "window log is empty")
+    prev = None
+    for lineno, rec in lines:
+        rpath = f"{path}:{lineno}"
+        validate_window_record(rec, rpath)
+        if prev is not None:
+            # The daemon logs every rotation (GetStats polls included),
+            # so the stream is contiguous and the intervals chain --
+            # which is exactly what makes the delta reconciliation
+            # below an equality rather than an inequality.
+            _expect(
+                rec["sequence"] == prev["sequence"] + 1,
+                rpath,
+                f"sequence gap {prev['sequence']} -> "
+                f"{rec['sequence']}: the daemon logs every rotation, "
+                "so the stream must be contiguous",
+            )
+            _expect(
+                rec["windowStartNs"] == prev["windowEndNs"],
+                rpath,
+                f"window start {rec['windowStartNs']} != previous "
+                f"end {prev['windowEndNs']}",
+            )
+            for name, c in rec["counters"].items():
+                before = prev["counters"].get(
+                    name, {"cumulative": 0})["cumulative"]
+                _expect(
+                    c["cumulative"] == before + c["delta"],
+                    f"{rpath}.counters.{name}",
+                    f"cumulative {c['cumulative']} != previous "
+                    f"{before} + delta {c['delta']}",
+                )
+            for name, h in rec["histograms"].items():
+                before = prev["histograms"].get(name)
+                before_count = (
+                    before["cumulative"]["count"] if before else 0)
+                before_sum = (
+                    before["cumulative"]["sum"] if before else 0)
+                _expect(
+                    h["cumulative"]["count"]
+                    == before_count + h["delta"]["count"],
+                    f"{rpath}.histograms.{name}",
+                    f"cumulative count {h['cumulative']['count']} != "
+                    f"previous {before_count} + delta "
+                    f"{h['delta']['count']}",
+                )
+                _expect(
+                    h["cumulative"]["sum"]
+                    == before_sum + h["delta"]["sum"],
+                    f"{rpath}.histograms.{name}",
+                    f"cumulative sum {h['cumulative']['sum']} != "
+                    f"previous {before_sum} + delta "
+                    f"{h['delta']['sum']}",
+                )
+        prev = rec
 
 
 # --------------------------------------------------------------------------
@@ -365,12 +537,49 @@ def validate_trace(doc: Any, path: str) -> None:
 def detect_kind(doc: Any) -> str:
     if isinstance(doc, dict) and "traceEvents" in doc:
         return "trace"
+    if isinstance(doc, dict) and doc.get("schema") == "unizk-stats-v3":
+        return "windows"
     return "stats"
 
 
-def validate_file(filename: str, kind: str) -> List[str]:
+def validate_windows_file(filename: str) -> List[str]:
+    """Parse and validate one JSONL window log."""
+    lines: List[tuple] = []
     try:
         with open(filename, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    lines.append((lineno, json.loads(line)))
+                except json.JSONDecodeError as e:
+                    return [f"{filename}:{lineno}: {e}"]
+    except OSError as e:
+        return [f"{filename}: {e}"]
+    try:
+        validate_windows(lines, filename)
+    except ValidationError as e:
+        return [str(e)]
+    return []
+
+
+def validate_file(filename: str, kind: str) -> List[str]:
+    if kind == "windows":
+        return validate_windows_file(filename)
+    try:
+        with open(filename, "r", encoding="utf-8") as f:
+            if kind == "auto":
+                # A window log is JSONL, not a single document; detect
+                # it from the first line before attempting json.load.
+                first = f.readline()
+                try:
+                    first_doc = json.loads(first)
+                except json.JSONDecodeError:
+                    first_doc = None
+                if detect_kind(first_doc) == "windows":
+                    return validate_windows_file(filename)
+                f.seek(0)
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         return [f"{filename}: {e}"]
@@ -390,7 +599,8 @@ def main(argv) -> int:
         prog="validate_obs_json",
         description="validate UniZK stats / Chrome-trace JSON artifacts",
     )
-    parser.add_argument("--kind", choices=("stats", "trace", "auto"),
+    parser.add_argument("--kind",
+                        choices=("stats", "trace", "windows", "auto"),
                         default="auto",
                         help="document kind (default: detect per file)")
     parser.add_argument("files", nargs="+", help="JSON files to validate")
